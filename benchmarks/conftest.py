@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+``study`` loads the cached 235-trace measurement campaign (building it
+on first use — that one-time pass simulates every trace with all four
+tools and takes tens of minutes; subsequent runs read ``.cache/``).
+"""
+
+import pytest
+
+from repro.core.pipeline import load_or_run_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """All 235 study records (cached)."""
+    return load_or_run_study(verbose=True)
+
+
+@pytest.fixture(scope="session")
+def labelled(study):
+    """Records with a packet-flow DIFFtotal label (all 235 by design)."""
+    return [r for r in study if r.requires_simulation() is not None]

@@ -1,0 +1,66 @@
+"""Ablation: rank-to-node placement and modeling-vs-simulation divergence.
+
+DESIGN.md substitutes scatter placement for the adaptive routing of
+real fabrics on the alltoall applications.  This bench quantifies the
+choice on the topology where it matters: on a *dragonfly* (Edison),
+block placement + deterministic minimal routing concentrates each
+Bruck round of an FT transpose onto a single group-to-group trunk
+(DIFFtotal near 100%), while scatter placement spreads it to the
+paper's band.  On a torus, shifted Bruck rounds are translations and
+block placement is already balanced; there the halo workload shows the
+reverse preference.
+"""
+
+import pytest
+
+from repro.machines import EDISON, HOPPER
+from repro.mfact import ConfigGrid, model_trace
+from repro.sim import simulate_trace
+from repro.workloads import generate_doe, generate_npb
+
+MAPPINGS = ("block", "scatter")
+
+
+def _diff(trace, mapping, machine):
+    trace.metadata["mapping"] = mapping
+    trace.metadata["mapping_seed"] = 7
+    mfact = model_trace(trace, machine, ConfigGrid.single(machine)).baseline_total_time
+    sim = simulate_trace(trace, machine, "packet-flow").total_time
+    return abs(sim / mfact - 1.0)
+
+
+@pytest.fixture(scope="module")
+def ft_trace():
+    return generate_npb("FT", 64, EDISON, seed=71, compute_per_iter=0.002,
+                        ranks_per_node=1)
+
+
+@pytest.fixture(scope="module")
+def halo_trace():
+    return generate_doe("CNS", 64, HOPPER, seed=72, compute_per_iter=0.002,
+                        ranks_per_node=1)
+
+
+@pytest.mark.parametrize("mapping", MAPPINGS)
+def test_ft_mapping_sweep(benchmark, ft_trace, mapping):
+    diff = benchmark.pedantic(
+        _diff, args=(ft_trace, mapping, EDISON), rounds=1, iterations=1
+    )
+    print(f"\nFT on dragonfly, {mapping}: DIFFtotal {100 * diff:.1f}%")
+    assert diff >= 0
+
+
+def test_scatter_tames_transpose_divergence_on_dragonfly(ft_trace):
+    block = _diff(ft_trace, "block", EDISON)
+    scatter = _diff(ft_trace, "scatter", EDISON)
+    # Shifted Bruck traffic under block placement piles onto one
+    # group-to-group trunk; scattering (like adaptive routing) spreads it.
+    assert scatter < block
+
+
+def test_halo_prefers_block_on_torus(halo_trace):
+    block = _diff(halo_trace, "block", HOPPER)
+    scatter = _diff(halo_trace, "scatter", HOPPER)
+    # Neighbors placed on neighboring nodes keep halo routes short;
+    # scattering can only lengthen them.
+    assert block <= scatter + 0.02

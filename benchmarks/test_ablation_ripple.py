@@ -1,0 +1,69 @@
+"""Ablation: the flow model's ripple updates.
+
+Each flow arrival/departure recomputes the max-min allocation of every
+active flow — the "ripple effect" the paper cites as the flow model's
+cost driver.  The ablation freezes rates at admission instead and
+compares cost and fidelity: the frozen variant must be cheaper per
+event but lose the fair-sharing behaviour under contention.
+"""
+
+import pytest
+
+from repro.machines import CIELITO
+from repro.sim import SimReplay
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+from repro.workloads import generate_doe, synthesize_ground_truth
+
+
+@pytest.fixture(scope="module")
+def trace():
+    t = generate_doe("FB", 64, CIELITO, seed=41, compute_per_iter=0.001,
+                     ranks_per_node=2)
+    return synthesize_ground_truth(t, CIELITO, seed=41)
+
+
+def run(trace, ripple):
+    return SimReplay(trace, CIELITO, "flow", ripple=ripple).run()
+
+
+def test_flow_with_ripple(benchmark, trace):
+    result = benchmark.pedantic(run, args=(trace, True), rounds=2, iterations=1)
+    assert result.total_time > 0
+
+
+def test_flow_frozen_rates(benchmark, trace):
+    result = benchmark.pedantic(run, args=(trace, False), rounds=2, iterations=1)
+    assert result.total_time > 0
+
+
+def test_ripple_count_tracks_flows(trace):
+    replay = SimReplay(trace, CIELITO, "flow")
+    replay.run()
+    # Arrivals and departures ripple (same-timestamp batches coalesce
+    # into one recomputation, so the count is below 2x messages).
+    assert 0 < replay.model.ripple_updates <= 2 * replay.model.messages_sent + 2
+
+
+def test_frozen_rates_distort_contention():
+    """Under a *staggered* incast, frozen rates mis-predict: a flow
+    admitted while k rivals are active keeps rate cap/k forever, even
+    after the rivals drain, whereas the ripple upgrades it.  (A
+    simultaneous incast hides the difference: every flow is admitted
+    and finishes at the same share.)"""
+    from repro.trace.events import make_compute
+
+    n, nbytes = 8, 4 << 20
+    ranks = []
+    for r in range(n):
+        if r == 0:
+            ops = [Op(OpKind.IRECV, peer=s, nbytes=nbytes, tag=1, req=s) for s in range(1, n)]
+            ops += [Op(OpKind.WAIT, req=s) for s in range(1, n)]
+        else:
+            # Staggered arrivals: sender s starts s milliseconds late.
+            ops = [make_compute(0.001 * r), Op(OpKind.SEND, peer=0, nbytes=nbytes, tag=1)]
+        ranks.append(ops)
+    trace = TraceSet("incast", "T", ranks, machine="cielito", ranks_per_node=1)
+    with_ripple = SimReplay(trace, CIELITO, "flow", ripple=True).run().total_time
+    frozen = SimReplay(trace, CIELITO, "flow", ripple=False).run().total_time
+    assert abs(frozen / with_ripple - 1.0) > 0.05

@@ -1,0 +1,46 @@
+"""Ablation: the stepwise selection cap (paper: five variables).
+
+Sweeps the maximum model size 1..8 and reports the cross-validated
+misclassification rate: accuracy should saturate around the paper's cap
+(over-fitting risk grows past it, gains vanish).
+"""
+
+import pytest
+
+from repro.core.enhanced_mfact import CANDIDATE_NAMES, design_matrix, labels
+from repro.stats.mccv import monte_carlo_cv
+
+CAPS = [1, 2, 3, 5, 8]
+
+
+@pytest.fixture(scope="module")
+def matrices(labelled):
+    return design_matrix(labelled), labels(labelled)
+
+
+@pytest.mark.parametrize("cap", CAPS)
+def test_cap_sweep(benchmark, matrices, cap):
+    X, y = matrices
+    cv = benchmark.pedantic(
+        monte_carlo_cv,
+        args=(X, y, CANDIDATE_NAMES),
+        kwargs={"runs": 25, "max_vars": cap, "seed": 11},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nmax_vars={cap}: trimmed MR {100 * cv.trimmed_mr:.1f}%")
+    assert 0.0 <= cv.trimmed_mr <= 0.5
+
+
+def test_five_variables_near_saturation(matrices):
+    X, y = matrices
+    mr = {
+        cap: monte_carlo_cv(
+            X, y, CANDIDATE_NAMES, runs=25, max_vars=cap, seed=11
+        ).trimmed_mr
+        for cap in (1, 5, 8)
+    }
+    # Five variables should be at least as good as one, and adding three
+    # more should not buy a large improvement.
+    assert mr[5] <= mr[1] + 0.02
+    assert mr[8] >= mr[5] - 0.04

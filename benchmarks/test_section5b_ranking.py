@@ -1,0 +1,24 @@
+"""Section V-B bench: per-application tool ranking shares."""
+
+from repro.experiments import section5b
+
+
+def test_ranking_shares(study, benchmark):
+    result = benchmark(section5b.compute, study)
+    print("\n" + section5b.render(result))
+    # Modeling ranks first in (almost) all cases.
+    assert result["first"]["mfact"] >= 90.0
+    # The packet model is the most frequent last place.
+    assert result["fourth"]["packet"] >= max(
+        result["fourth"]["flow"], result["fourth"]["packet-flow"]
+    )
+
+
+def test_second_place_is_a_simulation(study):
+    result = section5b.compute(study)
+    sims_second = (
+        result["second"]["flow"]
+        + result["second"]["packet-flow"]
+        + result["second"]["packet"]
+    )
+    assert sims_second >= 90.0

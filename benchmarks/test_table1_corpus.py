@@ -1,0 +1,34 @@
+"""Table I bench: regenerate the corpus characteristics table."""
+
+from collections import Counter
+
+from repro.experiments import table1
+from repro.workloads import corpus_specs
+from repro.workloads.suite import RANK_POOL
+
+
+def test_table1_rank_panel_exact(study, benchmark):
+    """Table Ia must match the paper exactly (it is our construction)."""
+    result = benchmark(table1.compute, study)
+    print("\n" + table1.render(result))
+    assert result["ranks"] == table1.PAPER_RANKS
+    assert result["total"]["traces"] == 235
+
+
+def test_table1_comm_panel_shape(study):
+    """Table Ib: every bin populated; the heavy middle bins dominate."""
+    result = table1.compute(study)
+    comm = result["comm_time_pct"]
+    assert sum(comm.values()) == 235
+    assert all(count > 0 for count in comm.values())
+    # Paper shape: 10-20% and 20-40% are the two largest bins together
+    # holding about half the corpus; the reproduction should keep the
+    # middle-heavy shape.
+    middle = comm["10-20"] + comm["20-40"]
+    assert middle >= 60
+
+
+def test_corpus_spec_generation_fast(benchmark):
+    """Spec generation itself is cheap and exact."""
+    specs = benchmark(corpus_specs)
+    assert Counter(s.nranks for s in specs) == Counter(RANK_POOL)

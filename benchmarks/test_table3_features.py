@@ -1,0 +1,32 @@
+"""Table III bench: the candidate feature catalogue over the corpus."""
+
+import numpy as np
+
+from repro.experiments import table3
+from repro.trace.features import NUMERIC_FEATURE_NAMES
+
+
+def test_table3_summary(study, benchmark):
+    result = benchmark(table3.compute, study)
+    print("\n" + table3.render(result))
+    assert set(NUMERIC_FEATURE_NAMES) <= set(result)
+
+
+def test_every_record_has_all_features(study):
+    for record in study:
+        assert set(record.features) == set(NUMERIC_FEATURE_NAMES)
+        assert all(np.isfinite(v) for v in record.features.values())
+
+
+def test_feature_ranges_sane(study):
+    result = table3.compute(study)
+    assert result["R"]["min"] == 64
+    assert result["R"]["max"] == 1728
+    for pct in ("PoCP", "PoC", "PoSYN", "PoCOLL"):
+        assert 0.0 <= result[pct]["min"]
+        assert result[pct]["max"] <= 100.0 + 1e-9
+
+
+def test_cl_split_present(study):
+    result = table3.compute(study)
+    assert result["CL"]["cs"] + result["CL"]["ncs"] == len(study)

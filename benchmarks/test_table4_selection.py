@@ -1,0 +1,30 @@
+"""Table IV bench: stepwise-selected variables over 100 MCCV partitions.
+
+Shape targets: CL{ncs} is the dominant predictor — selected in (almost)
+every partition with a negative coefficient, exactly the paper's
+finding that network-insensitive applications need no simulation.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_selection(labelled, benchmark):
+    result = benchmark.pedantic(
+        table4.compute, args=(labelled,), kwargs={"runs": 100, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + table4.render(result))
+    top = result["top"]
+    names = [row["name"] for row in top]
+    assert "CL{ncs}" in names[:2]
+    cl = next(row for row in top if row["name"] == "CL{ncs}")
+    assert cl["selected_pct"] >= 90.0
+    assert cl["coefficient"] < 0.0
+
+
+def test_table4_rates_beat_naive_band(labelled):
+    result = table4.compute(labelled, runs=60, seed=1)
+    # Paper: trimmed MR 6.8%. Allow a generous band for the synthetic corpus.
+    assert result["trimmed_mr"] < 0.22
+    assert 0.0 <= result["trimmed_fn"] <= 0.5
+    assert 0.0 <= result["trimmed_fp"] <= 0.5

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Inter-job interference: the case where you need the simulator.
+
+Section II-C notes that scenarios like "inter-job interference in a
+multi-job environment" are hard to *model* — simulation is the better
+choice.  This example co-schedules a communication-heavy CG job with a
+bursty FillBoundary job on one Cielito fabric under three placements
+and reports each job's slowdown relative to running alone.
+
+Run:  python examples/multijob_interference.py
+"""
+
+from repro import CIELITO
+from repro.sim import simulate_multijob
+from repro.workloads import generate_doe, generate_npb
+from repro.util import format_time
+
+
+def main():
+    cg = generate_npb("CG", 32, CIELITO, seed=301, compute_per_iter=0.0005,
+                      ranks_per_node=1)
+    fb = generate_doe("FB", 32, CIELITO, seed=302, compute_per_iter=0.0005,
+                      ranks_per_node=1)
+    print("jobs: CG (structured halo + dots) and FillBoundary (bursty AMR)\n")
+    print(f"{'placement':>12s} {'job':>10s} {'co-sched':>10s} {'solo':>10s} {'slowdown':>9s}")
+    for placement in ("block", "interleaved", "scattered"):
+        result = simulate_multijob([cg, fb], CIELITO, placement=placement)
+        for job in result.jobs:
+            print(
+                f"{placement:>12s} {job.name.split('.')[0]:>10s} "
+                f"{format_time(job.total_time):>10s} {format_time(job.solo_time):>10s} "
+                f"{job.slowdown:8.3f}x"
+            )
+    print("\nblock placement keeps the jobs' links apart; interleaved and")
+    print("scattered placements make routes cross, and the victim's halo")
+    print("waits stretch — contention no Hockney model can see.")
+
+
+if __name__ == "__main__":
+    main()

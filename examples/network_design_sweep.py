@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""What-if network design study with one MFACT replay.
+
+MFACT's selling point (Section IV-A): one trace replay prices the
+application on *numerous* network configurations concurrently.  This
+example sweeps a 7x3 bandwidth/latency grid around Cielito for a
+communication-intensive Nekbone run and prints the speedup surface —
+the kind of "would a 10x network help this code?" question the paper's
+practical-considerations section discusses.  It then cross-checks two
+grid corners against the (much slower) packet-flow simulator.
+
+Run:  python examples/network_design_sweep.py
+"""
+
+import time
+
+from repro import CIELITO, model_trace, simulate_trace, synthesize_ground_truth
+from repro.mfact import ConfigGrid
+from repro.workloads import generate_doe
+from repro.util import format_time
+
+BW_FACTORS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+LAT_FACTORS = (0.125, 1.0, 8.0)
+
+
+def main():
+    trace = generate_doe("Nekbone", 64, CIELITO, seed=11, compute_per_iter=0.001,
+                         ranks_per_node=1)
+    synthesize_ground_truth(trace, CIELITO, seed=11)
+    grid = ConfigGrid.sweep(CIELITO, bw_factors=BW_FACTORS, lat_factors=LAT_FACTORS)
+
+    t0 = time.perf_counter()
+    report = model_trace(trace, CIELITO, grid)
+    elapsed = time.perf_counter() - t0
+    base = report.baseline_total_time
+    print(f"one replay, {len(grid)} configurations, {format_time(elapsed)} wall time")
+    print(f"baseline predicted total time: {format_time(base)}\n")
+
+    print("speedup vs baseline (rows: latency speed, cols: bandwidth speed)")
+    header = "".join(f"{f'bw x{b:g}':>10s}" for b in BW_FACTORS)
+    print(f"{'':>10s}{header}")
+    for lf in LAT_FACTORS:
+        cells = []
+        for bf in BW_FACTORS:
+            t = report.time_at(bf, lf, CIELITO)
+            cells.append(f"{base / t:9.2f}x")
+        print(f"{f'lat x{lf:g}':>10s}" + "".join(f"{c:>10s}" for c in cells))
+
+    print("\ncross-check against packet-flow simulation (two corners):")
+    for bf, lf in ((1.0, 1.0), (8.0, 8.0)):
+        machine = CIELITO.with_network(
+            bandwidth=CIELITO.bandwidth * bf, latency=CIELITO.latency / lf
+        )
+        t0 = time.perf_counter()
+        sim = simulate_trace(trace, machine, "packet-flow")
+        sim_wall = time.perf_counter() - t0
+        mfact_t = report.time_at(bf, lf, CIELITO)
+        print(
+            f"  bw x{bf:g}, lat x{lf:g}: MFACT {format_time(mfact_t)} vs "
+            f"simulated {format_time(sim.total_time)} "
+            f"({100 * abs(sim.total_time / mfact_t - 1):.1f}% apart; "
+            f"simulation cost {format_time(sim_wall)} for ONE configuration)"
+        )
+
+
+if __name__ == "__main__":
+    main()

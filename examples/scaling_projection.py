@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Scaling projection: model small, predict large.
+
+Fits the library's scaling law (serial + parallel/p + comm * p^beta) to
+MFACT replays of a MiniFE family at 16-128 ranks, then projects strong
+scaling to sizes nobody traced — the cheap-modeling-first workflow the
+paper's conclusions advocate.
+
+Run:  python examples/scaling_projection.py
+"""
+
+from repro import CIELITO
+from repro.mfact import fit_scaling
+from repro.workloads import generate_doe
+from repro.util import format_time
+
+
+def main():
+    family = [
+        generate_doe("MiniFE", n, CIELITO, seed=88, compute_per_iter=0.64 / n,
+                     ranks_per_node=1, iters=4)
+        for n in (16, 32, 64, 128)
+    ]
+    fit = fit_scaling(family, CIELITO)
+    print("fitted on ranks:", fit.ranks)
+    print(f"  serial   {format_time(fit.serial)}")
+    print(f"  parallel {format_time(fit.parallel)} (divided by p)")
+    print(f"  comm     {fit.comm_coefficient:.3g} * p^{fit.comm_exponent:.2f}")
+    print(f"  fit rms  {format_time(fit.residual_rms)}\n")
+
+    print(f"{'ranks':>8s} {'projected time':>15s} {'efficiency':>11s}")
+    for p in (16, 64, 256, 1024, 4096):
+        t = float(fit.predict(p))
+        e = float(fit.efficiency(p))
+        print(f"{p:8d} {format_time(t):>15s} {100 * e:10.1f}%")
+    candidates = [64, 256, 1024, 4096]
+    print(f"\nbest time-x-resources among {candidates}: {fit.sweet_spot(candidates)} ranks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Collective communication: Thakur–Gropp schedules and cost models."""
+
+from repro.collectives.algorithms import (
+    ALLTOALL_BRUCK_MAX_BYTES,
+    Phase,
+    Schedule,
+    schedule_collective,
+)
+from repro.collectives.cost_models import CollectiveCost, collective_cost
+
+__all__ = [
+    "Phase",
+    "Schedule",
+    "schedule_collective",
+    "ALLTOALL_BRUCK_MAX_BYTES",
+    "CollectiveCost",
+    "collective_cost",
+]

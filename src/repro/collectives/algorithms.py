@@ -1,0 +1,268 @@
+"""Thakur–Gropp collective algorithm decompositions.
+
+The simulator replays collectives as the point-to-point message schedule
+a Thakur–Gropp MPICH implementation would issue: binomial trees for
+rooted collectives, recursive doubling / dissemination for allreduce and
+barrier, Bruck for allgather and small alltoall, pairwise exchange for
+large alltoall.
+
+A schedule maps each participating *world* rank to a list of
+:class:`Phase` objects.  Within one phase a rank posts all its receives,
+issues all its sends, and proceeds once every message of the phase has
+completed; phases of different ranks need not be aligned globally (tree
+leaves have fewer phases than the root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trace.events import OpKind
+
+__all__ = ["Phase", "Schedule", "ALLTOALL_BRUCK_MAX_BYTES", "schedule_collective"]
+
+#: Per-pair payload threshold below which alltoall uses the Bruck
+#: algorithm (log p rounds) instead of pairwise exchange (p-1 rounds).
+#: Real MPICH switches around a few hundred bytes; we keep Bruck for
+#: larger payloads because at the corpus's communicator sizes pairwise
+#: exchange generates O(p^2) messages per call, which is what made the
+#: paper's packet simulations take a thousand times MFACT's runtime.
+ALLTOALL_BRUCK_MAX_BYTES = 32 * 1024
+
+#: Payload carried by barrier/synchronization control messages.
+_CONTROL_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One communication step of a rank inside a collective."""
+
+    sends: Tuple[Tuple[int, int], ...] = ()  # (peer world rank, nbytes)
+    recvs: Tuple[Tuple[int, int], ...] = ()
+
+
+#: One collective's full schedule: world rank -> ordered phases.
+Schedule = Dict[int, List[Phase]]
+
+
+def _ceil_log2(p: int) -> int:
+    return max(0, (p - 1).bit_length())
+
+
+def _empty(ranks: Sequence[int]) -> Schedule:
+    return {r: [] for r in ranks}
+
+
+def _dissemination(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Dissemination pattern: round k exchanges with offset 2^k peers."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    k = 1
+    while k < p:
+        for i, world in enumerate(ranks):
+            to = ranks[(i + k) % p]
+            frm = ranks[(i - k) % p]
+            sched[world].append(Phase(sends=((to, nbytes),), recvs=((frm, nbytes),)))
+        k *= 2
+    return sched
+
+
+def _binomial_bcast(ranks: Sequence[int], root_idx: int, nbytes: int) -> Schedule:
+    """Binomial-tree broadcast over comm indices, rotated so root is 0."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    rounds = _ceil_log2(p)
+    # Virtual index v = (i - root_idx) mod p; root has v = 0.
+    for k in range(rounds):
+        stride = 1 << (rounds - 1 - k)
+        for v in range(0, p, 2 * stride):
+            u = v + stride
+            if u >= p:
+                continue
+            src = ranks[(v + root_idx) % p]
+            dst = ranks[(u + root_idx) % p]
+            sched[src].append(Phase(sends=((dst, nbytes),)))
+            sched[dst].append(Phase(recvs=((src, nbytes),)))
+    return sched
+
+
+def _binomial_reduce(ranks: Sequence[int], root_idx: int, nbytes: int) -> Schedule:
+    """Binomial-tree reduction: the broadcast tree with edges reversed."""
+    bcast = _binomial_bcast(ranks, root_idx, nbytes)
+    sched = _empty(ranks)
+    for world, phases in bcast.items():
+        for phase in reversed(phases):
+            sends = tuple((peer, n) for peer, n in phase.recvs)
+            recvs = tuple((peer, n) for peer, n in phase.sends)
+            sched[world].append(Phase(sends=sends, recvs=recvs))
+    return sched
+
+
+def _recursive_doubling_allreduce(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Recursive doubling with the standard non-power-of-two fold."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    pow2 = 1 << (p.bit_length() - 1)
+    if pow2 > p:
+        pow2 //= 2
+    rem = p - pow2
+    # Fold: ranks[pow2 + j] sends its data to ranks[j], which joins the core.
+    for j in range(rem):
+        extra, core = ranks[pow2 + j], ranks[j]
+        sched[extra].append(Phase(sends=((core, nbytes),)))
+        sched[core].append(Phase(recvs=((extra, nbytes),)))
+    k = 1
+    while k < pow2:
+        for i in range(pow2):
+            partner = ranks[i ^ k]
+            sched[ranks[i]].append(
+                Phase(sends=((partner, nbytes),), recvs=((partner, nbytes),))
+            )
+        k *= 2
+    # Unfold: results go back to the extra ranks.
+    for j in range(rem):
+        extra, core = ranks[pow2 + j], ranks[j]
+        sched[core].append(Phase(sends=((extra, nbytes),)))
+        sched[extra].append(Phase(recvs=((core, nbytes),)))
+    return sched
+
+
+def _bruck_allgather(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Bruck allgather: log p rounds with doubling block sizes."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    k = 1
+    while k < p:
+        size = nbytes * min(k, p - k)
+        for i, world in enumerate(ranks):
+            to = ranks[(i - k) % p]
+            frm = ranks[(i + k) % p]
+            sched[world].append(Phase(sends=((to, size),), recvs=((frm, size),)))
+        k *= 2
+    return sched
+
+
+def _bruck_alltoall(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Bruck alltoall: round k moves all blocks whose index has bit k set."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    k = 1
+    while k < p:
+        blocks = sum(1 for i in range(1, p) if i & k)
+        size = nbytes * blocks
+        for i, world in enumerate(ranks):
+            to = ranks[(i + k) % p]
+            frm = ranks[(i - k) % p]
+            sched[world].append(Phase(sends=((to, size),), recvs=((frm, size),)))
+        k *= 2
+    return sched
+
+
+def _pairwise_alltoall(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Pairwise exchange: p-1 rounds, round j pairs i with i+j / i-j."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    for j in range(1, p):
+        for i, world in enumerate(ranks):
+            to = ranks[(i + j) % p]
+            frm = ranks[(i - j) % p]
+            sched[world].append(Phase(sends=((to, nbytes),), recvs=((frm, nbytes),)))
+    return sched
+
+
+def _binomial_gather(ranks: Sequence[int], root_idx: int, nbytes: int) -> Schedule:
+    """Binomial gather: reduce tree with subtree-sized payloads."""
+    p = len(ranks)
+    sched = _empty(ranks)
+    rounds = _ceil_log2(p)
+    # Work on virtual indices (root = 0); child u sends its whole subtree.
+    subtree = [1] * p
+    steps: List[Tuple[int, int, int]] = []  # (child v, parent v, payload blocks)
+    for k in range(rounds):
+        stride = 1 << k
+        for v in range(0, p, 2 * stride):
+            u = v + stride
+            if u >= p:
+                continue
+            steps.append((u, v, subtree[u]))
+            subtree[v] += subtree[u]
+    for child, parent, blocks in steps:
+        src = ranks[(child + root_idx) % p]
+        dst = ranks[(parent + root_idx) % p]
+        size = nbytes * blocks
+        sched[src].append(Phase(sends=((dst, size),)))
+        sched[dst].append(Phase(recvs=((src, size),)))
+    return sched
+
+
+def _binomial_scatter(ranks: Sequence[int], root_idx: int, nbytes: int) -> Schedule:
+    """Binomial scatter: the gather tree reversed."""
+    gather = _binomial_gather(ranks, root_idx, nbytes)
+    sched = _empty(ranks)
+    for world, phases in gather.items():
+        for phase in reversed(phases):
+            sends = tuple((peer, n) for peer, n in phase.recvs)
+            recvs = tuple((peer, n) for peer, n in phase.sends)
+            sched[world].append(Phase(sends=sends, recvs=recvs))
+    return sched
+
+
+def _reduce_scatter(ranks: Sequence[int], nbytes: int) -> Schedule:
+    """Reduce-scatter as binomial reduce of the full vector then scatter."""
+    p = len(ranks)
+    sched = _binomial_reduce(ranks, 0, nbytes * p)
+    scatter = _binomial_scatter(ranks, 0, nbytes)
+    for world, phases in scatter.items():
+        sched[world].extend(phases)
+    return sched
+
+
+def schedule_collective(
+    kind: OpKind, ranks: Sequence[int], nbytes: int, root: int = -1
+) -> Schedule:
+    """Decompose one collective into its Thakur–Gropp p2p schedule.
+
+    Parameters
+    ----------
+    kind:
+        A collective :class:`OpKind`.
+    ranks:
+        World ranks of the communicator, in comm-rank order.
+    nbytes:
+        Per-rank payload (per-pair payload for ALLTOALL).
+    root:
+        World rank of the root for rooted collectives.
+    """
+    ranks = tuple(ranks)
+    p = len(ranks)
+    if p == 0:
+        raise ValueError("collective over empty communicator")
+    if p == 1:
+        return _empty(ranks)
+    if kind in (OpKind.BCAST, OpKind.REDUCE, OpKind.GATHER, OpKind.SCATTER):
+        try:
+            root_idx = ranks.index(root)
+        except ValueError:
+            raise ValueError(f"root {root} not in communicator {ranks[:8]}...") from None
+    if kind == OpKind.BARRIER:
+        return _dissemination(ranks, _CONTROL_BYTES)
+    if kind == OpKind.BCAST:
+        return _binomial_bcast(ranks, root_idx, nbytes)
+    if kind == OpKind.REDUCE:
+        return _binomial_reduce(ranks, root_idx, nbytes)
+    if kind == OpKind.ALLREDUCE:
+        return _recursive_doubling_allreduce(ranks, nbytes)
+    if kind == OpKind.ALLGATHER:
+        return _bruck_allgather(ranks, nbytes)
+    if kind == OpKind.ALLTOALL:
+        if nbytes <= ALLTOALL_BRUCK_MAX_BYTES:
+            return _bruck_alltoall(ranks, nbytes)
+        return _pairwise_alltoall(ranks, nbytes)
+    if kind == OpKind.GATHER:
+        return _binomial_gather(ranks, root_idx, nbytes)
+    if kind == OpKind.SCATTER:
+        return _binomial_scatter(ranks, root_idx, nbytes)
+    if kind == OpKind.REDUCE_SCATTER:
+        return _reduce_scatter(ranks, nbytes)
+    raise ValueError(f"{kind!r} is not a collective op kind")

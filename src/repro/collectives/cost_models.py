@@ -1,0 +1,77 @@
+"""Closed-form Thakur–Gropp collective cost models (MFACT side).
+
+MFACT prices a collective as ``T = a * alpha + b / B`` where ``alpha``
+is the network latency, ``B`` the bandwidth, ``a`` the number of
+latency-bound steps on the critical path, and ``b`` the bytes moved on
+the critical path.  The coefficients below are the standard Thakur–Gropp
+expressions for the algorithms :mod:`repro.collectives.algorithms`
+actually issues, so the model and the contention-free simulation agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.collectives.algorithms import ALLTOALL_BRUCK_MAX_BYTES, _CONTROL_BYTES
+from repro.trace.events import OpKind
+
+__all__ = ["CollectiveCost", "collective_cost"]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Critical-path coefficients of a collective.
+
+    ``time = alpha_count * latency + bytes_on_wire / bandwidth``
+    """
+
+    alpha_count: float
+    bytes_on_wire: float
+
+    def time(self, latency: float, bandwidth: float) -> float:
+        """Evaluate the Hockney-style cost for one network configuration."""
+        return self.alpha_count * latency + self.bytes_on_wire / bandwidth
+
+
+def _ceil_log2(p: int) -> int:
+    return max(0, (p - 1).bit_length())
+
+
+def collective_cost(kind: OpKind, p: int, nbytes: int) -> CollectiveCost:
+    """Critical-path cost coefficients for one collective call.
+
+    Parameters mirror :func:`repro.collectives.algorithms.schedule_collective`:
+    ``p`` is the communicator size and ``nbytes`` the per-rank (per-pair
+    for ALLTOALL) payload.
+    """
+    if p < 1:
+        raise ValueError(f"communicator size must be >= 1, got {p}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if p == 1:
+        return CollectiveCost(0.0, 0.0)
+    lg = _ceil_log2(p)
+    if kind == OpKind.BARRIER:
+        return CollectiveCost(lg, lg * _CONTROL_BYTES)
+    if kind in (OpKind.BCAST, OpKind.REDUCE):
+        return CollectiveCost(lg, lg * nbytes)
+    if kind == OpKind.ALLREDUCE:
+        # Recursive doubling; non-power-of-two adds a fold + unfold step.
+        extra = 0 if p & (p - 1) == 0 else 2
+        steps = lg if p & (p - 1) == 0 else int(math.floor(math.log2(p)))
+        return CollectiveCost(steps + extra, (steps + extra) * nbytes)
+    if kind == OpKind.ALLGATHER:
+        # Bruck: log p steps moving (p-1)*m bytes total on the critical path.
+        return CollectiveCost(lg, (p - 1) * nbytes)
+    if kind == OpKind.ALLTOALL:
+        if nbytes <= ALLTOALL_BRUCK_MAX_BYTES:
+            # Bruck: each of the lg rounds carries about p/2 blocks.
+            return CollectiveCost(lg, lg * (p / 2.0) * nbytes)
+        return CollectiveCost(p - 1, (p - 1) * nbytes)
+    if kind in (OpKind.GATHER, OpKind.SCATTER):
+        return CollectiveCost(lg, (p - 1) * nbytes)
+    if kind == OpKind.REDUCE_SCATTER:
+        # Binomial reduce of the full p*m vector, then binomial scatter.
+        return CollectiveCost(2 * lg, lg * p * nbytes + (p - 1) * nbytes)
+    raise ValueError(f"{kind!r} is not a collective op kind")

@@ -1,0 +1,35 @@
+"""The paper's contribution: DIFFtotal, the study pipeline, enhanced MFACT."""
+
+from repro.core.difftotal import DIFF_THRESHOLD, diff_total, requires_simulation
+from repro.core.enhanced_mfact import (
+    CANDIDATE_NAMES,
+    EnhancedMFACT,
+    design_matrix,
+    labels,
+    naive_heuristic_success,
+)
+from repro.core.pipeline import (
+    StudyRecord,
+    ToolRun,
+    load_or_run_study,
+    measure_trace,
+    run_study,
+    study_cache_path,
+)
+
+__all__ = [
+    "DIFF_THRESHOLD",
+    "diff_total",
+    "requires_simulation",
+    "CANDIDATE_NAMES",
+    "EnhancedMFACT",
+    "design_matrix",
+    "labels",
+    "naive_heuristic_success",
+    "StudyRecord",
+    "ToolRun",
+    "measure_trace",
+    "run_study",
+    "load_or_run_study",
+    "study_cache_path",
+]

@@ -1,0 +1,31 @@
+"""DIFFtotal and the need-for-simulation label (Section VI).
+
+``DIFFtotal = |T_sim / T_MFACT - 1|`` compares the estimated total
+application time of the simulation (packet-flow, the most robust model)
+against the modeling estimate.  An application with DIFFtotal <= 2%
+does not require simulation — modeling answers the same question one to
+two orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DIFF_THRESHOLD", "diff_total", "requires_simulation"]
+
+#: The paper's decision threshold on DIFFtotal.
+DIFF_THRESHOLD = 0.02
+
+
+def diff_total(sim_total: float, mfact_total: float) -> float:
+    """``|sim / mfact - 1|``; raises if the modeling estimate is <= 0."""
+    if mfact_total <= 0:
+        raise ValueError(f"MFACT total time must be positive, got {mfact_total}")
+    if sim_total < 0:
+        raise ValueError(f"simulated total time must be >= 0, got {sim_total}")
+    return abs(sim_total / mfact_total - 1.0)
+
+
+def requires_simulation(
+    sim_total: float, mfact_total: float, threshold: float = DIFF_THRESHOLD
+) -> bool:
+    """True when simulation yields a meaningfully different answer."""
+    return diff_total(sim_total, mfact_total) > threshold

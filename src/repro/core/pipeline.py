@@ -1,0 +1,190 @@
+"""End-to-end study pipeline.
+
+Runs the paper's full measurement campaign over the corpus: for every
+trace, MFACT modeling plus packet, flow and packet-flow simulations,
+Table III feature extraction, and the DIFFtotal label.  One
+:class:`StudyRecord` per trace is produced and cached as JSON so the
+experiment and benchmark modules can re-read results without re-running
+hours of simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.core.difftotal import DIFF_THRESHOLD, diff_total
+from repro.machines.presets import get_machine
+from repro.mfact.logical_clock import model_trace
+from repro.sim.mpi_replay import simulate_trace
+from repro.sim.network import UnsupportedTraceError
+from repro.trace.features import extract_features
+from repro.trace.trace import TraceSet
+from repro.util.rng import DEFAULT_SEED
+from repro.workloads.suite import build_trace, corpus_specs
+
+__all__ = ["ToolRun", "StudyRecord", "run_study", "load_or_run_study", "study_cache_path"]
+
+SIM_MODELS = ("packet", "flow", "packet-flow")
+
+
+@dataclass
+class ToolRun:
+    """One tool's outcome on one trace."""
+
+    completed: bool
+    total_time: float = 0.0
+    comm_time: float = 0.0
+    walltime: float = 0.0
+    events: int = 0
+    error: str = ""
+
+
+@dataclass
+class StudyRecord:
+    """All measurements for one corpus trace."""
+
+    name: str
+    app: str
+    suite: str
+    machine: str
+    nranks: int
+    spec_index: int
+    measured_total: float
+    measured_comm: float
+    comm_fraction: float
+    mfact: ToolRun = field(default_factory=lambda: ToolRun(False))
+    mfact_class: str = ""
+    mfact_cs: bool = False
+    sims: Dict[str, ToolRun] = field(default_factory=dict)
+    features: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+
+    def diff_total(self, model: str = "packet-flow") -> Optional[float]:
+        """DIFFtotal against one simulation model (None if it failed)."""
+        sim = self.sims.get(model)
+        if sim is None or not sim.completed or not self.mfact.completed:
+            return None
+        return diff_total(sim.total_time, self.mfact.total_time)
+
+    def requires_simulation(self, threshold: float = DIFF_THRESHOLD) -> Optional[bool]:
+        """The Section VI ground-truth label."""
+        diff = self.diff_total()
+        return None if diff is None else diff > threshold
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StudyRecord":
+        data = dict(data)
+        data["mfact"] = ToolRun(**data["mfact"])
+        data["sims"] = {k: ToolRun(**v) for k, v in data["sims"].items()}
+        return cls(**data)
+
+
+def measure_trace(trace: TraceSet, spec_index: int = -1, suite: str = "") -> StudyRecord:
+    """Run all four tools and feature extraction on one stamped trace."""
+    machine = get_machine(trace.machine)
+    record = StudyRecord(
+        name=trace.name,
+        app=trace.app,
+        suite=suite or trace.metadata.get("suite", ""),
+        machine=trace.machine,
+        nranks=trace.nranks,
+        spec_index=spec_index,
+        measured_total=trace.measured_total_time(),
+        measured_comm=trace.measured_comm_time(),
+        comm_fraction=trace.comm_fraction(),
+        features=extract_features(trace),
+    )
+    report = model_trace(trace, machine)
+    record.mfact = ToolRun(
+        completed=True,
+        total_time=report.baseline_total_time,
+        comm_time=report.baseline_comm_time,
+        walltime=report.walltime,
+        events=trace.op_count(),
+    )
+    record.mfact_class = report.classification.value
+    record.mfact_cs = bool(report.communication_sensitive)
+    for model in SIM_MODELS:
+        try:
+            result = simulate_trace(trace, machine, model)
+            record.sims[model] = ToolRun(
+                completed=True,
+                total_time=result.total_time,
+                comm_time=result.comm_time,
+                walltime=result.walltime,
+                events=result.events,
+            )
+        except UnsupportedTraceError as exc:
+            record.sims[model] = ToolRun(completed=False, error=str(exc))
+    return record
+
+
+def run_study(
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[int, StudyRecord], None]] = None,
+) -> List[StudyRecord]:
+    """Build the corpus and measure every trace with all four tools."""
+    specs = corpus_specs(seed)
+    if limit is not None:
+        specs = specs[:limit]
+    records: List[StudyRecord] = []
+    for spec in specs:
+        trace = build_trace(spec)
+        record = measure_trace(trace, spec_index=spec.index, suite=spec.suite)
+        records.append(record)
+        if progress:
+            progress(spec.index, record)
+    return records
+
+
+def study_cache_path(seed: int = DEFAULT_SEED, root: Optional[Path] = None) -> Path:
+    """Location of the JSON study cache for ``seed``."""
+    root = Path(root) if root is not None else Path(".cache")
+    return root / f"study_seed{seed}.json"
+
+
+def load_or_run_study(
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+    cache_root: Optional[Path] = None,
+    verbose: bool = False,
+) -> List[StudyRecord]:
+    """Load cached study records, or run the study and cache it.
+
+    The cache is keyed by seed; a ``limit`` smaller than the cached
+    record count slices the cached list (the corpus order is
+    deterministic).
+    """
+    path = study_cache_path(seed, cache_root)
+    if path.exists():
+        data = json.loads(path.read_text())
+        records = [StudyRecord.from_json(r) for r in data["records"]]
+        if limit is None or limit <= len(records):
+            return records if limit is None else records[:limit]
+    t0 = time.time()
+
+    def progress(index, record):
+        if verbose:
+            diff = record.diff_total()
+            diff_text = f"{100 * diff:6.2f}%" if diff is not None else "   n/a"
+            print(
+                f"[{time.time() - t0:7.1f}s] {index + 1:3d} {record.name:34s} "
+                f"DIFF={diff_text} class={record.mfact_class}",
+                flush=True,
+            )
+
+    records = run_study(seed, limit=limit, progress=progress)
+    if limit is None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"seed": seed, "records": [r.to_json() for r in records]}))
+    return records

@@ -1,0 +1,147 @@
+"""Programmatic ablation sweeps for the design choices DESIGN.md calls out.
+
+Each function returns plain data (lists of dict rows) so the benchmark
+modules, the CLI and notebooks can share one implementation:
+
+* :func:`sweep_chunk_size` — packet-flow coarse-packet size vs cost and
+  predicted time (SST's 1-8 KiB guidance);
+* :func:`sweep_ripple` — flow-model ripple updates on/off;
+* :func:`sweep_stepwise_cap` — stepwise variable cap vs cross-validated
+  misclassification;
+* :func:`sweep_diff_threshold` — the 2% DIFFtotal label threshold vs
+  positive share and model success;
+* :func:`sweep_vectorization` — MFACT multi-config replay vs one replay
+  per configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.enhanced_mfact import CANDIDATE_NAMES, design_matrix
+from repro.core.pipeline import StudyRecord
+from repro.machines.config import MachineConfig
+from repro.mfact.hockney import ConfigGrid
+from repro.mfact.logical_clock import LogicalClockReplay
+from repro.sim.mpi_replay import SimReplay
+from repro.stats.mccv import monte_carlo_cv
+from repro.trace.trace import TraceSet
+from repro.util.units import KIB
+
+__all__ = [
+    "sweep_chunk_size",
+    "sweep_ripple",
+    "sweep_stepwise_cap",
+    "sweep_diff_threshold",
+    "sweep_vectorization",
+]
+
+
+def sweep_chunk_size(
+    trace: TraceSet,
+    machine: MachineConfig,
+    sizes: Sequence[int] = (1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB),
+) -> List[Dict[str, float]]:
+    """Packet-flow chunk-size sweep: cost vs accuracy."""
+    rows = []
+    for chunk in sizes:
+        replay = SimReplay(trace, machine, "packet-flow", chunk_size=int(chunk))
+        result = replay.run()
+        rows.append(
+            {
+                "chunk_bytes": float(chunk),
+                "predicted_total": result.total_time,
+                "walltime": result.walltime,
+                "packets": float(replay.model.packets_sent),
+                "events": float(result.events),
+            }
+        )
+    return rows
+
+
+def sweep_ripple(trace: TraceSet, machine: MachineConfig) -> List[Dict[str, float]]:
+    """Flow model with full ripple updates vs frozen admission rates."""
+    rows = []
+    for ripple in (True, False):
+        replay = SimReplay(trace, machine, "flow", ripple=ripple)
+        result = replay.run()
+        rows.append(
+            {
+                "ripple": float(ripple),
+                "predicted_total": result.total_time,
+                "walltime": result.walltime,
+                "ripple_updates": float(replay.model.ripple_updates),
+            }
+        )
+    return rows
+
+
+def sweep_stepwise_cap(
+    records: Sequence[StudyRecord],
+    caps: Sequence[int] = (1, 2, 3, 5, 8),
+    runs: int = 25,
+    seed: int = 11,
+) -> List[Dict[str, float]]:
+    """Stepwise variable-cap sweep: cap vs trimmed misclassification."""
+    X = design_matrix(records)
+    y = np.array([int(r.requires_simulation()) for r in records])
+    rows = []
+    for cap in caps:
+        cv = monte_carlo_cv(X, y, CANDIDATE_NAMES, runs=runs, max_vars=int(cap), seed=seed)
+        rows.append(
+            {
+                "max_vars": float(cap),
+                "trimmed_mr": cv.trimmed_mr,
+                "trimmed_fn": cv.trimmed_fn,
+                "trimmed_fp": cv.trimmed_fp,
+            }
+        )
+    return rows
+
+
+def sweep_diff_threshold(
+    records: Sequence[StudyRecord],
+    thresholds: Sequence[float] = (0.01, 0.02, 0.05, 0.10),
+    runs: int = 25,
+    seed: int = 5,
+) -> List[Dict[str, float]]:
+    """Label-threshold sweep: positive share and model success per cut."""
+    X = design_matrix(records)
+    diffs = np.array([r.diff_total() for r in records], dtype=float)
+    rows = []
+    for threshold in thresholds:
+        y = (diffs > threshold).astype(int)
+        row = {"threshold": float(threshold), "positive_share": float(y.mean())}
+        if 0 < y.sum() < y.size:
+            cv = monte_carlo_cv(X, y, CANDIDATE_NAMES, runs=runs, seed=seed)
+            row["success_rate"] = cv.success_rate
+        else:
+            row["success_rate"] = float("nan")
+        rows.append(row)
+    return rows
+
+
+def sweep_vectorization(
+    trace: TraceSet, machine: MachineConfig, grid: Optional[ConfigGrid] = None
+) -> Dict[str, float]:
+    """MFACT's one-replay-many-configs design vs per-config replays."""
+    grid = grid if grid is not None else ConfigGrid.sweep(machine)
+    t0 = time.perf_counter()
+    vector = LogicalClockReplay(trace, machine, grid).run().total_time
+    t_vector = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar = []
+    for i in range(len(grid)):
+        single = ConfigGrid([grid.latency[i]], [grid.bandwidth[i]], [grid.compute_scale[i]])
+        scalar.append(LogicalClockReplay(trace, machine, single).run().total_time[0])
+    t_scalar = time.perf_counter() - t0
+    return {
+        "configs": float(len(grid)),
+        "vectorized_walltime": t_vector,
+        "per_config_walltime": t_scalar,
+        "speedup": t_scalar / max(t_vector, 1e-9),
+        "max_prediction_gap": float(np.max(np.abs(vector - np.array(scalar)))),
+    }

@@ -1,0 +1,38 @@
+"""Shared access to the cached study results."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.pipeline import StudyRecord, load_or_run_study
+from repro.util.rng import DEFAULT_SEED
+
+__all__ = ["study_records", "NPB_NAMES", "DOE_NAMES"]
+
+#: Display order of the NAS benchmarks (Figure 3).
+NPB_NAMES = ("BT", "CG", "DT", "EP", "FT", "IS", "LU", "MG", "SP")
+
+#: Display order of the DOE applications (Figure 4).
+DOE_NAMES = (
+    "BigFFT",
+    "CR",
+    "AMG",
+    "MiniFE",
+    "MultiGrid",
+    "FillBoundary",
+    "LULESH",
+    "CNS",
+    "CMC",
+    "Nekbone",
+)
+
+
+def study_records(
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+    cache_root: Optional[Path] = None,
+    verbose: bool = False,
+) -> List[StudyRecord]:
+    """Study records (from cache when available)."""
+    return load_or_run_study(seed=seed, limit=limit, cache_root=cache_root, verbose=verbose)

@@ -1,0 +1,78 @@
+"""Figure 1 — simulation time as multiples of MFACT modeling time.
+
+For the execution-time study the paper keeps the 126 traces where all
+four tools succeed and the simulation is not trivially short.  We apply
+the same two filters (four completions; packet-simulation wall time at
+least ``MIN_SIM_WALLTIME``) and report, per simulation model, the share
+of traces whose wall time is <=10x, <=100x, <=1000x and >1000x MFACT's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.pipeline import SIM_MODELS, StudyRecord
+
+__all__ = ["PAPER_BUCKETS", "MIN_SIM_WALLTIME", "compute", "render", "time_study_subset"]
+
+#: Minimum packet-simulation wall time (seconds) for the time study;
+#: plays the role of the paper's "simulated in under 1 s" exclusion.
+MIN_SIM_WALLTIME = 0.05
+
+#: Paper's Figure 1 readings: % of traces within each multiple bucket.
+PAPER_BUCKETS = {
+    "packet": {"<=10x": 21, "<=100x": 52, "<=1000x": 90, ">1000x": 10},
+    "flow": {"<=10x": 33, "<=100x": 83, "<=1000x": 98, ">1000x": 2},
+    "packet-flow": {"<=10x": 28, "<=100x": 79, "<=1000x": 94, ">1000x": 6},
+}
+
+_BUCKET_EDGES = ((10.0, "<=10x"), (100.0, "<=100x"), (1000.0, "<=1000x"))
+
+
+def time_study_subset(records: Sequence[StudyRecord]) -> List[StudyRecord]:
+    """Traces where all four tools completed and simulation is non-trivial."""
+    subset = []
+    for record in records:
+        if not record.mfact.completed:
+            continue
+        if not all(record.sims.get(m) and record.sims[m].completed for m in SIM_MODELS):
+            continue
+        if record.sims["packet"].walltime < MIN_SIM_WALLTIME:
+            continue
+        subset.append(record)
+    return subset
+
+
+def compute(records: Sequence[StudyRecord]) -> Dict[str, Dict[str, float]]:
+    """Cumulative bucket percentages per simulation model."""
+    subset = time_study_subset(records)
+    if not subset:
+        raise ValueError("time study subset is empty")
+    out: Dict[str, Dict[str, float]] = {"n_traces": {"count": len(subset)}}
+    for model in SIM_MODELS:
+        ratios = [r.sims[model].walltime / max(r.mfact.walltime, 1e-9) for r in subset]
+        buckets = {}
+        for edge, label in _BUCKET_EDGES:
+            buckets[label] = 100.0 * sum(1 for x in ratios if x <= edge) / len(ratios)
+        buckets[">1000x"] = 100.0 - buckets["<=1000x"]
+        out[model] = buckets
+    return out
+
+
+def render(result: Dict[str, Dict[str, float]]) -> str:
+    lines = [
+        f"Figure 1: simulation time as multiples of MFACT time "
+        f"({int(result['n_traces']['count'])} traces; paper used 126)"
+    ]
+    lines.append(f"{'model':>12s} {'<=10x':>14s} {'<=100x':>14s} {'<=1000x':>14s} {'>1000x':>14s}")
+    for model in SIM_MODELS:
+        ours = result[model]
+        paper = PAPER_BUCKETS[model]
+        lines.append(
+            f"{model:>12s} "
+            + " ".join(
+                f"{ours[b]:5.1f}% ({paper[b]:3d}%)"
+                for b in ("<=10x", "<=100x", "<=1000x", ">1000x")
+            )
+        )
+    return "\n".join(lines)

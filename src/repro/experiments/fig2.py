@@ -1,0 +1,97 @@
+"""Figure 2 — accuracy CDFs: simulation vs. MFACT.
+
+Cumulative distributions of the relative difference between each
+SST/Macro model and MFACT, for (a) estimated communication time and
+(b) estimated total time, over every trace the model completed.
+
+Key paper readings: the packet-flow model's total time is within 5% of
+MFACT for 85% of cases and within 10% for 94%; 63% of cases are within
+2%; ~90% of communication-time estimates fall within 40%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import SIM_MODELS, StudyRecord
+from repro.util.stats import ecdf, fraction_within
+
+__all__ = ["PAPER_TOTAL_READINGS", "compute", "render", "relative_differences"]
+
+#: Paper CDF readings for estimated total time (fraction of traces).
+PAPER_TOTAL_READINGS = {
+    "packet-flow": {0.02: 0.63, 0.05: 0.85, 0.10: 0.94},
+    "packet": {0.10: 0.96},
+    "flow": {0.10: 0.98},
+}
+
+
+def relative_differences(
+    records: Sequence[StudyRecord], model: str, quantity: str
+) -> np.ndarray:
+    """|sim/mfact - 1| for one model over its completed traces.
+
+    ``quantity`` is ``"total"`` or ``"comm"``.
+    """
+    if quantity not in ("total", "comm"):
+        raise ValueError(f"quantity must be 'total' or 'comm', got {quantity!r}")
+    values = []
+    for record in records:
+        sim = record.sims.get(model)
+        if sim is None or not sim.completed or not record.mfact.completed:
+            continue
+        if quantity == "total":
+            ours, base = sim.total_time, record.mfact.total_time
+        else:
+            ours, base = sim.comm_time, record.mfact.comm_time
+        if base > 0:
+            values.append(abs(ours / base - 1.0))
+    return np.asarray(values)
+
+
+def compute(records: Sequence[StudyRecord]) -> Dict[str, Dict]:
+    """CDF readings per model for communication and total time."""
+    out: Dict[str, Dict] = {}
+    for model in SIM_MODELS:
+        total = relative_differences(records, model, "total")
+        comm = relative_differences(records, model, "comm")
+        out[model] = {
+            "completed": int(total.size),
+            "total_within": {
+                t: fraction_within(total, t) for t in (0.02, 0.05, 0.10, 0.20)
+            },
+            "comm_within": {t: fraction_within(comm, t) for t in (0.10, 0.20, 0.40)},
+            "total_diffs": total.tolist(),
+        }
+    return out
+
+
+def render(result: Dict[str, Dict]) -> str:
+    lines = ["Figure 2: difference vs MFACT (CDF readings; paper values in parentheses)"]
+    lines.append("(b) estimated TOTAL time, fraction of traces within x:")
+    lines.append(f"{'model':>12s} {'n':>4s} {'<=2%':>13s} {'<=5%':>13s} {'<=10%':>13s} {'<=20%':>8s}")
+    for model in SIM_MODELS:
+        row = result[model]
+        paper = PAPER_TOTAL_READINGS.get(model, {})
+
+        def cell(t):
+            ours = row["total_within"][t]
+            ref = paper.get(t)
+            return f"{100 * ours:5.1f}%" + (f" ({100 * ref:3.0f}%)" if ref else "       ")
+
+        lines.append(
+            f"{model:>12s} {row['completed']:4d} {cell(0.02):>13s} {cell(0.05):>13s} "
+            f"{cell(0.10):>13s} {100 * row['total_within'][0.20]:7.1f}%"
+        )
+    lines.append("(a) estimated COMMUNICATION time, fraction within x:")
+    lines.append(f"{'model':>12s} {'<=10%':>8s} {'<=20%':>8s} {'<=40%':>14s}")
+    for model in SIM_MODELS:
+        row = result[model]
+        lines.append(
+            f"{model:>12s} {100 * row['comm_within'][0.10]:7.1f}% "
+            f"{100 * row['comm_within'][0.20]:7.1f}% "
+            f"{100 * row['comm_within'][0.40]:7.1f}% (paper ~90% for pkt-flow)"
+        )
+    return "\n".join(lines)

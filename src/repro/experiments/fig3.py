@@ -1,0 +1,95 @@
+"""Figure 3 — measured, modeling and simulation results for NAS benchmarks.
+
+Three panels per the paper:
+
+(a) maximum difference in estimated communication time between the
+    SST/Macro models and MFACT, per benchmark;
+(b) maximum difference in estimated total time, per benchmark;
+(c) estimated total time normalized to the measured application time
+    (SST averaged ~10.9% below measured, MFACT ~14.8% below, driven by
+    IS and DT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import StudyRecord
+from repro.experiments.corpus import NPB_NAMES
+
+__all__ = ["PAPER_AVG_BELOW", "compute", "render", "per_app_panels"]
+
+#: Paper Fig. 3(c): average fraction below measured time.
+PAPER_AVG_BELOW = {"sst": 0.1086, "mfact": 0.1483}
+
+
+def per_app_panels(
+    records: Sequence[StudyRecord], app_names: Sequence[str], model: str = "packet-flow"
+) -> Dict[str, Dict[str, float]]:
+    """The three panels for one benchmark family."""
+    out: Dict[str, Dict[str, float]] = {}
+    for app in app_names:
+        rows = [r for r in records if r.app == app]
+        if not rows:
+            continue
+        comm_diffs, total_diffs, sst_norm, mfact_norm = [], [], [], []
+        for r in rows:
+            sim = r.sims.get(model)
+            if sim is None or not sim.completed:
+                continue
+            if r.mfact.comm_time > 0:
+                comm_diffs.append(abs(sim.comm_time / r.mfact.comm_time - 1.0))
+            total_diffs.append(abs(sim.total_time / r.mfact.total_time - 1.0))
+            sst_norm.append(sim.total_time / r.measured_total)
+            mfact_norm.append(r.mfact.total_time / r.measured_total)
+        if not total_diffs:
+            continue
+        out[app] = {
+            "max_comm_diff": float(max(comm_diffs)) if comm_diffs else float("nan"),
+            "max_total_diff": float(max(total_diffs)),
+            "sst_normalized": float(np.mean(sst_norm)),
+            "mfact_normalized": float(np.mean(mfact_norm)),
+            "n": len(total_diffs),
+        }
+    return out
+
+
+def compute(records: Sequence[StudyRecord]) -> Dict[str, Dict[str, float]]:
+    """Panels for the NAS benchmarks plus family-wide averages."""
+    npb_records = [r for r in records if r.suite == "NPB"]
+    panels = per_app_panels(npb_records, NPB_NAMES)
+    if panels:
+        panels["_average"] = {
+            "sst_below": 1.0 - float(np.mean([p["sst_normalized"] for p in panels.values()])),
+            "mfact_below": 1.0
+            - float(np.mean([p["mfact_normalized"] for p in panels.values()])),
+        }
+    return panels
+
+
+def render(result: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 3: NAS benchmarks (packet-flow vs MFACT vs measured)"]
+    lines.append(
+        f"{'app':>6s} {'n':>3s} {'max comm diff':>14s} {'max total diff':>15s} "
+        f"{'SST/meas':>9s} {'MFACT/meas':>11s}"
+    )
+    for app in NPB_NAMES:
+        panel = result.get(app)
+        if panel is None:
+            continue
+        lines.append(
+            f"{app:>6s} {panel['n']:3d} {100 * panel['max_comm_diff']:13.1f}% "
+            f"{100 * panel['max_total_diff']:14.1f}% {panel['sst_normalized']:9.3f} "
+            f"{panel['mfact_normalized']:11.3f}"
+        )
+    avg = result.get("_average")
+    if avg:
+        lines.append(
+            f"average below measured: SST {100 * avg['sst_below']:.1f}% "
+            f"(paper {100 * PAPER_AVG_BELOW['sst']:.1f}%), "
+            f"MFACT {100 * avg['mfact_below']:.1f}% "
+            f"(paper {100 * PAPER_AVG_BELOW['mfact']:.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,322 @@
+"""EXPERIMENTS.md generator.
+
+Renders every reproduced table and figure, with the paper's published
+values alongside ours, into a single markdown report.  The experiments
+CLI exposes this as ``repro-experiments report`` via
+:func:`write_experiments_md`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import SIM_MODELS, StudyRecord
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    section5b,
+    section6,
+    table1,
+    table4,
+)
+from repro.experiments.corpus import DOE_NAMES, NPB_NAMES
+
+__all__ = ["generate_markdown", "write_experiments_md"]
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def _table1_section(records) -> List[str]:
+    result = table1.compute(records)
+    lines = [
+        "## Table I — characteristics of the traces",
+        "",
+        "Rank distribution is exact by construction; the communication-",
+        "intensity distribution is a calibration target (each generated",
+        "trace aims at its bin's center).",
+        "",
+        "| Ranks | ours | paper |  | Comm. time (%) | ours | paper |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    rank_rows = list(table1.PAPER_RANKS.items())
+    comm_rows = list(table1.PAPER_COMM.items())
+    for (rlabel, rpaper), (clabel, cpaper) in zip(rank_rows, comm_rows):
+        lines.append(
+            f"| {rlabel} | {result['ranks'][rlabel]} | {rpaper} |  "
+            f"| {clabel} | {result['comm_time_pct'][clabel]} | {cpaper} |"
+        )
+    lines.append(f"| **Total** | **{result['total']['traces']}** | **235** |  | | | |")
+    lines.append("")
+    return lines
+
+
+def _fig1_section(records) -> List[str]:
+    result = fig1.compute(records)
+    n = int(result["n_traces"]["count"])
+    lines = [
+        "## Figure 1 — simulation time as multiples of MFACT's time",
+        "",
+        f"Execution-time study subset: {n} traces (paper: 126; all four",
+        "tools complete and the simulation is not trivially short).",
+        "",
+        "| model | ≤10× | ≤100× | ≤1000× | >1000× |",
+        "|---|---|---|---|---|",
+    ]
+    for model in SIM_MODELS:
+        ours = result[model]
+        paper = fig1.PAPER_BUCKETS[model]
+        lines.append(
+            f"| {model} | "
+            + " | ".join(
+                f"{ours[b]:.0f}% ({paper[b]}%)"
+                for b in ("<=10x", "<=100x", "<=1000x", ">1000x")
+            )
+            + " |"
+        )
+    lines += ["", "Paper values in parentheses.", ""]
+    return lines
+
+
+def _section5b_section(records) -> List[str]:
+    result = section5b.compute(records)
+    lines = [
+        "## Section V-B — tool execution-time ranking",
+        "",
+        "| place | mfact | packet | flow | packet-flow |",
+        "|---|---|---|---|---|",
+    ]
+    for place in ("first", "second", "third", "fourth"):
+        row = result[place]
+        lines.append(
+            f"| {place} | {row['mfact']:.0f}% | {row['packet']:.0f}% "
+            f"| {row['flow']:.0f}% | {row['packet-flow']:.0f}% |"
+        )
+    lines += [
+        "",
+        "Paper: modeling first in all cases; flow/packet-flow split second",
+        "41/59; packet slowest for 89% of cases.",
+        "",
+    ]
+    return lines
+
+
+def _fig2_section(records) -> List[str]:
+    result = fig2.compute(records)
+    lines = [
+        "## Figure 2 — accuracy CDFs vs MFACT",
+        "",
+        "| model | completed | total ≤2% | total ≤5% | total ≤10% | comm ≤40% |",
+        "|---|---|---|---|---|---|",
+    ]
+    for model in SIM_MODELS:
+        row = result[model]
+        paper = fig2.PAPER_TOTAL_READINGS.get(model, {})
+
+        def cell(t):
+            ref = paper.get(t)
+            return _pct(row["total_within"][t]) + (f" ({_pct(ref)})" if ref else "")
+
+        lines.append(
+            f"| {model} | {row['completed']} | {cell(0.02)} | {cell(0.05)} | "
+            f"{cell(0.10)} | {_pct(row['comm_within'][0.40])} |"
+        )
+    lines += [
+        "",
+        "Completion counts mirror the engine limitations: packet 216,",
+        "flow 162, packet-flow 235 (Section V-A).",
+        "",
+    ]
+    return lines
+
+
+def _per_app_section(title, names, result, paper_avg) -> List[str]:
+    lines = [
+        title,
+        "",
+        "| app | n | max comm diff | max total diff | SST/measured | MFACT/measured |",
+        "|---|---|---|---|---|---|",
+    ]
+    for app in names:
+        panel = result.get(app)
+        if panel is None:
+            continue
+        lines.append(
+            f"| {app} | {panel['n']} | {_pct(panel['max_comm_diff'])} | "
+            f"{_pct(panel['max_total_diff'])} | {panel['sst_normalized']:.3f} | "
+            f"{panel['mfact_normalized']:.3f} |"
+        )
+    avg = result.get("_average")
+    if avg:
+        lines += [
+            "",
+            f"Average below measured: SST {_pct(avg['sst_below'])} "
+            f"(paper {_pct(paper_avg['sst'])}), MFACT {_pct(avg['mfact_below'])} "
+            f"(paper {_pct(paper_avg['mfact'])}).",
+        ]
+    lines.append("")
+    return lines
+
+
+def _fig5_section(records) -> List[str]:
+    result = fig5.compute(records)
+    lines = [
+        "## Figure 5 — |DIFFtotal| by MFACT application group",
+        "",
+        "| group | n (paper) | ≤1% | ≤2% | ≤10% | max |",
+        "|---|---|---|---|---|---|",
+    ]
+    for group in ("computation-bound", "load-imbalance-bound", "communication-sensitive"):
+        row = result[group]
+        paper_n = fig5.PAPER_GROUP_SIZES[group]
+        lines.append(
+            f"| {group} | {row['n']} ({paper_n}) | {_pct(row['within_1pct'])} | "
+            f"{_pct(row['within_2pct'])} | {_pct(row['within_10pct'])} | "
+            f"{_pct(row['max'])} |"
+        )
+    lines += [
+        "",
+        "Paper landmarks: computation-bound almost all ≤2%; load-imbalanced",
+        "79% ≤1%; communication-sensitive max 26.97% with >90% ≤10%.",
+        "",
+    ]
+    return lines
+
+
+def _table4_section(records, runs, seed) -> List[str]:
+    result = table4.compute(records, runs=runs, seed=seed)
+    lines = [
+        "## Table IV — stepwise-selected variables (100 MCCV partitions)",
+        "",
+        "| rank | ours | % sel | coef sign | paper | % sel | sign |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for i, row in enumerate(result["top"], start=1):
+        paper = table4.PAPER_TOP[i - 1] if i <= len(table4.PAPER_TOP) else ("—", "—", "—")
+        sign = "-" if row["coefficient"] < 0 else "+"
+        lines.append(
+            f"| {i} | {row['name']} | {row['selected_pct']:.0f}% | {sign} "
+            f"| {paper[0]} | {paper[1]}% | {paper[2]} |"
+        )
+    lines += [
+        "",
+        f"Trimmed rates: MR {_pct(result['trimmed_mr'])} (paper 6.8%), "
+        f"FN {_pct(result['trimmed_fn'])} (6.2%), FP {_pct(result['trimmed_fp'])} (6.7%).",
+        "",
+    ]
+    return lines
+
+
+def _section6_section(records, runs, seed) -> List[str]:
+    result = section6.compute(records, runs=runs, seed=seed)
+    lines = [
+        "## Section VI — predicting the need for simulation",
+        "",
+        "| quantity | ours | paper |",
+        "|---|---|---|",
+        f"| cases with DIFFtotal < 2% | {_pct(result['within_2pct'])} | 63% |",
+        f"| cases with DIFFtotal < 5% | {_pct(result['within_5pct'])} | 85% |",
+        f"| naive heuristic success | {_pct(result['naive_success'])} | 73.4% |",
+        f"| enhanced MFACT success | {_pct(result['enhanced_success'])} | 93.2% |",
+        f"| enhanced FN rate | {_pct(result['enhanced_fn'])} | 6.2% |",
+        f"| enhanced FP rate | {_pct(result['enhanced_fp'])} | 6.7% |",
+        "",
+        f"Final model variables: {result['selected']}.",
+        "",
+    ]
+    return lines
+
+
+def generate_markdown(
+    records: Sequence[StudyRecord],
+    table2_result: Optional[dict] = None,
+    runs: int = 100,
+    seed: int = 0,
+) -> str:
+    """Render the full paper-vs-ours report as markdown."""
+    lines = [
+        "# EXPERIMENTS — paper vs. reproduction",
+        "",
+        "Every table and figure of the evaluation, regenerated from the",
+        "synthetic 235-trace corpus (see DESIGN.md for substitutions).",
+        "Absolute numbers differ by construction — the corpus and the",
+        "hardware are synthetic — the reproduction targets are the",
+        "*shapes*: orderings, crossovers and rough factors.",
+        "",
+        "Known deviations of the synthetic corpus:",
+        "",
+        "* Our generators place bandwidth-type messages in mid-intensity",
+        "  traces, so MFACT's conservative cs rule (total time +5% at",
+        "  bandwidth/8) fires more often than in the paper's trace set —",
+        "  the communication-sensitive group is larger and the",
+        "  computation-bound group smaller than 102/70.",
+        "* Tool wall times are measured on this host (single-core Python)",
+        "  rather than a 64-core Opteron running C++ simulators; only the",
+        "  ratios between tools are meaningful.",
+        "* The communication-intensity histogram bulges in the 40-60%",
+        "  bin: the ground-truth synthesizer adds contention and MPI",
+        "  overheads on top of each generator's calibration target, which",
+        "  pushes communication-heavy traces one bin up.",
+        "",
+    ]
+    lines += _table1_section(records)
+    if table2_result:
+        lines += [
+            "## Table II — tool execution time (seconds)",
+            "",
+            "| run | packet | flow | packet-flow | MFACT |",
+            "|---|---|---|---|---|",
+        ]
+        from repro.experiments.table2 import PAPER_TIMES
+
+        for label, row in table2_result.items():
+            paper = PAPER_TIMES[label]
+            lines.append(
+                f"| {label} | {row['packet']:.2f} ({paper['packet']:.0f}) | "
+                f"{row['flow']:.2f} ({paper['flow']:.0f}) | "
+                f"{row['packet-flow']:.2f} ({paper['packet-flow']:.0f}) | "
+                f"{row['mfact']:.2f} ({paper['mfact']:.2f}) |"
+            )
+        lines += ["", "Paper seconds (64-core Opteron host) in parentheses; ours run", "on the reproduction host — only ratios are comparable.", ""]
+    lines += _fig1_section(records)
+    lines += _section5b_section(records)
+    lines += _fig2_section(records)
+    lines += _per_app_section(
+        "## Figure 3 — NAS benchmarks", NPB_NAMES,
+        fig3.compute(records), fig3.PAPER_AVG_BELOW,
+    )
+    lines += _per_app_section(
+        "## Figure 4 — DOE applications", DOE_NAMES,
+        fig4.compute(records), fig4.PAPER_AVG_BELOW,
+    )
+    lines += _fig5_section(records)
+    lines += [
+        "## Table III — candidate features",
+        "",
+        "All 35 candidate variables are extracted for every trace",
+        "(34 numeric features plus the MFACT ``CL`` classification); see",
+        "`repro.trace.features` and the Table III benchmark for the",
+        "corpus-wide summary statistics.",
+        "",
+    ]
+    lines += _table4_section(records, runs, seed)
+    lines += _section6_section(records, runs, seed)
+    return "\n".join(lines)
+
+
+def write_experiments_md(
+    records: Sequence[StudyRecord],
+    path: Path = Path("EXPERIMENTS.md"),
+    table2_result: Optional[dict] = None,
+    runs: int = 100,
+    seed: int = 0,
+) -> Path:
+    """Generate and write EXPERIMENTS.md; returns the path."""
+    path = Path(path)
+    path.write_text(generate_markdown(records, table2_result, runs=runs, seed=seed))
+    return path

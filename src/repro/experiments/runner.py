@@ -1,0 +1,104 @@
+"""Experiment CLI.
+
+Run ``repro-experiments all`` (or ``python -m repro.experiments.runner``)
+to regenerate every table and figure of the paper.  Individual targets:
+``table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 section6``.
+
+The first run builds the 235-trace corpus and simulates it with all
+four tools (several minutes); results are cached under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    section5b,
+    section6,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.corpus import study_records
+from repro.util.rng import DEFAULT_SEED
+
+__all__ = ["main", "run_experiment", "EXPERIMENTS"]
+
+#: Experiments driven by study records: name -> (compute, render).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1.compute, table1.render),
+    "fig1": (fig1.compute, fig1.render),
+    "fig2": (fig2.compute, fig2.render),
+    "fig3": (fig3.compute, fig3.render),
+    "fig4": (fig4.compute, fig4.render),
+    "fig5": (fig5.compute, fig5.render),
+    "section5b": (section5b.compute, section5b.render),
+    "table3": (table3.compute, table3.render),
+    "table4": (table4.compute, table4.render),
+    "section6": (section6.compute, section6.render),
+}
+
+
+def run_experiment(name: str, records) -> str:
+    """Compute and render one record-driven experiment."""
+    compute, render = EXPERIMENTS[name]
+    return render(compute(records))
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["all"],
+        help="experiments to run (default: all). 'table2' times the tools live.",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--limit", type=int, default=None, help="only first N corpus traces")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    targets = args.targets
+    if targets == ["all"] or "all" in targets:
+        targets = list(EXPERIMENTS) + ["table2"]
+    special = {"table2", "report", "audit"}
+    needs_records = [t for t in targets if t in EXPERIMENTS or t in ("report", "audit")]
+    unknown = [t for t in targets if t not in EXPERIMENTS and t not in special]
+    if unknown:
+        parser.error(
+            f"unknown targets: {unknown}; known: {sorted(EXPERIMENTS) + sorted(special)}"
+        )
+    records = None
+    if needs_records:
+        records = study_records(seed=args.seed, limit=args.limit, verbose=not args.quiet)
+    table2_result = None
+    for target in targets:
+        print()
+        if target == "table2":
+            from repro.experiments import table2
+
+            table2_result = table2.compute()
+            print(table2.render(table2_result))
+        elif target == "report":
+            from repro.experiments.report import write_experiments_md
+
+            path = write_experiments_md(records, table2_result=table2_result)
+            print(f"wrote {path}")
+        elif target == "audit":
+            from repro.workloads.audit import audit_corpus
+
+            for finding in audit_corpus(records):
+                print(finding)
+        else:
+            print(run_experiment(target, records))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

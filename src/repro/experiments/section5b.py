@@ -1,0 +1,64 @@
+"""Section V-B — tool ranking statistics.
+
+The paper ranks the four tools' execution times per application:
+MFACT's modeling ranks first in all cases; the flow and packet-flow
+models claim second place for roughly 41% and 59% of cases; packet,
+flow and packet-flow rank third for 11%, 48% and 41%; and the packet
+model is the slowest for 89% of cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.pipeline import SIM_MODELS, StudyRecord
+from repro.experiments.fig1 import time_study_subset
+
+__all__ = ["PAPER_RANKS", "compute", "render"]
+
+#: Paper's reported rank shares (percent of cases).
+PAPER_RANKS = {
+    "first": {"mfact": 100},
+    "second": {"flow": 41, "packet-flow": 59},
+    "third": {"packet": 11, "flow": 48, "packet-flow": 41},
+    "fourth": {"packet": 89},
+}
+
+_TOOLS = ("mfact",) + SIM_MODELS
+_PLACES = ("first", "second", "third", "fourth")
+
+
+def compute(records: Sequence[StudyRecord]) -> Dict[str, Dict[str, float]]:
+    """Per-place share of each tool over the time-study subset."""
+    subset = time_study_subset(records)
+    if not subset:
+        raise ValueError("time study subset is empty")
+    counts = {place: {tool: 0 for tool in _TOOLS} for place in _PLACES}
+    for record in subset:
+        times = [("mfact", record.mfact.walltime)] + [
+            (model, record.sims[model].walltime) for model in SIM_MODELS
+        ]
+        times.sort(key=lambda kv: kv[1])
+        for place, (tool, _) in zip(_PLACES, times):
+            counts[place][tool] += 1
+    n = len(subset)
+    out: Dict[str, Dict[str, float]] = {"n_traces": {"count": float(n)}}
+    for place in _PLACES:
+        out[place] = {tool: 100.0 * counts[place][tool] / n for tool in _TOOLS}
+    return out
+
+
+def render(result: Dict[str, Dict[str, float]]) -> str:
+    lines = [
+        f"Section V-B: tool execution-time ranking over "
+        f"{int(result['n_traces']['count'])} traces (paper values in parens)"
+    ]
+    lines.append(f"{'place':>8s} " + " ".join(f"{tool:>18s}" for tool in _TOOLS))
+    for place in _PLACES:
+        cells = []
+        for tool in _TOOLS:
+            ours = result[place][tool]
+            ref = PAPER_RANKS.get(place, {}).get(tool)
+            cells.append(f"{ours:5.1f}%" + (f" ({ref:3d}%)" if ref is not None else "       "))
+        lines.append(f"{place:>8s} " + " ".join(f"{c:>18s}" for c in cells))
+    return "\n".join(lines)

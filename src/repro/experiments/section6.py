@@ -1,0 +1,67 @@
+"""Section VI headline results — predicting the need for simulation.
+
+* fraction of cases with DIFFtotal < 2% (paper: 63%) and < 5% (85%);
+* the naive heuristic (simulate iff MFACT says communication-sensitive)
+  success rate (paper: 73.4%);
+* the enhanced MFACT's cross-validated success rate (paper: 93.2%) with
+  trimmed FN / FP rates (6.2% / 6.7%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.enhanced_mfact import EnhancedMFACT, naive_heuristic_success
+from repro.core.pipeline import StudyRecord
+from repro.util.stats import fraction_within
+
+__all__ = ["PAPER", "compute", "render"]
+
+PAPER = {
+    "within_2pct": 0.63,
+    "within_5pct": 0.85,
+    "naive_success": 0.734,
+    "enhanced_success": 0.932,
+    "fn": 0.062,
+    "fp": 0.067,
+}
+
+
+def compute(records: Sequence[StudyRecord], runs: int = 100, seed: int = 0) -> Dict[str, float]:
+    diffs = [r.diff_total() for r in records if r.diff_total() is not None]
+    naive_rate, naive_counts = naive_heuristic_success(records)
+    enhanced = EnhancedMFACT.train(records, runs=runs, seed=seed)
+    return {
+        "n": len(diffs),
+        "within_2pct": fraction_within(diffs, 0.02),
+        "within_5pct": fraction_within(diffs, 0.05),
+        "naive_success": naive_rate,
+        "enhanced_success": enhanced.success_rate,
+        "enhanced_fn": enhanced.cv.trimmed_fn,
+        "enhanced_fp": enhanced.cv.trimmed_fp,
+        "selected": ", ".join(enhanced.selected),
+    }
+
+
+def render(result: Dict[str, float]) -> str:
+    lines = ["Section VI: predicting the need for simulation (ours vs paper)"]
+    lines.append(
+        f"DIFFtotal < 2%: {100 * result['within_2pct']:.1f}% of cases "
+        f"(paper {100 * PAPER['within_2pct']:.0f}%)"
+    )
+    lines.append(
+        f"DIFFtotal < 5%: {100 * result['within_5pct']:.1f}% of cases "
+        f"(paper {100 * PAPER['within_5pct']:.0f}%)"
+    )
+    lines.append(
+        f"naive heuristic success: {100 * result['naive_success']:.1f}% "
+        f"(paper {100 * PAPER['naive_success']:.1f}%)"
+    )
+    lines.append(
+        f"enhanced MFACT success:  {100 * result['enhanced_success']:.1f}% "
+        f"(paper {100 * PAPER['enhanced_success']:.1f}%), "
+        f"FN {100 * result['enhanced_fn']:.1f}% ({100 * PAPER['fn']:.1f}%), "
+        f"FP {100 * result['enhanced_fp']:.1f}% ({100 * PAPER['fp']:.1f}%)"
+    )
+    lines.append(f"final model variables: {result['selected']}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Table I — characteristics of the traces.
+
+Regenerates both panels from the study records: the rank-count
+histogram (Table Ia, exact by construction) and the communication-
+intensity histogram (Table Ib, which our calibration targets
+approximately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.pipeline import StudyRecord
+from repro.trace.stats import COMM_BINS, RANK_BINS
+
+__all__ = ["PAPER_RANKS", "PAPER_COMM", "compute", "render"]
+
+PAPER_RANKS: Dict[str, int] = {
+    "64": 72,
+    "65-128": 18,
+    "129-256": 80,
+    "257-512": 12,
+    "513-1024": 37,
+    "1025-1728": 16,
+}
+
+PAPER_COMM: Dict[str, int] = {
+    "<=5": 26,
+    "5-10": 30,
+    "10-20": 55,
+    "20-40": 54,
+    "40-60": 30,
+    ">60": 40,
+}
+
+
+def compute(records: Sequence[StudyRecord]) -> Dict[str, Dict[str, int]]:
+    """Bin the study records the way Table I bins the traces."""
+    ranks = {label: 0 for label in PAPER_RANKS}
+    comm = {label: 0 for label in PAPER_COMM}
+    for record in records:
+        for (lo, hi), label in zip(RANK_BINS, PAPER_RANKS):
+            if lo <= record.nranks <= hi:
+                ranks[label] += 1
+                break
+        pct = 100.0 * record.comm_fraction
+        for (lo, hi), label in zip(COMM_BINS, PAPER_COMM):
+            if pct <= hi or label == ">60":
+                comm[label] += 1
+                break
+    return {"ranks": ranks, "comm_time_pct": comm, "total": {"traces": len(records)}}
+
+
+def render(result: Dict[str, Dict[str, int]]) -> str:
+    """Side-by-side panels: our corpus vs. the paper's Table I."""
+    lines = ["Table I: characteristics of the traces (ours vs paper)"]
+    lines.append(f"{'Ranks':>12s} {'ours':>6s} {'paper':>6s}")
+    for label, paper in PAPER_RANKS.items():
+        lines.append(f"{label:>12s} {result['ranks'][label]:6d} {paper:6d}")
+    lines.append(f"{'Comm time %':>12s} {'ours':>6s} {'paper':>6s}")
+    for label, paper in PAPER_COMM.items():
+        lines.append(f"{label:>12s} {result['comm_time_pct'][label]:6d} {paper:6d}")
+    lines.append(f"{'Total':>12s} {result['total']['traces']:6d} {235:6d}")
+    return "\n".join(lines)

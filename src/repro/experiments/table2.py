@@ -1,0 +1,78 @@
+"""Table II — execution time in seconds of the four tools.
+
+The paper times CMC(1024), LULESH(512) and MiniFE(1152).  We build the
+same three runs (dedicated specs, independent of the corpus draw), run
+each tool and report wall-clock seconds.  The reproduction target is the
+*ordering and rough ratios* — packet slowest, then flow, then
+packet-flow, with MFACT one to two orders of magnitude faster — not the
+paper's absolute seconds (their simulations ran on a 64-core Opteron).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.core.pipeline import SIM_MODELS, measure_trace
+from repro.machines.presets import get_machine
+from repro.util.rng import DEFAULT_SEED
+from repro.workloads.suite import TraceSpec, build_trace
+
+__all__ = ["PAPER_TIMES", "TABLE2_SPECS", "compute", "render"]
+
+#: The paper's Table II (seconds on their simulation host).
+PAPER_TIMES = {
+    "CMC(1024)": {"packet": 172.17, "flow": 22.45, "packet-flow": 25.94, "mfact": 1.26},
+    "LULESH(512)": {"packet": 941.77, "flow": 208.63, "packet-flow": 110.27, "mfact": 3.02},
+    "MiniFE(1152)": {"packet": 1608.57, "flow": 929.37, "packet-flow": 367.08, "mfact": 35.15},
+}
+
+TABLE2_SPECS = [
+    ("CMC(1024)", TraceSpec(
+        index=9001, app="CMC", suite="DOE", nranks=1024, machine="cielito",
+        seed=DEFAULT_SEED + 9001, scale=1.0, comm_target=0.05, imbalance=0.1,
+        ranks_per_node=16, iters=4,
+    )),
+    ("LULESH(512)", TraceSpec(
+        index=9002, app="LULESH", suite="DOE", nranks=512, machine="cielito",
+        seed=DEFAULT_SEED + 9002, scale=1.0, comm_target=0.10, imbalance=0.05,
+        ranks_per_node=8, iters=6,
+    )),
+    ("MiniFE(1152)", TraceSpec(
+        index=9003, app="MINIFE", suite="DOE", nranks=1152, machine="cielito",
+        seed=DEFAULT_SEED + 9003, scale=1.0, comm_target=0.10, imbalance=0.04,
+        ranks_per_node=16, iters=6,
+    )),
+]
+
+
+def compute() -> Dict[str, Dict[str, float]]:
+    """Build and time the three Table II runs with all four tools."""
+    out: Dict[str, Dict[str, float]] = {}
+    for label, spec in TABLE2_SPECS:
+        trace = build_trace(spec)
+        record = measure_trace(trace, spec_index=spec.index, suite=spec.suite)
+        row = {"mfact": record.mfact.walltime}
+        for model in SIM_MODELS:
+            run = record.sims[model]
+            row[model] = run.walltime if run.completed else float("nan")
+        out[label] = row
+    return out
+
+
+def render(result: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Table II: tool execution time in seconds (ours; paper in parentheses)"]
+    header = f"{'run':>14s} {'packet':>18s} {'flow':>18s} {'pkt-flow':>18s} {'MFACT':>16s}"
+    lines.append(header)
+    for label, row in result.items():
+        paper = PAPER_TIMES[label]
+        lines.append(
+            f"{label:>14s} "
+            f"{row['packet']:8.2f} ({paper['packet']:7.2f}) "
+            f"{row['flow']:8.2f} ({paper['flow']:7.2f}) "
+            f"{row['packet-flow']:8.2f} ({paper['packet-flow']:7.2f}) "
+            f"{row['mfact']:7.2f} ({paper['mfact']:6.2f})"
+        )
+        ratio = row["packet"] / max(row["mfact"], 1e-9)
+        lines.append(f"{'':>14s} packet/MFACT speed ratio: {ratio:8.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Machine configurations: the study's three supercomputers plus a generic model."""
+
+from repro.machines.config import MachineConfig
+from repro.machines.fitting import (
+    DEFAULT_SIZES,
+    HockneyFit,
+    fit_hockney,
+    measure_pingpong,
+)
+from repro.machines.presets import (
+    CIELITO,
+    EDISON,
+    HOPPER,
+    MACHINES,
+    get_machine,
+    machine_names,
+)
+
+__all__ = [
+    "MachineConfig",
+    "HockneyFit",
+    "fit_hockney",
+    "measure_pingpong",
+    "DEFAULT_SIZES",
+    "CIELITO",
+    "HOPPER",
+    "EDISON",
+    "MACHINES",
+    "get_machine",
+    "machine_names",
+]

@@ -1,0 +1,96 @@
+"""Machine configuration model.
+
+A :class:`MachineConfig` carries exactly what the paper's tools consume:
+the Hockney parameters (link bandwidth and end-to-end latency) used by
+MFACT, plus the structural description (topology family, nodes, cores
+per node, injection bandwidth, per-hop switch latency, software
+overhead) used by the SST/Macro-style simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.util.validation import check_positive
+
+__all__ = ["MachineConfig"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of a target machine.
+
+    Parameters
+    ----------
+    name:
+        Machine name, e.g. ``"cielito"``.
+    bandwidth:
+        Network link bandwidth in bytes/s (the Hockney ``1/beta``).
+    latency:
+        End-to-end small-message latency in seconds (the Hockney
+        ``alpha``).
+    topology:
+        Topology family: ``"torus3d"``, ``"dragonfly"`` or ``"fattree"``.
+    cores_per_node:
+        Cores (max ranks) per node.
+    injection_bandwidth:
+        NIC injection bandwidth in bytes/s; defaults to the link
+        bandwidth.
+    hop_latency:
+        Per-switch-hop latency in seconds used by the simulator.  The
+        modeling tool sees only the end-to-end ``latency``.
+    software_overhead:
+        Per-MPI-call CPU overhead in seconds (send/recv posting cost).
+    compute_scale:
+        Multiplier applied to traced computation durations when
+        replaying on this machine (1.0 = same node speed as the tracing
+        machine).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    topology: str = "torus3d"
+    cores_per_node: int = 16
+    injection_bandwidth: Optional[float] = None
+    hop_latency: float = 100e-9
+    software_overhead: float = 1e-6
+    compute_scale: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.bandwidth, "bandwidth")
+        check_positive(self.latency, "latency")
+        check_positive(self.cores_per_node, "cores_per_node")
+        check_positive(self.hop_latency, "hop_latency")
+        check_positive(self.compute_scale, "compute_scale")
+        if self.software_overhead < 0:
+            raise ValueError("software_overhead must be >= 0")
+        if self.injection_bandwidth is not None:
+            check_positive(self.injection_bandwidth, "injection_bandwidth")
+        if self.topology not in ("torus3d", "dragonfly", "fattree"):
+            raise ValueError(f"unknown topology family {self.topology!r}")
+
+    @property
+    def effective_injection_bandwidth(self) -> float:
+        """Injection bandwidth, defaulting to the link bandwidth."""
+        return self.injection_bandwidth if self.injection_bandwidth is not None else self.bandwidth
+
+    def with_network(
+        self, bandwidth: Optional[float] = None, latency: Optional[float] = None
+    ) -> "MachineConfig":
+        """A copy with scaled/overridden network parameters.
+
+        This is how MFACT explores "what if the network were k× faster"
+        configurations without touching the rest of the machine.
+        """
+        changes = {}
+        if bandwidth is not None:
+            changes["bandwidth"] = bandwidth
+            if self.injection_bandwidth is not None:
+                changes["injection_bandwidth"] = self.injection_bandwidth * (
+                    bandwidth / self.bandwidth
+                )
+        if latency is not None:
+            changes["latency"] = latency
+        return replace(self, **changes) if changes else self

@@ -1,0 +1,116 @@
+"""Fitting Hockney parameters from ping-pong measurements.
+
+The study takes each machine's latency/bandwidth "from publicly
+available data"; when such data is not published, the standard practice
+is to fit Hockney's ``T(m) = alpha + m/B`` to ping-pong measurements.
+This module does the fit (weighted least squares on the two-parameter
+affine model) and can generate synthetic ping-pong data from any of our
+network models, closing the loop: simulate a machine, fit it, get its
+parameters back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machines.config import MachineConfig
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["HockneyFit", "fit_hockney", "measure_pingpong", "DEFAULT_SIZES"]
+
+#: Default ping-pong message sizes (bytes): log-spaced 64 B .. 4 MiB.
+DEFAULT_SIZES = tuple(int(64 * 2 ** k) for k in range(17))
+
+
+@dataclass(frozen=True)
+class HockneyFit:
+    """Fitted ``T(m) = latency + m / bandwidth``."""
+
+    latency: float
+    bandwidth: float
+    residual_rms: float
+    n_points: int
+
+    def predict(self, nbytes) -> np.ndarray:
+        """Predicted one-way time for message size(s)."""
+        return self.latency + np.asarray(nbytes, dtype=float) / self.bandwidth
+
+    def as_machine(self, template: MachineConfig) -> MachineConfig:
+        """A machine config with the fitted network parameters."""
+        return template.with_network(bandwidth=self.bandwidth, latency=self.latency)
+
+
+def fit_hockney(
+    sizes: Sequence[int], times: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> HockneyFit:
+    """Weighted least-squares fit of the Hockney model.
+
+    By default points are weighted by ``1 / T`` so the small-message
+    (latency) regime is not drowned out by the large transfers.
+    """
+    m = np.asarray(sizes, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if m.shape != t.shape:
+        raise ValueError("sizes and times must have the same length")
+    if m.size < 2:
+        raise ValueError("need at least two points to fit two parameters")
+    if np.any(t <= 0) or np.any(m < 0):
+        raise ValueError("times must be positive and sizes non-negative")
+    w = np.asarray(weights, dtype=float) if weights is not None else 1.0 / t
+    if w.shape != t.shape:
+        raise ValueError("weights must match the data length")
+    # Design: T = a + b*m with a = latency, b = 1/bandwidth.
+    A = np.column_stack([np.ones_like(m), m])
+    Aw = A * w[:, None]
+    tw = t * w
+    coef, *_ = np.linalg.lstsq(Aw, tw, rcond=None)
+    a, b = float(coef[0]), float(coef[1])
+    if b <= 0:
+        # Degenerate data (e.g., constant times): fall back to latency-only.
+        b = 1e-15
+    residuals = t - (a + b * m)
+    return HockneyFit(
+        latency=max(a, 0.0),
+        bandwidth=1.0 / b,
+        residual_rms=float(np.sqrt(np.mean(residuals**2))),
+        n_points=int(m.size),
+    )
+
+
+def measure_pingpong(
+    machine: MachineConfig,
+    model: str = "packet-flow",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic ping-pong benchmark against a simulated machine.
+
+    Two ranks on distinct nodes bounce each message size ``repeats``
+    times; returns (sizes, mean one-way times), ready for
+    :func:`fit_hockney`.
+    """
+    from repro.sim.mpi_replay import simulate_trace
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times: List[float] = []
+    for size in sizes:
+        ops0: List[Op] = []
+        ops1: List[Op] = []
+        for i in range(repeats):
+            ops0.append(Op(OpKind.SEND, peer=1, nbytes=size, tag=i))
+            ops0.append(Op(OpKind.RECV, peer=1, nbytes=size, tag=repeats + i))
+            ops1.append(Op(OpKind.RECV, peer=0, nbytes=size, tag=i))
+            ops1.append(Op(OpKind.SEND, peer=0, nbytes=size, tag=repeats + i))
+        trace = TraceSet(
+            f"pingpong.{size}", "PingPong", [ops0, ops1],
+            machine=machine.name, ranks_per_node=1,
+        )
+        result = simulate_trace(trace, machine, model)
+        # total time = repeats round trips = 2 * repeats one-way times.
+        times.append(result.total_time / (2 * repeats))
+    return np.asarray(sizes, dtype=float), np.asarray(times)

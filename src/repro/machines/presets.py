@@ -1,0 +1,63 @@
+"""The three machines of the study (Section V-A).
+
+Network bandwidth/latency values are the paper's published settings:
+
+* Cielito — 64-node Cray XE6 (Gemini 3-D torus): 10 Gb/s, 2,500 ns
+* Hopper  — Cray XE6 (Gemini 3-D torus): 35 Gb/s, 2,575 ns
+* Edison  — Cray XC30 (Aries dragonfly): 24 Gb/s, 1,300 ns
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.machines.config import MachineConfig
+from repro.util.units import gbps_to_bytes_per_s, ns_to_s
+
+__all__ = ["CIELITO", "HOPPER", "EDISON", "MACHINES", "get_machine", "machine_names"]
+
+CIELITO = MachineConfig(
+    name="cielito",
+    bandwidth=gbps_to_bytes_per_s(10.0),
+    latency=ns_to_s(2500.0),
+    topology="torus3d",
+    cores_per_node=16,
+    hop_latency=ns_to_s(105.0),
+    software_overhead=1.2e-6,
+)
+
+HOPPER = MachineConfig(
+    name="hopper",
+    bandwidth=gbps_to_bytes_per_s(35.0),
+    latency=ns_to_s(2575.0),
+    topology="torus3d",
+    cores_per_node=24,
+    hop_latency=ns_to_s(105.0),
+    software_overhead=1.2e-6,
+)
+
+EDISON = MachineConfig(
+    name="edison",
+    bandwidth=gbps_to_bytes_per_s(24.0),
+    latency=ns_to_s(1300.0),
+    topology="dragonfly",
+    cores_per_node=24,
+    hop_latency=ns_to_s(60.0),
+    software_overhead=0.9e-6,
+)
+
+MACHINES: Dict[str, MachineConfig] = {m.name: m for m in (CIELITO, HOPPER, EDISON)}
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look up a preset machine by name (case-insensitive)."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r} (known: {known})") from None
+
+
+def machine_names() -> List[str]:
+    """Names of the three study machines."""
+    return sorted(MACHINES)

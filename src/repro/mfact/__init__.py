@@ -1,0 +1,61 @@
+"""MFACT: trace-driven MPI application modeling with logical clocks."""
+
+from repro.mfact.classify import (
+    AppClass,
+    LOAD_IMBALANCE_WAIT_FRACTION,
+    SENSITIVITY_THRESHOLD,
+    bandwidth_sensitivity,
+    classify,
+    is_communication_sensitive,
+    latency_sensitivity,
+)
+from repro.mfact.bottleneck import BottleneckReport, RankBreakdown, analyze_bottlenecks
+from repro.mfact.counters import CounterSet
+from repro.mfact.hockney import (
+    DEFAULT_BW_FACTORS,
+    DEFAULT_LAT_FACTORS,
+    ConfigGrid,
+    p2p_time,
+)
+from repro.mfact.loggp import (
+    LogGPParameters,
+    compare_models,
+    loggp_from_machine,
+    p2p_time_loggp,
+)
+from repro.mfact.logical_clock import LogicalClockReplay, ReplayDeadlockError, model_trace
+from repro.mfact.report import MFACTReport
+from repro.mfact.scaling import ScalingFit, fit_scaling, project_scaling
+from repro.mfact.whatif import DesignPoint, DesignSpaceResult, explore_design_space
+
+__all__ = [
+    "AppClass",
+    "SENSITIVITY_THRESHOLD",
+    "LOAD_IMBALANCE_WAIT_FRACTION",
+    "bandwidth_sensitivity",
+    "latency_sensitivity",
+    "is_communication_sensitive",
+    "classify",
+    "CounterSet",
+    "ConfigGrid",
+    "DEFAULT_BW_FACTORS",
+    "DEFAULT_LAT_FACTORS",
+    "p2p_time",
+    "LogicalClockReplay",
+    "ReplayDeadlockError",
+    "model_trace",
+    "MFACTReport",
+    "BottleneckReport",
+    "RankBreakdown",
+    "analyze_bottlenecks",
+    "DesignPoint",
+    "DesignSpaceResult",
+    "explore_design_space",
+    "LogGPParameters",
+    "loggp_from_machine",
+    "p2p_time_loggp",
+    "compare_models",
+    "ScalingFit",
+    "fit_scaling",
+    "project_scaling",
+]

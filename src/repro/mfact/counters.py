@@ -1,0 +1,47 @@
+"""MFACT's four logical time counters.
+
+For every rank and every network configuration MFACT tracks how the
+logical clock's advance decomposes into **computation**, **latency**,
+**bandwidth** and **wait** time (Section IV-A).  The application's
+classification reads how these counters react as the configuration grid
+speeds network parameters up and down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """Per-rank, per-configuration accumulators.
+
+    All four arrays have shape ``(nranks, nconfigs)`` and are in seconds
+    of logical time.
+    """
+
+    __slots__ = ("compute", "latency", "bandwidth", "wait")
+
+    def __init__(self, nranks: int, nconfigs: int):
+        if nranks < 1 or nconfigs < 1:
+            raise ValueError("nranks and nconfigs must be >= 1")
+        shape = (nranks, nconfigs)
+        self.compute = np.zeros(shape)
+        self.latency = np.zeros(shape)
+        self.bandwidth = np.zeros(shape)
+        self.wait = np.zeros(shape)
+
+    @property
+    def communication(self) -> np.ndarray:
+        """Latency + bandwidth + wait, shape (nranks, nconfigs)."""
+        return self.latency + self.bandwidth + self.wait
+
+    def mean_over_ranks(self, config: int) -> dict:
+        """Rank-averaged counter values for one configuration."""
+        return {
+            "compute": float(self.compute[:, config].mean()),
+            "latency": float(self.latency[:, config].mean()),
+            "bandwidth": float(self.bandwidth[:, config].mean()),
+            "wait": float(self.wait[:, config].mean()),
+        }

@@ -1,0 +1,101 @@
+"""LogGP point-to-point cost model (the related-work baseline).
+
+The paper's related work compares against "theoretical LogGP-based
+models" (Culler et al.; Martinez et al. report 15-20% errors for them).
+LogGP prices a message of ``m`` bytes as::
+
+    T(m) = L + 2o + (m - 1) * G        (one-way)
+
+with ``L`` the wire latency, ``o`` the per-end software overhead, ``g``
+the minimum inter-message gap at one sender, and ``G`` the per-byte
+gap.  This module provides the model, a conversion from a machine's
+Hockney parameters, and a comparison helper that reprices an MFACT
+report's message traffic under LogGP — quantifying how much the model
+choice (not the replay machinery) moves the predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.machines.config import MachineConfig
+from repro.trace.events import OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["LogGPParameters", "loggp_from_machine", "p2p_time_loggp", "compare_models"]
+
+
+@dataclass(frozen=True)
+class LogGPParameters:
+    """The LogGP tuple (seconds; G is seconds per byte)."""
+
+    L: float
+    o: float
+    g: float
+    G: float
+
+    def __post_init__(self):
+        for name in ("L", "o", "g", "G"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def one_way(self, nbytes) -> np.ndarray:
+        """T(m) = L + 2o + (m-1) G, vectorized over message sizes."""
+        m = np.asarray(nbytes, dtype=float)
+        return self.L + 2 * self.o + np.maximum(m - 1, 0) * self.G
+
+    def sender_occupancy(self, nbytes) -> np.ndarray:
+        """Time the sender is busy per message: max(o, g) + (m-1) G."""
+        m = np.asarray(nbytes, dtype=float)
+        return max(self.o, self.g) + np.maximum(m - 1, 0) * self.G
+
+
+def loggp_from_machine(machine: MachineConfig) -> LogGPParameters:
+    """Derive LogGP parameters from a machine's Hockney description.
+
+    ``G = 1/B`` and the Hockney ``alpha`` splits into wire latency and
+    two software overheads (the machine's per-call overhead); ``g``
+    defaults to the overhead (one outstanding message per call).
+    """
+    o = machine.software_overhead
+    L = max(machine.latency - 2 * o, machine.latency * 0.5)
+    return LogGPParameters(L=L, o=o, g=o, G=1.0 / machine.bandwidth)
+
+
+def p2p_time_loggp(nbytes, params: LogGPParameters) -> np.ndarray:
+    """One-way message time under LogGP."""
+    return params.one_way(nbytes)
+
+
+def compare_models(trace: TraceSet, machine: MachineConfig) -> Dict[str, float]:
+    """Total p2p pricing under Hockney vs LogGP for one trace.
+
+    Sums each model's one-way cost over every p2p message (a pure
+    model-form comparison, deliberately ignoring overlap and
+    contention, which the replay engines handle identically for both).
+    """
+    sizes = np.array(
+        [op.nbytes for stream in trace.ranks for op in stream if op.is_send_like],
+        dtype=float,
+    )
+    if sizes.size == 0:
+        return {
+            "messages": 0.0,
+            "hockney_total": 0.0,
+            "loggp_total": 0.0,
+            "relative_gap": 0.0,
+        }
+    hockney = machine.latency + sizes / machine.bandwidth
+    params = loggp_from_machine(machine)
+    loggp = params.one_way(sizes)
+    hockney_total = float(hockney.sum())
+    loggp_total = float(loggp.sum())
+    return {
+        "messages": float(sizes.size),
+        "hockney_total": hockney_total,
+        "loggp_total": loggp_total,
+        "relative_gap": abs(loggp_total / hockney_total - 1.0),
+    }

@@ -1,0 +1,362 @@
+"""MFACT's logical-clock trace replay engine.
+
+The engine replays a trace once while maintaining, for every rank, one
+Lamport-style logical clock **per network configuration** (an extension
+of Lamport's scheme with non-unit computation and communication times,
+Section IV-A).  Clocks are numpy vectors over the :class:`ConfigGrid`,
+so a single replay prices the application on every configuration.
+
+Semantics
+---------
+* computation: ``clk += duration * compute_scale``
+* blocking send: sender pays software overhead plus the bandwidth term
+  (eager, buffered); the message becomes available to the receiver at
+  the sender's post-overhead clock
+* non-blocking send: sender pays only overhead; the transfer overlaps
+* receive completion (blocking recv, or wait on an irecv): the transfer
+  costs Hockney ``alpha + m/B`` once both sides are ready; the clock
+  advance is decomposed into the four counters (wait / latency /
+  bandwidth, with computation tracked separately)
+* collectives: priced with the Thakur–Gropp closed forms of
+  :mod:`repro.collectives.cost_models`; synchronizing collectives
+  complete at the member-wise max clock plus the collective cost
+
+Matching follows MPI ordering: per (source, destination, tag) channel,
+sends match posted receives FIFO.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.cost_models import collective_cost
+from repro.machines.config import MachineConfig
+from repro.mfact.counters import CounterSet
+from repro.mfact.hockney import ConfigGrid
+from repro.mfact.report import MFACTReport
+from repro.trace.events import OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["LogicalClockReplay", "model_trace", "ReplayDeadlockError"]
+
+_SYNC_COLLECTIVES = frozenset(
+    {
+        OpKind.BARRIER,
+        OpKind.ALLREDUCE,
+        OpKind.ALLGATHER,
+        OpKind.ALLTOALL,
+        OpKind.REDUCE_SCATTER,
+    }
+)
+
+
+class ReplayDeadlockError(RuntimeError):
+    """Raised when the trace cannot make progress (invalid matching)."""
+
+
+class _Channel:
+    """FIFO matching state for one (src, dst, tag) message channel."""
+
+    __slots__ = ("messages", "slots")
+
+    def __init__(self):
+        self.messages: Deque[np.ndarray] = deque()  # availability clocks
+        self.slots: Deque[Tuple[str, int]] = deque()  # ("recv", rank) | ("irecv", req)
+
+
+class LogicalClockReplay:
+    """One MFACT replay of a trace on a machine over a configuration grid."""
+
+    def __init__(self, trace: TraceSet, machine: MachineConfig, grid: Optional[ConfigGrid] = None):
+        self.trace = trace
+        self.machine = machine
+        self.grid = grid if grid is not None else ConfigGrid.sweep(machine)
+        n = trace.nranks
+        k = len(self.grid)
+        self._lat = self.grid.latency.copy()
+        self._inv_bw = 1.0 / self.grid.bandwidth
+        self._scale = self.grid.compute_scale.copy()
+        self._overhead = machine.software_overhead
+        self.clk = np.zeros((n, k))
+        self._inj = np.zeros((n, k))  # per-rank outgoing NIC serialization
+        self._ej = np.zeros((n, k))  # per-rank incoming NIC serialization
+        self.counters = CounterSet(n, k)
+        self._ip = [0] * n
+        self._channels: Dict[Tuple[int, int, int], _Channel] = {}
+        # Per-rank request table:
+        # req id -> ("isend", None, 0) | ("irecv", avail-or-None, nbytes)
+        self._requests: List[Dict[int, Tuple[str, Optional[np.ndarray], int]]] = [
+            {} for _ in range(n)
+        ]
+        self._blocked: List[Optional[Tuple]] = [None] * n  # why a rank is parked
+        # Collective rendezvous: (comm, instance) -> list of (rank, clk snapshot)
+        self._coll_seen: List[int] = [0] * n  # per-rank collective instance counter per comm
+        self._coll_counts: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        self._coll_instance: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._runnable: Deque[int] = deque()
+        self._queued = [False] * n
+        self._finished = 0
+        self._coll_messages = 0
+
+    # -- channel helpers -------------------------------------------------
+
+    def _channel(self, src: int, dst: int, tag: int) -> _Channel:
+        key = (src, dst, tag)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = _Channel()
+        return chan
+
+    def _wake(self, rank: int) -> None:
+        if not self._queued[rank]:
+            self._queued[rank] = True
+            self._runnable.append(rank)
+
+    # -- message completion ------------------------------------------------
+
+    def _complete_recv(self, rank: int, avail: np.ndarray, nbytes: int, posted: bool) -> None:
+        """Advance ``rank``'s clock past a message and attribute counters.
+
+        ``avail`` is the fully-injected time at the sender (the Hockney
+        bandwidth term is already inside it); delivery adds the wire
+        latency ``alpha``.  The clock advance is decomposed into the
+        wait / latency / bandwidth counters for sensitivity tracking.
+        """
+        o = self._overhead
+        row = self.clk[rank]
+        ready = row + o
+        bw_term = nbytes * self._inv_bw
+        # The payload drains serially through the receiving rank's NIC:
+        # ``avail`` carries the header-at-receiver time (injection start
+        # plus wire latency was added by the sender).
+        arrived = np.maximum(avail, self._ej[rank]) + bw_term
+        self._ej[rank] = arrived
+        new = np.maximum(ready, arrived)
+        delta = new - ready
+        bw_part = np.minimum(delta, bw_term)
+        lat_part = np.clip(delta - bw_term, 0.0, self._lat)
+        wait_part = delta - bw_part - lat_part
+        c = self.counters
+        c.bandwidth[rank] += bw_part
+        c.latency[rank] += lat_part
+        c.wait[rank] += wait_part
+        self.clk[rank] = new
+
+    def _deliver(self, src: int, dst: int, tag: int, avail: np.ndarray, nbytes: int) -> None:
+        """A send became available; match it or queue it."""
+        chan = self._channel(src, dst, tag)
+        if chan.slots:
+            kind, ident = chan.slots.popleft()
+            if kind == "recv":
+                # dst is parked in a blocking recv on this channel.
+                self._complete_recv(dst, avail, nbytes, posted=False)
+                self._blocked[dst] = None
+                self._ip[dst] += 1
+                self._wake(dst)
+            else:  # bound an irecv request
+                nbytes = self._requests[dst][ident][2]
+                self._requests[dst][ident] = ("irecv", avail, nbytes)
+                blocked = self._blocked[dst]
+                if blocked is not None and blocked[0] == "wait" and blocked[1] == ident:
+                    self._complete_recv(dst, avail, nbytes, posted=True)
+                    del self._requests[dst][ident]
+                    self._blocked[dst] = None
+                    self._ip[dst] += 1
+                    self._wake(dst)
+        else:
+            chan.messages.append(avail)
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective_ready(self, rank: int, op) -> bool:
+        """Register arrival; fire the collective when all members arrived."""
+        members = self.trace.comm_ranks(op.comm)
+        inst = self._coll_instance[rank].get(op.comm, 0)
+        key = (op.comm, inst)
+        arrived = self._coll_counts.setdefault(key, {})
+        arrived[rank] = self.clk[rank].copy()
+        if len(arrived) < len(members):
+            self._blocked[rank] = ("coll", key)
+            return False
+        self._fire_collective(op, members, arrived)
+        del self._coll_counts[key]
+        for r in members:
+            self._coll_instance[r][op.comm] = inst + 1
+            self._blocked[r] = None
+            self._ip[r] += 1
+            if r != rank:
+                self._wake(r)
+        return True
+
+    def _fire_collective(self, op, members, arrived: Dict[int, np.ndarray]) -> None:
+        p = len(members)
+        cost = collective_cost(op.kind, p, op.nbytes)
+        o = self._overhead
+        lat_share = cost.alpha_count * self._lat
+        bw_share = cost.bytes_on_wire * self._inv_bw
+        total = lat_share + bw_share
+        c = self.counters
+        self._coll_messages += 1
+        if op.kind in _SYNC_COLLECTIVES:
+            peak = None
+            for clk in arrived.values():
+                peak = clk if peak is None else np.maximum(peak, clk)
+            for r in members:
+                start = arrived[r] + o
+                done = np.maximum(peak + o, start) + total
+                c.wait[r] += done - start - total
+                c.latency[r] += lat_share
+                c.bandwidth[r] += bw_share
+                self.clk[r] = done
+            return
+        root = op.peer
+        if op.kind in (OpKind.BCAST, OpKind.SCATTER):
+            root_done = arrived[root] + o + total
+            for r in members:
+                start = arrived[r] + o
+                if r == root:
+                    done = root_done
+                    c.latency[r] += lat_share
+                    c.bandwidth[r] += bw_share
+                else:
+                    done = np.maximum(start, root_done)
+                    delta = done - start
+                    bw_part = np.minimum(delta, bw_share)
+                    lat_part = np.clip(delta - bw_share, 0.0, lat_share)
+                    c.bandwidth[r] += bw_part
+                    c.latency[r] += lat_part
+                    c.wait[r] += delta - bw_part - lat_part
+                self.clk[r] = done
+            return
+        # REDUCE / GATHER: root completes after everyone plus the tree cost;
+        # non-roots leave after contributing their own single message.
+        own = self._lat + op.nbytes * self._inv_bw
+        peak = None
+        for clk in arrived.values():
+            peak = clk if peak is None else np.maximum(peak, clk)
+        for r in members:
+            start = arrived[r] + o
+            if r == root:
+                done = np.maximum(peak + o, start) + total
+                c.wait[r] += done - start - total
+                c.latency[r] += lat_share
+                c.bandwidth[r] += bw_share
+            else:
+                done = start + own
+                c.latency[r] += self._lat
+                c.bandwidth[r] += op.nbytes * self._inv_bw
+            self.clk[r] = done
+
+    # -- main loop -----------------------------------------------------------
+
+    def _step(self, rank: int) -> bool:
+        """Execute ``rank``'s next op; return False if the rank blocked."""
+        ops = self.trace.ranks[rank]
+        op = ops[self._ip[rank]]
+        kind = op.kind
+        o = self._overhead
+        if kind == OpKind.COMPUTE:
+            work = op.duration * self._scale
+            self.clk[rank] += work
+            self.counters.compute[rank] += work
+        elif kind == OpKind.SEND:
+            # The rank's NIC serializes its outgoing messages; a blocking
+            # send returns once the payload is fully injected.
+            bw_term = op.nbytes * self._inv_bw
+            start = self.clk[rank] + o
+            inj_start = np.maximum(self._inj[rank], start)
+            inj_done = inj_start + bw_term
+            self._inj[rank] = inj_done
+            self.counters.bandwidth[rank] += bw_term
+            self.counters.wait[rank] += inj_start - start
+            self.clk[rank] = inj_done.copy()
+            # Header reaches the receiver one wire latency after injection
+            # starts; the receiver pays the bandwidth term while draining.
+            self._deliver(rank, op.peer, op.tag, inj_start + self._lat, op.nbytes)
+        elif kind == OpKind.ISEND:
+            # Injection overlaps with local progress; only overhead is paid.
+            bw_term = op.nbytes * self._inv_bw
+            inj_start = np.maximum(self._inj[rank], self.clk[rank] + o)
+            self._inj[rank] = inj_start + bw_term
+            self.clk[rank] += o
+            self._requests[rank][op.req] = ("isend", None, 0)
+            self._deliver(rank, op.peer, op.tag, inj_start + self._lat, op.nbytes)
+        elif kind == OpKind.RECV:
+            chan = self._channel(op.peer, rank, op.tag)
+            if chan.messages:
+                avail = chan.messages.popleft()
+                self._complete_recv(rank, avail, op.nbytes, posted=False)
+            else:
+                chan.slots.append(("recv", rank))
+                self._blocked[rank] = ("recv", (op.peer, rank, op.tag))
+                return False
+        elif kind == OpKind.IRECV:
+            self.clk[rank] += o
+            chan = self._channel(op.peer, rank, op.tag)
+            if chan.messages:
+                avail = chan.messages.popleft()
+                self._requests[rank][op.req] = ("irecv", avail, op.nbytes)
+            else:
+                chan.slots.append(("irecv", op.req))
+                self._requests[rank][op.req] = ("irecv", None, op.nbytes)
+        elif kind == OpKind.WAIT:
+            entry = self._requests[rank].get(op.req)
+            if entry is None:
+                raise ReplayDeadlockError(
+                    f"rank {rank} waits on unknown request {op.req} in {self.trace.name}"
+                )
+            state, avail, nbytes = entry
+            if state == "isend":
+                self.clk[rank] += o
+                del self._requests[rank][op.req]
+            elif avail is not None:
+                self._complete_recv(rank, avail, nbytes, posted=True)
+                del self._requests[rank][op.req]
+            else:
+                self._blocked[rank] = ("wait", op.req)
+                return False
+        elif op.is_collective:
+            return self._collective_ready(rank, op)
+        else:  # pragma: no cover - OpKind is closed
+            raise ValueError(f"unhandled op kind {kind!r}")
+        self._ip[rank] += 1
+        return True
+
+    def run(self) -> MFACTReport:
+        """Replay the whole trace and assemble the report."""
+        start = time.perf_counter()
+        n = self.trace.nranks
+        lengths = [len(ops) for ops in self.trace.ranks]
+        for rank in range(n):
+            self._wake(rank)
+        done = [False] * n
+        remaining = n
+        while self._runnable:
+            rank = self._runnable.popleft()
+            self._queued[rank] = False
+            if done[rank] or self._blocked[rank] is not None:
+                continue
+            while self._ip[rank] < lengths[rank]:
+                if not self._step(rank):
+                    break
+            if self._ip[rank] >= lengths[rank] and not done[rank]:
+                done[rank] = True
+                remaining -= 1
+        if remaining:
+            stuck = [r for r in range(n) if not done[r]]
+            raise ReplayDeadlockError(
+                f"replay of {self.trace.name} deadlocked with ranks {stuck[:8]} blocked"
+            )
+        walltime = time.perf_counter() - start
+        return MFACTReport.from_replay(self, walltime)
+
+
+def model_trace(
+    trace: TraceSet, machine: MachineConfig, grid: Optional[ConfigGrid] = None
+) -> MFACTReport:
+    """Convenience wrapper: replay ``trace`` on ``machine`` and report."""
+    return LogicalClockReplay(trace, machine, grid).run()

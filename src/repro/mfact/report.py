@@ -1,0 +1,104 @@
+"""MFACT modeling results.
+
+A :class:`MFACTReport` carries per-configuration predicted total and
+communication times, the four counters at the baseline configuration,
+the application classification and the modeling wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.mfact.classify import AppClass, classify, is_communication_sensitive
+from repro.mfact.hockney import ConfigGrid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mfact.logical_clock import LogicalClockReplay
+
+__all__ = ["MFACTReport"]
+
+
+@dataclass
+class MFACTReport:
+    """Modeling output of one trace on one machine.
+
+    Attributes
+    ----------
+    trace_name, app, machine:
+        Identity of the modeled run.
+    grid:
+        The configuration grid of the replay.
+    total_time:
+        Predicted application time per configuration (max final logical
+        clock over ranks), shape ``(nconfigs,)``.
+    comm_time:
+        Predicted communication time per configuration (rank-mean of
+        latency + bandwidth + wait counters), shape ``(nconfigs,)``.
+    baseline_counters:
+        Rank-averaged counters at the baseline configuration.
+    classification:
+        The 5-way MFACT application class.
+    communication_sensitive:
+        Section VI's conservative "CS" grouping: total time grows by
+        more than 5% when bandwidth drops 8x.
+    walltime:
+        Modeling wall-clock time in seconds.
+    """
+
+    trace_name: str
+    app: str
+    machine: str
+    grid: ConfigGrid
+    total_time: np.ndarray
+    comm_time: np.ndarray
+    baseline_counters: Dict[str, float]
+    classification: AppClass
+    communication_sensitive: bool
+    walltime: float
+    per_rank_total: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def baseline_total_time(self) -> float:
+        """Predicted total time at the machine's own configuration."""
+        return float(self.total_time[self.grid.baseline])
+
+    @property
+    def baseline_comm_time(self) -> float:
+        """Predicted communication time at the machine's own configuration."""
+        return float(self.comm_time[self.grid.baseline])
+
+    @classmethod
+    def from_replay(cls, replay: "LogicalClockReplay", walltime: float) -> "MFACTReport":
+        """Assemble the report from a finished replay engine."""
+        grid = replay.grid
+        total = replay.clk.max(axis=0)
+        comm = replay.counters.communication.mean(axis=0)
+        base = grid.baseline
+        baseline_counters = replay.counters.mean_over_ranks(base)
+        try:
+            label = classify(replay.trace, replay.machine, grid, total, replay.counters)
+            cs = is_communication_sensitive(replay.machine, grid, total)
+        except KeyError:
+            # Single-configuration replays cannot observe sensitivity.
+            label = None
+            cs = False
+        return cls(
+            trace_name=replay.trace.name,
+            app=replay.trace.app,
+            machine=replay.machine.name,
+            grid=grid,
+            total_time=total,
+            comm_time=comm,
+            baseline_counters=baseline_counters,
+            classification=label,
+            communication_sensitive=cs,
+            walltime=walltime,
+            per_rank_total=replay.clk[:, base].copy(),
+        )
+
+    def time_at(self, bw_factor: float, lat_factor: float, machine) -> float:
+        """Predicted total time at given speed factors around ``machine``."""
+        return float(self.total_time[self.grid.find(bw_factor, lat_factor, machine)])

@@ -1,0 +1,145 @@
+"""What-if design-space exploration (Section II-C's practical case).
+
+The paper motivates modeling for *disruptive* design questions — "a
+cluster with a 10x faster network and 100x faster compute" — where the
+design space is too large to simulate point by point.  This module
+wraps MFACT's multi-configuration replay in a small design-space API:
+declare axes (bandwidth, latency, compute speed), explore the whole
+grid in one replay per compute point, and query speedups, bottleneck
+shifts and the cheapest configuration meeting a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machines.config import MachineConfig
+from repro.mfact.hockney import ConfigGrid
+from repro.mfact.logical_clock import LogicalClockReplay
+from repro.trace.trace import TraceSet
+
+__all__ = ["DesignPoint", "DesignSpaceResult", "explore_design_space"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One hypothetical machine: speed factors relative to the baseline."""
+
+    bandwidth_factor: float
+    latency_factor: float
+    compute_factor: float
+
+    def describe(self) -> str:
+        return (
+            f"bw x{self.bandwidth_factor:g}, lat x{self.latency_factor:g}, "
+            f"compute x{self.compute_factor:g}"
+        )
+
+
+@dataclass
+class DesignSpaceResult:
+    """Predicted application time over a design grid."""
+
+    machine: MachineConfig
+    points: List[DesignPoint]
+    total_time: np.ndarray  # aligned with points
+    baseline_index: int
+
+    @property
+    def baseline_time(self) -> float:
+        return float(self.total_time[self.baseline_index])
+
+    def speedup(self, point: DesignPoint) -> float:
+        """Baseline time divided by the point's predicted time."""
+        idx = self.points.index(point)
+        return self.baseline_time / float(self.total_time[idx])
+
+    def best(self) -> Tuple[DesignPoint, float]:
+        """The fastest configuration and its speedup."""
+        idx = int(np.argmin(self.total_time))
+        return self.points[idx], self.baseline_time / float(self.total_time[idx])
+
+    def cheapest_meeting(self, target_speedup: float) -> Optional[DesignPoint]:
+        """The least aggressive upgrade achieving ``target_speedup``.
+
+        "Least aggressive" minimizes the product of the three factors —
+        a rough proxy for cost.  Returns None if no grid point reaches
+        the target.
+        """
+        best_point = None
+        best_cost = None
+        for point, total in zip(self.points, self.total_time):
+            if self.baseline_time / float(total) >= target_speedup:
+                cost = (
+                    point.bandwidth_factor
+                    * point.compute_factor
+                    / point.latency_factor ** 0  # latency upgrades priced into bw
+                )
+                cost = point.bandwidth_factor * point.compute_factor * point.latency_factor
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_point = point
+        return best_point
+
+    def amdahl_table(self) -> List[Tuple[str, float]]:
+        """(description, speedup) rows sorted by speedup, descending."""
+        rows = [
+            (point.describe(), self.baseline_time / float(total))
+            for point, total in zip(self.points, self.total_time)
+        ]
+        return sorted(rows, key=lambda r: -r[1])
+
+
+def explore_design_space(
+    trace: TraceSet,
+    machine: MachineConfig,
+    bandwidth_factors: Sequence[float] = (1.0, 2.0, 10.0),
+    latency_factors: Sequence[float] = (1.0, 2.0, 10.0),
+    compute_factors: Sequence[float] = (1.0, 10.0, 100.0),
+) -> DesignSpaceResult:
+    """Price a trace on every (bw, lat, compute) combination.
+
+    Bandwidth and latency axes ride MFACT's vectorized grid, so the cost
+    is one replay *per compute factor* regardless of how many network
+    points are explored.
+    """
+    if not all(f > 0 for f in bandwidth_factors):
+        raise ValueError("bandwidth factors must be positive")
+    if not all(f > 0 for f in latency_factors):
+        raise ValueError("latency factors must be positive")
+    if not all(f > 0 for f in compute_factors):
+        raise ValueError("compute factors must be positive")
+    points: List[DesignPoint] = []
+    totals: List[float] = []
+    baseline_index = None
+    for cf in compute_factors:
+        lats, bws, scales = [], [], []
+        for lf in latency_factors:
+            for bf in bandwidth_factors:
+                lats.append(machine.latency / lf)
+                bws.append(machine.bandwidth * bf)
+                scales.append(machine.compute_scale / cf)
+        grid = ConfigGrid(lats, bws, scales)
+        report = LogicalClockReplay(trace, machine, grid).run()
+        i = 0
+        for lf in latency_factors:
+            for bf in bandwidth_factors:
+                point = DesignPoint(bf, lf, cf)
+                points.append(point)
+                totals.append(float(report.total_time[i]))
+                if bf == 1.0 and lf == 1.0 and cf == 1.0:
+                    baseline_index = len(points) - 1
+                i += 1
+    if baseline_index is None:
+        raise ValueError(
+            "the design grid must contain the baseline point (all factors 1.0)"
+        )
+    return DesignSpaceResult(
+        machine=machine,
+        points=points,
+        total_time=np.asarray(totals),
+        baseline_index=baseline_index,
+    )

@@ -1,0 +1,41 @@
+"""SST/Macro-style trace-driven simulation: packet, flow and packet-flow models."""
+
+from repro.sim.engine import EventEngine
+from repro.sim.flow import FlowModel
+from repro.sim.mpi_replay import (
+    MODEL_CLASSES,
+    SimReplay,
+    expand_collectives,
+    simulate_trace,
+)
+from repro.sim.multijob import (
+    JobResult,
+    MultiJobResult,
+    merge_traces,
+    simulate_multijob,
+)
+from repro.sim.network import Fabric, NetworkModel, UnsupportedTraceError
+from repro.sim.packet import DEFAULT_PACKET_SIZE, PacketModel
+from repro.sim.packetflow import DEFAULT_CHUNK_SIZE, PacketFlowModel
+from repro.sim.results import SimResult
+
+__all__ = [
+    "EventEngine",
+    "Fabric",
+    "NetworkModel",
+    "UnsupportedTraceError",
+    "PacketModel",
+    "FlowModel",
+    "PacketFlowModel",
+    "DEFAULT_PACKET_SIZE",
+    "DEFAULT_CHUNK_SIZE",
+    "SimReplay",
+    "SimResult",
+    "simulate_trace",
+    "expand_collectives",
+    "MODEL_CLASSES",
+    "JobResult",
+    "MultiJobResult",
+    "merge_traces",
+    "simulate_multijob",
+]

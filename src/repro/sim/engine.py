@@ -1,0 +1,53 @@
+"""Conservative discrete-event simulation core.
+
+A minimal PDES-style engine: a time-ordered event queue with stable FIFO
+ordering for simultaneous events.  Network models and the MPI replay
+layer schedule callbacks; the engine guarantees callbacks run in
+non-decreasing virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Time-ordered callback executor."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (time of the event being processed)."""
+        return self._now
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at virtual time ``when``.
+
+        ``when`` must not precede the current virtual time (conservative
+        execution); simultaneous events run in scheduling order.
+        """
+        if when < self._now - 1e-15:
+            raise ValueError(f"cannot schedule at {when} before current time {self._now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, callback))
+
+    def run(self, max_events: int = 200_000_000) -> None:
+        """Drain the queue; raises if ``max_events`` is exceeded (runaway)."""
+        queue = self._queue
+        processed = 0
+        while queue:
+            when, _, callback = heapq.heappop(queue)
+            self._now = when
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"event budget of {max_events} exceeded at t={when}")
+        self.events_processed += processed

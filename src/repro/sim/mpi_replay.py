@@ -1,0 +1,301 @@
+"""MPI replay layer driving a network model.
+
+Replays a trace through the discrete-event engine: per-rank scalar
+virtual clocks, MPI message matching with FIFO channels, eager buffered
+sends (senders block only for NIC injection), and collectives expanded
+into their Thakur–Gropp point-to-point schedules
+(:func:`expand_collectives`) — the same decomposition SST/Macro's MPI
+layer performs before handing traffic to its congestion model.
+
+Per-rank communication time (time spent inside MPI calls) is
+accumulated so simulated total *and* communication time can be compared
+with MFACT's counters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Type
+
+from repro.collectives.algorithms import schedule_collective
+from repro.machines.config import MachineConfig
+from repro.sim.engine import EventEngine
+from repro.sim.flow import FlowModel
+from repro.sim.network import Fabric, NetworkModel, UnsupportedTraceError
+from repro.sim.packet import PacketModel
+from repro.sim.packetflow import PacketFlowModel
+from repro.sim.results import SimResult
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["expand_collectives", "SimReplay", "simulate_trace", "MODEL_CLASSES"]
+
+#: Tag space reserved for expanded collective traffic.
+COLLECTIVE_TAG_BASE = 1 << 20
+#: Request-id space reserved for expanded collective traffic.
+COLLECTIVE_REQ_BASE = 1 << 30
+
+MODEL_CLASSES: Dict[str, Type[NetworkModel]] = {
+    "packet": PacketModel,
+    "flow": FlowModel,
+    "packet-flow": PacketFlowModel,
+}
+
+
+def expand_collectives(trace: TraceSet) -> TraceSet:
+    """Rewrite collectives into point-to-point phases.
+
+    Every collective instance gets a unique tag from the reserved space,
+    so expanded traffic never interferes with application messages.
+    Phases become IRECV / ISEND pairs followed by WAITs, which lets both
+    directions of an exchange progress and keeps pairwise patterns
+    deadlock-free.
+    """
+    new_ranks: List[List[Op]] = [[] for _ in range(trace.nranks)]
+    instance_ids: Dict[Tuple[int, int], int] = {}
+    schedules: Dict[int, dict] = {}
+    occurrence: List[Dict[int, int]] = [dict() for _ in range(trace.nranks)]
+    req_counter = [COLLECTIVE_REQ_BASE] * trace.nranks
+    next_instance = [0]
+
+    def instance_of(comm: int, occ: int, op: Op) -> int:
+        key = (comm, occ)
+        inst = instance_ids.get(key)
+        if inst is None:
+            inst = instance_ids[key] = next_instance[0]
+            next_instance[0] += 1
+            members = trace.comm_ranks(comm)
+            schedules[inst] = schedule_collective(op.kind, members, op.nbytes, op.peer)
+        return inst
+
+    for rank, stream in enumerate(trace.ranks):
+        out = new_ranks[rank]
+        for op in stream:
+            if not op.is_collective:
+                out.append(op)
+                continue
+            occ = occurrence[rank].get(op.comm, 0)
+            occurrence[rank][op.comm] = occ + 1
+            inst = instance_of(op.comm, occ, op)
+            tag = COLLECTIVE_TAG_BASE + inst
+            for phase in schedules[inst].get(rank, []):
+                reqs: List[int] = []
+                for peer, size in phase.recvs:
+                    req = req_counter[rank]
+                    req_counter[rank] += 1
+                    out.append(Op(OpKind.IRECV, peer=peer, nbytes=size, tag=tag, req=req))
+                    reqs.append(req)
+                for peer, size in phase.sends:
+                    req = req_counter[rank]
+                    req_counter[rank] += 1
+                    out.append(Op(OpKind.ISEND, peer=peer, nbytes=size, tag=tag, req=req))
+                    reqs.append(req)
+                for req in reqs:
+                    out.append(Op(OpKind.WAIT, req=req))
+    return TraceSet(
+        name=trace.name,
+        app=trace.app,
+        ranks=new_ranks,
+        machine=trace.machine,
+        ranks_per_node=trace.ranks_per_node,
+        comms=dict(trace.comms),
+        uses_comm_split=trace.uses_comm_split,
+        uses_threads=trace.uses_threads,
+        metadata=dict(trace.metadata),
+    )
+
+
+class _SimChannel:
+    __slots__ = ("deliveries", "slots")
+
+    def __init__(self):
+        self.deliveries: Deque[float] = deque()
+        self.slots: Deque[Tuple[str, int]] = deque()
+
+
+class SimReplay:
+    """Replay one trace through one network model."""
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        machine: MachineConfig,
+        model: str = "packet-flow",
+        fabric: Optional[Fabric] = None,
+        **model_kwargs,
+    ):
+        try:
+            model_cls = MODEL_CLASSES[model]
+        except KeyError:
+            known = ", ".join(sorted(MODEL_CLASSES))
+            raise ValueError(f"unknown model {model!r} (known: {known})") from None
+        self.original = trace
+        self.machine = machine
+        self.engine = EventEngine()
+        self.fabric = fabric if fabric is not None else Fabric(trace, machine)
+        self.model = model_cls(self.fabric, self.engine, **model_kwargs)
+        self.model.check_trace(trace)
+        self.trace = expand_collectives(trace)
+        n = trace.nranks
+        self.clk = [0.0] * n
+        self.comm_time = [0.0] * n
+        self.compute_time = [0.0] * n
+        self._ip = [0] * n
+        self._channels: Dict[Tuple[int, int, int], _SimChannel] = {}
+        # req id -> ("isend", None) | ("irecv", delivery-time-or-None)
+        self._requests: List[Dict[int, Tuple[str, Optional[float]]]] = [{} for _ in range(n)]
+        self._blocked_at: List[float] = [0.0] * n  # virtual time a block began
+        self._blocked: List[Optional[Tuple]] = [None] * n
+        self._done = [False] * n
+        self._overhead = machine.software_overhead
+        self._inj_rate = machine.effective_injection_bandwidth
+
+    # -- helpers -----------------------------------------------------------
+
+    def _channel(self, src: int, dst: int, tag: int) -> _SimChannel:
+        key = (src, dst, tag)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = _SimChannel()
+        return chan
+
+    def _deliver(self, src: int, dst: int, tag: int, when: float) -> None:
+        chan = self._channel(src, dst, tag)
+        if chan.slots:
+            kind, ident = chan.slots.popleft()
+            if kind == "recv":
+                waited = max(self.clk[dst], when) - self._blocked_at[dst]
+                self.comm_time[dst] += max(0.0, waited)
+                self.clk[dst] = max(self.clk[dst], when)
+                self._blocked[dst] = None
+                self._ip[dst] += 1
+                self._advance(dst)
+            else:
+                self._requests[dst][ident] = ("irecv", when)
+                blocked = self._blocked[dst]
+                if blocked is not None and blocked[0] == "wait" and blocked[1] == ident:
+                    waited = max(self.clk[dst], when) - self._blocked_at[dst]
+                    self.comm_time[dst] += max(0.0, waited)
+                    self.clk[dst] = max(self.clk[dst], when)
+                    del self._requests[dst][ident]
+                    self._blocked[dst] = None
+                    self._ip[dst] += 1
+                    self._advance(dst)
+        else:
+            chan.deliveries.append(when)
+
+    # -- op execution --------------------------------------------------------
+
+    def _advance(self, rank: int) -> None:
+        """Run ``rank`` forward until it blocks, defers to an event, or ends."""
+        ops = self.trace.ranks[rank]
+        n_ops = len(ops)
+        o = self._overhead
+        while self._ip[rank] < n_ops:
+            op = ops[self._ip[rank]]
+            kind = op.kind
+            if kind == OpKind.COMPUTE:
+                work = op.duration * self.machine.compute_scale
+                self.clk[rank] += work
+                self.compute_time[rank] += work
+            elif kind in (OpKind.SEND, OpKind.ISEND):
+                start = self.clk[rank] + o
+                self.comm_time[rank] += o
+                if kind == OpKind.SEND:
+                    # Eager: sender is busy for the injection of the payload.
+                    inject = op.nbytes / self._inj_rate
+                    self.clk[rank] = start + inject
+                    self.comm_time[rank] += inject
+                else:
+                    self.clk[rank] = start
+                    self._requests[rank][op.req] = ("isend", None)
+                src, dst, tag, nbytes = rank, op.peer, op.tag, op.nbytes
+                self.model.transfer(
+                    src,
+                    dst,
+                    nbytes,
+                    start,
+                    lambda when, s=src, d=dst, t=tag: self._deliver(s, d, t, when),
+                )
+            elif kind == OpKind.RECV:
+                self.comm_time[rank] += o
+                self.clk[rank] += o
+                chan = self._channel(op.peer, rank, op.tag)
+                if chan.deliveries:
+                    when = chan.deliveries.popleft()
+                    if when > self.clk[rank]:
+                        self.comm_time[rank] += when - self.clk[rank]
+                        self.clk[rank] = when
+                else:
+                    chan.slots.append(("recv", rank))
+                    self._blocked[rank] = ("recv",)
+                    self._blocked_at[rank] = self.clk[rank]
+                    return
+            elif kind == OpKind.IRECV:
+                self.comm_time[rank] += o
+                self.clk[rank] += o
+                chan = self._channel(op.peer, rank, op.tag)
+                if chan.deliveries:
+                    self._requests[rank][op.req] = ("irecv", chan.deliveries.popleft())
+                else:
+                    chan.slots.append(("irecv", op.req))
+                    self._requests[rank][op.req] = ("irecv", None)
+            elif kind == OpKind.WAIT:
+                entry = self._requests[rank].get(op.req)
+                if entry is None:
+                    raise RuntimeError(
+                        f"rank {rank} waits on unknown request {op.req} in {self.trace.name}"
+                    )
+                state, when = entry
+                self.comm_time[rank] += o
+                self.clk[rank] += o
+                if state == "isend":
+                    del self._requests[rank][op.req]
+                elif when is not None:
+                    if when > self.clk[rank]:
+                        self.comm_time[rank] += when - self.clk[rank]
+                        self.clk[rank] = when
+                    del self._requests[rank][op.req]
+                else:
+                    self._blocked[rank] = ("wait", op.req)
+                    self._blocked_at[rank] = self.clk[rank]
+                    return
+            else:  # pragma: no cover - collectives were expanded away
+                raise RuntimeError(f"unexpanded collective {kind!r} reached the simulator")
+            self._ip[rank] += 1
+        self._done[rank] = True
+
+    def run(self) -> SimResult:
+        """Simulate the whole trace and report times and tool cost."""
+        wall_start = time.perf_counter()
+        for rank in range(self.original.nranks):
+            self._advance(rank)
+        self.engine.run()
+        if not all(self._done):
+            stuck = [r for r, d in enumerate(self._done) if not d]
+            raise RuntimeError(
+                f"simulation of {self.trace.name} deadlocked; blocked ranks {stuck[:8]}"
+            )
+        walltime = time.perf_counter() - wall_start
+        n = self.original.nranks
+        return SimResult(
+            trace_name=self.original.name,
+            app=self.original.app,
+            machine=self.machine.name,
+            model=self.model.name,
+            total_time=max(self.clk),
+            comm_time=sum(self.comm_time) / n,
+            compute_time=sum(self.compute_time) / n,
+            walltime=walltime,
+            events=self.engine.events_processed,
+            messages=self.model.messages_sent,
+            bytes_sent=self.model.bytes_sent,
+        )
+
+
+def simulate_trace(
+    trace: TraceSet, machine: MachineConfig, model: str = "packet-flow", **model_kwargs
+) -> SimResult:
+    """Convenience wrapper: simulate ``trace`` on ``machine`` with ``model``."""
+    return SimReplay(trace, machine, model, **model_kwargs).run()

@@ -1,0 +1,36 @@
+"""Simulation result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimResult"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Output of one simulated replay.
+
+    ``total_time`` and ``comm_time`` are virtual (predicted application)
+    seconds; ``walltime`` is the simulator's own execution time, the
+    quantity Figures 1 and Table II compare against MFACT's modeling
+    time.
+    """
+
+    trace_name: str
+    app: str
+    machine: str
+    model: str
+    total_time: float
+    comm_time: float
+    compute_time: float
+    walltime: float
+    events: int
+    messages: int
+    bytes_sent: int
+
+    def __post_init__(self):
+        if self.total_time < 0:
+            raise ValueError("total_time must be >= 0")
+        if self.walltime < 0:
+            raise ValueError("walltime must be >= 0")

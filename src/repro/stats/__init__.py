@@ -1,0 +1,33 @@
+"""Statistics: logistic regression, AIC, stepwise selection, Monte Carlo CV."""
+
+from repro.stats.aic import aic, aicc
+from repro.stats.calibration import (
+    CalibrationBin,
+    brier_score,
+    error_margins,
+    reliability_table,
+)
+from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.stats.mccv import CrossValidationResult, VariableStats, monte_carlo_cv
+from repro.stats.metrics import ConfusionCounts, confusion, misclassification_rate
+from repro.stats.stepwise import MAX_VARIABLES, StepwiseResult, stepwise_forward
+
+__all__ = [
+    "aic",
+    "aicc",
+    "CalibrationBin",
+    "brier_score",
+    "error_margins",
+    "reliability_table",
+    "LogisticModel",
+    "fit_logistic",
+    "CrossValidationResult",
+    "VariableStats",
+    "monte_carlo_cv",
+    "ConfusionCounts",
+    "confusion",
+    "misclassification_rate",
+    "MAX_VARIABLES",
+    "StepwiseResult",
+    "stepwise_forward",
+]

@@ -1,0 +1,21 @@
+"""Akaike information criterion helpers."""
+
+from __future__ import annotations
+
+from repro.stats.logistic import LogisticModel
+
+__all__ = ["aic", "aicc"]
+
+
+def aic(model: LogisticModel) -> float:
+    """AIC = 2k - 2 log L (lower is better)."""
+    return model.aic()
+
+
+def aicc(model: LogisticModel) -> float:
+    """Small-sample corrected AIC (Hurvich & Tsai)."""
+    k = model.n_params
+    n = model.n_obs
+    if n - k - 1 <= 0:
+        return float("inf")
+    return model.aic() + 2.0 * k * (k + 1) / (n - k - 1)

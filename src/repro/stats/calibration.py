@@ -1,0 +1,93 @@
+"""Probability-calibration diagnostics for the logistic predictor.
+
+The enhanced MFACT emits probabilities, and the paper's discussion
+notes that cases near the 2% DIFFtotal boundary drive the remaining
+misclassifications.  Calibration diagnostics make that visible: the
+Brier score, a reliability (calibration) table, and the probability
+margin distribution of the errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["brier_score", "reliability_table", "error_margins", "CalibrationBin"]
+
+
+def brier_score(y_true: Sequence[int], probabilities: Sequence[float]) -> float:
+    """Mean squared error of probabilistic predictions (0 is perfect)."""
+    y = np.asarray(y_true, dtype=float)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape != p.shape:
+        raise ValueError("y_true and probabilities must have the same shape")
+    if y.size == 0:
+        raise ValueError("empty inputs")
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(np.mean((p - y) ** 2))
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """One reliability-table row."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_probability: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        """Predicted minus observed frequency (0 = perfectly calibrated)."""
+        return self.mean_probability - self.observed_rate
+
+
+def reliability_table(
+    y_true: Sequence[int], probabilities: Sequence[float], bins: int = 10
+) -> List[CalibrationBin]:
+    """Bucket predictions by probability and compare to outcomes."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    y = np.asarray(y_true, dtype=float)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape != p.shape:
+        raise ValueError("y_true and probabilities must have the same shape")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    table: List[CalibrationBin] = []
+    for lower, upper in zip(edges[:-1], edges[1:]):
+        mask = (p >= lower) & (p < upper if upper < 1.0 else p <= upper)
+        if not mask.any():
+            continue
+        table.append(
+            CalibrationBin(
+                lower=float(lower),
+                upper=float(upper),
+                count=int(mask.sum()),
+                mean_probability=float(p[mask].mean()),
+                observed_rate=float(y[mask].mean()),
+            )
+        )
+    return table
+
+
+def error_margins(
+    y_true: Sequence[int], probabilities: Sequence[float], threshold: float = 0.5
+) -> np.ndarray:
+    """|p - threshold| for the *misclassified* cases.
+
+    Small margins mean the errors sit near the decision boundary — the
+    paper's "DIFF values close to the 2% threshold" failure mode; large
+    margins would indicate confidently wrong predictions, a model
+    problem rather than a data problem.
+    """
+    y = np.asarray(y_true, dtype=int)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape != p.shape:
+        raise ValueError("y_true and probabilities must have the same shape")
+    predicted = (p >= threshold).astype(int)
+    wrong = predicted != y
+    return np.abs(p[wrong] - threshold)

@@ -1,0 +1,70 @@
+"""Classification metrics as the paper defines them (Section VI-B3).
+
+Positive class = "requires simulation".  The FN rate is FN / (FN + TP);
+the FP rate is FP / (FP + TN); the misclassification rate is the share
+of wrong predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ConfusionCounts", "confusion", "misclassification_rate"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """2x2 confusion counts with the paper's derived rates."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def misclassification_rate(self) -> float:
+        """(FP + FN) / total."""
+        return (self.fp + self.fn) / self.total if self.total else 0.0
+
+    @property
+    def fn_rate(self) -> float:
+        """FN / (FN + TP); 0 when no positives exist."""
+        denom = self.fn + self.tp
+        return self.fn / denom if denom else 0.0
+
+    @property
+    def fp_rate(self) -> float:
+        """FP / (FP + TN); 0 when no negatives exist."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """1 - misclassification rate."""
+        return 1.0 - self.misclassification_rate
+
+
+def confusion(y_true: Sequence[int], y_pred: Sequence[int]) -> ConfusionCounts:
+    """Tally the confusion counts of binary predictions."""
+    yt = np.asarray(y_true, dtype=int)
+    yp = np.asarray(y_pred, dtype=int)
+    if yt.shape != yp.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    return ConfusionCounts(
+        tp=int(np.sum((yt == 1) & (yp == 1))),
+        tn=int(np.sum((yt == 0) & (yp == 0))),
+        fp=int(np.sum((yt == 0) & (yp == 1))),
+        fn=int(np.sum((yt == 1) & (yp == 0))),
+    )
+
+
+def misclassification_rate(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of wrong predictions."""
+    return confusion(y_true, y_pred).misclassification_rate

@@ -1,0 +1,78 @@
+"""Step-wise forward variable selection by AIC (Section VI-B2).
+
+At each step the candidate variable whose addition most improves the
+Akaike information criterion joins the model; selection stops when no
+candidate improves AIC or the cap (five variables, to limit over-fitting
+and multi-collinearity) is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.logistic import LogisticModel, fit_logistic
+
+__all__ = ["StepwiseResult", "stepwise_forward", "MAX_VARIABLES"]
+
+#: The paper caps models at five variables.
+MAX_VARIABLES = 5
+
+
+@dataclass
+class StepwiseResult:
+    """Outcome of one forward-selection run."""
+
+    selected: Tuple[str, ...]
+    model: LogisticModel
+    aic_path: Tuple[float, ...]  # AIC after each accepted step
+
+
+def stepwise_forward(
+    X: np.ndarray,
+    y: Sequence[int],
+    feature_names: Sequence[str],
+    max_vars: int = MAX_VARIABLES,
+    ridge: float = 1e-6,
+) -> StepwiseResult:
+    """Forward-select up to ``max_vars`` columns of ``X`` by AIC."""
+    X = np.asarray(X, dtype=float)
+    names = list(feature_names)
+    if X.shape[1] != len(names):
+        raise ValueError("feature_names must match X columns")
+    if max_vars < 1:
+        raise ValueError("max_vars must be >= 1")
+    chosen: List[int] = []
+    aic_path: List[float] = []
+    # AIC of the intercept-only model.
+    current_model = fit_logistic(np.zeros((X.shape[0], 0)), y, (), ridge=ridge)
+    best_aic = current_model.aic()
+    remaining = list(range(len(names)))
+    while remaining and len(chosen) < max_vars:
+        best_candidate = None
+        best_candidate_aic = best_aic
+        best_candidate_model = None
+        for j in remaining:
+            cols = chosen + [j]
+            model = fit_logistic(
+                X[:, cols], y, tuple(names[c] for c in cols), ridge=ridge
+            )
+            candidate_aic = model.aic()
+            if candidate_aic < best_candidate_aic - 1e-9:
+                best_candidate = j
+                best_candidate_aic = candidate_aic
+                best_candidate_model = model
+        if best_candidate is None:
+            break
+        chosen.append(best_candidate)
+        remaining.remove(best_candidate)
+        best_aic = best_candidate_aic
+        current_model = best_candidate_model
+        aic_path.append(best_aic)
+    return StepwiseResult(
+        selected=tuple(names[c] for c in chosen),
+        model=current_model,
+        aic_path=tuple(aic_path),
+    )

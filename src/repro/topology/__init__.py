@@ -1,0 +1,26 @@
+"""Interconnect topologies: 3-D torus, dragonfly, fat-tree, and rank mappings."""
+
+from repro.topology.base import Topology
+from repro.topology.dragonfly import Dragonfly, fit_dragonfly
+from repro.topology.fattree import FatTree, fit_fattree
+from repro.topology.mapping import (
+    block_mapping,
+    build_topology,
+    random_mapping,
+    round_robin_mapping,
+)
+from repro.topology.torus import Torus3D, fit_torus_dims
+
+__all__ = [
+    "Topology",
+    "Torus3D",
+    "fit_torus_dims",
+    "Dragonfly",
+    "fit_dragonfly",
+    "FatTree",
+    "fit_fattree",
+    "block_mapping",
+    "round_robin_mapping",
+    "random_mapping",
+    "build_topology",
+]

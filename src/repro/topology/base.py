@@ -1,0 +1,87 @@
+"""Topology abstraction used by the simulator.
+
+A topology exposes nodes ``0..nnodes-1`` and *directed links* identified
+by dense integer ids so simulator models can keep per-link state in flat
+arrays.  ``route(src, dst)`` returns the deterministic minimal route as
+a tuple of link ids; routes are memoized because trace replay revisits
+the same pairs constantly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+import networkx as nx
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """Base class for interconnect topologies."""
+
+    def __init__(self, nnodes: int, nlinks: int):
+        if nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+        if nlinks < 0:
+            raise ValueError(f"nlinks must be >= 0, got {nlinks}")
+        self._nnodes = int(nnodes)
+        self._nlinks = int(nlinks)
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    @property
+    def nnodes(self) -> int:
+        """Number of end nodes."""
+        return self._nnodes
+
+    @property
+    def nlinks(self) -> int:
+        """Number of directed links (dense ids ``0..nlinks-1``)."""
+        return self._nlinks
+
+    def route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Deterministic minimal route from ``src`` to ``dst`` as link ids.
+
+        The empty tuple means the endpoints share a node (``src == dst``)
+        and traffic stays in memory.
+        """
+        if not 0 <= src < self._nnodes:
+            raise ValueError(f"src node {src} out of range [0, {self._nnodes})")
+        if not 0 <= dst < self._nnodes:
+            raise ValueError(f"dst node {dst} out of range [0, {self._nnodes})")
+        if src == dst:
+            return ()
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = tuple(self._compute_route(src, dst))
+            self._route_cache[key] = cached
+        return cached
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of links on the deterministic route."""
+        return len(self.route(src, dst))
+
+    @abstractmethod
+    def _compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Compute the route for distinct, validated endpoints."""
+
+    # -- diagnostics ---------------------------------------------------
+
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """Directed multigraph of the fabric, for structural checks.
+
+        Nodes are labelled with the topology's internal vertex names;
+        edges carry their ``link`` id.  A multigraph is required because
+        small tori have two parallel links between ring neighbours.
+        Subclasses override :meth:`_edges` to enumerate
+        ``(u, v, link_id)``.
+        """
+        graph = nx.MultiDiGraph()
+        for u, v, link in self._edges():
+            graph.add_edge(u, v, link=link)
+        return graph
+
+    @abstractmethod
+    def _edges(self):
+        """Yield ``(u, v, link_id)`` for every directed link."""

@@ -1,0 +1,142 @@
+"""Dragonfly topology with minimal routing (Cray Aries style).
+
+Structure: ``g`` groups of ``a`` routers; routers within a group form a
+full mesh of local links; each router owns ``h`` global-link ports; each
+router hosts ``p`` compute nodes.  Minimal routing takes at most one
+local hop to the gateway router, one global hop to the destination
+group's entry router, and one local hop to the destination router.
+
+Group-to-group wiring follows the rotation arrangement with *parallel
+trunks*: port ``q`` of group ``i`` reaches group
+``(i + 1 + (q mod (g-1))) mod g``, so when the job occupies fewer groups
+than the fabric has ports (``g - 1 < a*h``) every ordered pair gets
+``floor/ceil(a*h / (g-1))`` parallel global links.  Minimal routing
+spreads node pairs across the parallel trunks by a deterministic hash,
+standing in for the per-packet adaptive spreading of a real Aries.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Dragonfly", "fit_dragonfly"]
+
+
+def fit_dragonfly(nnodes: int) -> Tuple[int, int, int, int]:
+    """Balanced (p, a, h, g) covering ``nnodes`` compute nodes.
+
+    Uses the balanced sizing rule a = 2p, h = p and trims the group
+    count to the job footprint (g <= a*h + 1 always holds).
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    p = 1
+    while True:
+        a, h = 2 * p, p
+        gmax = a * h + 1
+        if p * a * gmax >= nnodes:
+            g = max(2, -(-nnodes // (p * a)))
+            if g > gmax:
+                p += 1
+                continue
+            return (p, a, h, g)
+        p += 1
+
+
+class Dragonfly(Topology):
+    """A dragonfly with ``g`` groups of ``a`` routers, ``p`` nodes each."""
+
+    def __init__(self, p: int, a: int, h: int, g: int):
+        if min(p, a, h, g) < 1:
+            raise ValueError(f"p, a, h, g must be positive, got {(p, a, h, g)}")
+        if g > a * h + 1:
+            raise ValueError(f"g={g} exceeds a*h+1={a * h + 1}: not enough global ports")
+        if g < 2 and g != 1:
+            raise ValueError("g must be >= 1")
+        self.p, self.a, self.h, self.g = int(p), int(a), int(h), int(g)
+        nnodes = p * a * g
+        self._local_per_group = a * (a - 1)
+        self._global_base = g * self._local_per_group
+        nlinks = self._global_base + g * a * h
+        super().__init__(nnodes, nlinks)
+
+    @classmethod
+    def fit(cls, nnodes: int) -> "Dragonfly":
+        """Build a balanced dragonfly holding ``nnodes`` compute nodes."""
+        return cls(*fit_dragonfly(nnodes))
+
+    # -- structure -------------------------------------------------------
+
+    def locate(self, node: int) -> Tuple[int, int]:
+        """(group, router-within-group) hosting ``node``."""
+        router_global = node // self.p
+        return divmod(router_global, self.a)
+
+    def _local_link(self, group: int, r_from: int, r_to: int) -> int:
+        slot = r_to if r_to < r_from else r_to - 1
+        return group * self._local_per_group + r_from * (self.a - 1) + slot
+
+    def _global_port(self, group: int, dst_group: int, salt: int = 0) -> Tuple[int, int]:
+        """(port index q, gateway router) in ``group`` toward ``dst_group``.
+
+        ``salt`` selects among the parallel trunks serving the pair.
+        """
+        base = (dst_group - group) % self.g - 1  # in [0, g-2]
+        ports = self.a * self.h
+        trunks = ports // (self.g - 1) + (1 if base < ports % (self.g - 1) else 0)
+        q = base + (self.g - 1) * (salt % trunks)
+        return q, q // self.h
+
+    def _global_link(self, group: int, q: int) -> int:
+        return self._global_base + group * (self.a * self.h) + q
+
+    @staticmethod
+    def _salt(src: int, dst: int) -> int:
+        return (src * 2654435761 + dst * 40503) & 0x7FFFFFFF
+
+    def _compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        sg, sr = self.locate(src)
+        dg, dr = self.locate(dst)
+        links = []
+        if sg == dg:
+            if sr != dr:
+                links.append(self._local_link(sg, sr, dr))
+            return tuple(links)
+        salt = self._salt(src, dst)
+        q, gateway = self._global_port(sg, dg, salt)
+        if sr != gateway:
+            links.append(self._local_link(sg, sr, gateway))
+        links.append(self._global_link(sg, q))
+        # The entry router is the fixed remote endpoint of the chosen
+        # trunk: back-port trunk index mirrors the forward trunk index.
+        _, entry = self._global_port(dg, sg, q // (self.g - 1))
+        if entry != dr:
+            links.append(self._local_link(dg, entry, dr))
+        return tuple(links)
+
+    def _edges(self):
+        for group in range(self.g):
+            for r_from in range(self.a):
+                for r_to in range(self.a):
+                    if r_from != r_to:
+                        yield (
+                            ("r", group, r_from),
+                            ("r", group, r_to),
+                            self._local_link(group, r_from, r_to),
+                        )
+        if self.g > 1:
+            for group in range(self.g):
+                for q in range(self.a * self.h):
+                    dst_group = (group + 1 + (q % (self.g - 1))) % self.g
+                    gateway = q // self.h
+                    _, entry = self._global_port(dst_group, group, q // (self.g - 1))
+                    yield (
+                        ("r", group, gateway),
+                        ("r", dst_group, entry),
+                        self._global_link(group, q),
+                    )
+
+    def __repr__(self) -> str:
+        return f"Dragonfly(p={self.p}, a={self.a}, h={self.h}, g={self.g})"

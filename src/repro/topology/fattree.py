@@ -1,0 +1,80 @@
+"""Two-level folded-Clos fat-tree with destination-mod routing.
+
+``m`` leaf switches each host ``n`` compute nodes and connect upward to
+every one of ``r`` root switches.  The deterministic up-path picks root
+``dst % r`` (D-mod-k routing), so all traffic to one destination funnels
+through one root — the classic fat-tree hotspot behaviour.  Terminal
+links (node-leaf) are modeled so leaf contention is visible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["FatTree", "fit_fattree"]
+
+
+def fit_fattree(nnodes: int) -> Tuple[int, int, int]:
+    """(leaves m, nodes-per-leaf n, roots r) covering ``nnodes``.
+
+    Uses a full-bisection sizing: n nodes per leaf, r = n roots,
+    m = ceil(nnodes / n), with n chosen near sqrt(nnodes) and capped so
+    switch radix stays moderate.
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    n = max(1, min(16, round(math.sqrt(nnodes))))
+    m = -(-nnodes // n)
+    if m < 2:
+        m = 2
+    return (m, n, n)
+
+
+class FatTree(Topology):
+    """A two-level fat-tree with ``m`` leaves x ``n`` nodes and ``r`` roots."""
+
+    def __init__(self, m: int, n: int, r: int):
+        if min(m, n, r) < 1:
+            raise ValueError(f"m, n, r must be positive, got {(m, n, r)}")
+        self.m, self.n, self.r = int(m), int(n), int(r)
+        nnodes = m * n
+        # Link id layout: [node up][node down][leaf->root up][root->leaf down]
+        self._up_base = 2 * nnodes
+        self._down_base = self._up_base + m * r
+        super().__init__(nnodes, self._down_base + r * m)
+
+    @classmethod
+    def fit(cls, nnodes: int) -> "FatTree":
+        """Build a full-bisection fat-tree holding ``nnodes`` nodes."""
+        return cls(*fit_fattree(nnodes))
+
+    def leaf_of(self, node: int) -> int:
+        """Leaf switch hosting ``node``."""
+        return node // self.n
+
+    def _compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        leaf_s, leaf_d = self.leaf_of(src), self.leaf_of(dst)
+        up_terminal = src
+        down_terminal = self.nnodes + dst
+        if leaf_s == leaf_d:
+            return (up_terminal, down_terminal)
+        root = dst % self.r
+        up = self._up_base + leaf_s * self.r + root
+        down = self._down_base + root * self.m + leaf_d
+        return (up_terminal, up, down, down_terminal)
+
+    def _edges(self):
+        for node in range(self.nnodes):
+            leaf = ("leaf", self.leaf_of(node))
+            yield ("node", node), leaf, node
+            yield leaf, ("node", node), self.nnodes + node
+        for leaf in range(self.m):
+            for root in range(self.r):
+                yield ("leaf", leaf), ("root", root), self._up_base + leaf * self.r + root
+                yield ("root", root), ("leaf", leaf), self._down_base + root * self.m + leaf
+
+    def __repr__(self) -> str:
+        return f"FatTree(m={self.m}, n={self.n}, r={self.r})"

@@ -1,0 +1,59 @@
+"""Rank-to-node mappings.
+
+The paper replays simulations "using the same task-mapping as the
+original application execution", which for the traced systems is the
+default block (SMP-style) mapping: consecutive ranks fill a node before
+moving to the next.  A round-robin and a seeded random mapping are
+provided for mapping-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.util.rng import substream
+from repro.util.validation import require
+
+__all__ = ["block_mapping", "round_robin_mapping", "random_mapping", "build_topology"]
+
+
+def block_mapping(nranks: int, ranks_per_node: int) -> List[int]:
+    """Consecutive ranks share a node: rank r -> node r // ranks_per_node."""
+    require(nranks >= 1, "nranks must be >= 1")
+    require(ranks_per_node >= 1, "ranks_per_node must be >= 1")
+    return [r // ranks_per_node for r in range(nranks)]
+
+
+def round_robin_mapping(nranks: int, nnodes: int) -> List[int]:
+    """Rank r -> node r % nnodes (cyclic distribution)."""
+    require(nranks >= 1, "nranks must be >= 1")
+    require(nnodes >= 1, "nnodes must be >= 1")
+    return [r % nnodes for r in range(nranks)]
+
+
+def random_mapping(nranks: int, ranks_per_node: int, seed: int) -> List[int]:
+    """Random placement honouring the per-node capacity, reproducible by seed."""
+    require(nranks >= 1, "nranks must be >= 1")
+    require(ranks_per_node >= 1, "ranks_per_node must be >= 1")
+    nnodes = -(-nranks // ranks_per_node)
+    slots = np.repeat(np.arange(nnodes), ranks_per_node)[:nranks]
+    rng = substream(seed, "mapping", nranks, ranks_per_node)
+    rng.shuffle(slots)
+    return [int(s) for s in slots]
+
+
+def build_topology(family: str, nnodes: int):
+    """Instantiate a topology of ``family`` sized to hold ``nnodes`` nodes."""
+    from repro.topology.dragonfly import Dragonfly
+    from repro.topology.fattree import FatTree
+    from repro.topology.torus import Torus3D
+
+    families = {"torus3d": Torus3D, "dragonfly": Dragonfly, "fattree": FatTree}
+    try:
+        cls = families[family]
+    except KeyError:
+        known = ", ".join(sorted(families))
+        raise ValueError(f"unknown topology family {family!r} (known: {known})") from None
+    return cls.fit(nnodes)

@@ -1,0 +1,112 @@
+"""3-D torus with dimension-order routing (Cray Gemini style).
+
+Each node is a router with six outgoing links (±x, ±y, ±z).  Routing is
+dimension-ordered (x, then y, then z), taking the shorter way around
+each ring and breaking ties toward the positive direction — this is
+deterministic and deadlock-free under DOR.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Torus3D", "fit_torus_dims"]
+
+# Direction encoding for link ids: node * 6 + _DIR[(axis, step)]
+_DIR = {(0, +1): 0, (0, -1): 1, (1, +1): 2, (1, -1): 3, (2, +1): 4, (2, -1): 5}
+
+
+def fit_torus_dims(nnodes: int) -> Tuple[int, int, int]:
+    """Smallest near-cubic (a, b, c) with ``a*b*c >= nnodes``.
+
+    Mirrors how we place a job of ``nnodes`` nodes on a torus machine:
+    the fabric is sized to the job footprint, keeping dimensions as
+    balanced as possible (a <= b <= c, c - a minimized greedily).
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    side = max(1, round(nnodes ** (1.0 / 3.0)))
+    best = None
+    for a in range(max(1, side - 2), side + 3):
+        for b in range(a, side + 4):
+            c = math.ceil(nnodes / (a * b))
+            if c < b:
+                c = b
+            volume = a * b * c
+            if volume >= nnodes:
+                key = (volume, c - a)
+                if best is None or key < best[0]:
+                    best = (key, (a, b, c))
+    assert best is not None
+    return best[1]
+
+
+class Torus3D(Topology):
+    """A ``dims[0] x dims[1] x dims[2]`` 3-D torus."""
+
+    def __init__(self, dims: Tuple[int, int, int]):
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"dims must be three positive ints, got {dims!r}")
+        self.dims = (int(dims[0]), int(dims[1]), int(dims[2]))
+        nnodes = self.dims[0] * self.dims[1] * self.dims[2]
+        super().__init__(nnodes, nnodes * 6)
+
+    @classmethod
+    def fit(cls, nnodes: int) -> "Torus3D":
+        """Build the smallest near-cubic torus holding ``nnodes`` nodes."""
+        return cls(fit_torus_dims(nnodes))
+
+    # -- coordinates ----------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, int, int]:
+        """(x, y, z) coordinates of ``node``."""
+        a, b, _ = self.dims
+        x = node % a
+        y = (node // a) % b
+        z = node // (a * b)
+        return (x, y, z)
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        """Node id at coordinates (x, y, z)."""
+        a, b, c = self.dims
+        return (x % a) + a * ((y % b) + b * (z % c))
+
+    def _link(self, node: int, axis: int, step: int) -> int:
+        return node * 6 + _DIR[(axis, step)]
+
+    def _ring_steps(self, axis: int, frm: int, to: int) -> Iterator[int]:
+        """Signed unit steps along one ring, shorter way, ties positive."""
+        size = self.dims[axis]
+        forward = (to - frm) % size
+        backward = (frm - to) % size
+        if forward <= backward:
+            for _ in range(forward):
+                yield +1
+        else:
+            for _ in range(backward):
+                yield -1
+
+    def _compute_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        here = list(self.coords(src))
+        target = self.coords(dst)
+        links = []
+        for axis in range(3):
+            for step in self._ring_steps(axis, here[axis], target[axis]):
+                node = self.node_at(*here)
+                links.append(self._link(node, axis, step))
+                here[axis] = (here[axis] + step) % self.dims[axis]
+        return tuple(links)
+
+    def _edges(self):
+        for node in range(self.nnodes):
+            x, y, z = self.coords(node)
+            for (axis, step), slot in _DIR.items():
+                coord = [x, y, z]
+                coord[axis] = (coord[axis] + step) % self.dims[axis]
+                yield node, self.node_at(*coord), node * 6 + slot
+
+    def __repr__(self) -> str:
+        return f"Torus3D(dims={self.dims})"

@@ -1,0 +1,58 @@
+"""Trace substrate: event model, containers, DUMPI-like I/O, features, stats."""
+
+from repro.trace.compress import (
+    CompressedStream,
+    CompressedTrace,
+    compress_trace,
+    decompress_trace,
+)
+from repro.trace.binary import (
+    dumps_binary,
+    loads_binary,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.trace.dumpi import dumps, loads, read_trace, write_trace
+from repro.trace.dumpi_import import import_dumpi_ascii, parse_rank_stream
+from repro.trace.events import COLLECTIVE_KINDS, P2P_KINDS, Op, OpKind, make_compute
+from repro.trace.features import (
+    FEATURE_DESCRIPTIONS,
+    FEATURE_NAMES,
+    NUMERIC_FEATURE_NAMES,
+    extract_features,
+)
+from repro.trace.stats import comm_histogram, rank_histogram, summarize_corpus
+from repro.trace.timeline import render_timeline
+from repro.trace.trace import TraceSet, TraceValidationError
+
+__all__ = [
+    "CompressedStream",
+    "CompressedTrace",
+    "compress_trace",
+    "decompress_trace",
+    "Op",
+    "OpKind",
+    "make_compute",
+    "P2P_KINDS",
+    "COLLECTIVE_KINDS",
+    "TraceSet",
+    "TraceValidationError",
+    "dumps",
+    "dumps_binary",
+    "loads_binary",
+    "read_trace_binary",
+    "write_trace_binary",
+    "import_dumpi_ascii",
+    "parse_rank_stream",
+    "loads",
+    "read_trace",
+    "write_trace",
+    "FEATURE_NAMES",
+    "NUMERIC_FEATURE_NAMES",
+    "FEATURE_DESCRIPTIONS",
+    "extract_features",
+    "rank_histogram",
+    "comm_histogram",
+    "summarize_corpus",
+    "render_timeline",
+]

@@ -1,0 +1,118 @@
+"""Trace file command-line tools.
+
+Usage::
+
+    python -m repro.trace.cli info trace.dmp
+    python -m repro.trace.cli validate trace.dmp
+    python -m repro.trace.cli features trace.dmp
+    python -m repro.trace.cli compress-stats trace.dmp
+    python -m repro.trace.cli convert trace.dmp trace.bin   # ascii <-> binary
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List
+
+from repro.trace.binary import read_trace_binary, write_trace_binary
+from repro.trace.compress import compress_trace
+from repro.trace.dumpi import read_trace, write_trace
+from repro.trace.features import extract_features
+from repro.trace.trace import TraceValidationError
+from repro.util.units import format_time
+
+__all__ = ["main"]
+
+
+def _cmd_info(trace, args) -> int:
+    print(f"name            {trace.name}")
+    print(f"application     {trace.app}")
+    print(f"machine         {trace.machine}")
+    print(f"ranks           {trace.nranks} ({trace.ranks_per_node} per node, "
+          f"{trace.nnodes} nodes)")
+    print(f"ops             {trace.op_count()}")
+    print(f"p2p messages    {trace.message_count()} ({trace.total_send_bytes()} bytes)")
+    print(f"communicators   {len(trace.comms)}")
+    print(f"flags           comm_split={trace.uses_comm_split} threads={trace.uses_threads}")
+    if trace.has_timestamps():
+        print(f"measured total  {format_time(trace.measured_total_time())}")
+        print(f"measured comm   {format_time(trace.measured_comm_time())} "
+              f"({100 * trace.comm_fraction():.1f}%)")
+    else:
+        print("measured total  (trace is unstamped)")
+    return 0
+
+
+def _cmd_validate(trace, args) -> int:
+    try:
+        trace.validate()
+    except TraceValidationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(f"{trace.name}: valid ({trace.op_count()} ops, {trace.nranks} ranks)")
+    return 0
+
+
+def _cmd_features(trace, args) -> int:
+    if not trace.has_timestamps():
+        print("trace is unstamped; features need measured timestamps", file=sys.stderr)
+        return 1
+    features = extract_features(trace)
+    width = max(len(name) for name in features)
+    for name, value in features.items():
+        print(f"{name:<{width}s}  {value:.6g}")
+    return 0
+
+
+def _cmd_compress_stats(trace, args) -> int:
+    compressed = compress_trace(trace, max_block=args.max_block)
+    print(f"ops          {compressed.op_count()}")
+    print(f"stored ops   {compressed.stored_ops()}")
+    print(f"ratio        {compressed.compression_ratio:.2f}x")
+    runs = sum(len(s.runs) for s in compressed.streams)
+    print(f"runs         {runs} across {len(compressed.streams)} ranks")
+    return 0
+
+
+def _cmd_convert(trace, args) -> int:
+    out = args.output
+    if out is None:
+        print("convert needs an output path", file=sys.stderr)
+        return 1
+    if out.endswith(".bin"):
+        write_trace_binary(trace, out)
+    else:
+        write_trace(trace, out)
+    print(f"wrote {out}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "features": _cmd_features,
+    "compress-stats": _cmd_compress_stats,
+    "convert": _cmd_convert,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.trace.cli", description=__doc__)
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("path", help="trace file (.dmp ascii or .bin binary)")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path for the convert command")
+    parser.add_argument("--max-block", type=int, default=128,
+                        help="compression search window (compress-stats)")
+    args = parser.parse_args(argv)
+    if args.path.endswith(".bin"):
+        trace = read_trace_binary(args.path)
+    else:
+        trace = read_trace(args.path)
+    return _COMMANDS[args.command](trace, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""ScalaTrace-style structural trace compression.
+
+Iterative MPI applications repeat the same communication pattern every
+timestep; ScalaTrace exploits this to store traces in near-constant
+space.  This module does the structural part: per rank, consecutive
+repeats of an op block are folded into ``(block, count)`` runs, with
+request ids canonicalized inside each block (their absolute values
+differ between iterations; their *wiring* does not).
+
+Compression is lossy in timestamps (a compressed trace is a *program*,
+not a measurement): decompression yields structurally identical op
+streams with fresh request ids and unset timestamps, ready for the
+ground-truth synthesizer or direct replay.
+
+Only *request-closed* blocks — every nonblocking request is both opened
+and waited inside the block — are eligible for folding, so decompressed
+traces always validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["CompressedStream", "CompressedTrace", "compress_trace", "decompress_trace"]
+
+#: Largest repeated-block length the encoder searches for.
+MAX_BLOCK = 128
+
+
+def _quantize(duration: float, quantum: float) -> float:
+    if quantum <= 0:
+        return duration
+    return round(duration / quantum)
+
+
+def _canonical(ops: Sequence[Op], quantum: float = 0.0) -> Tuple:
+    """Structural signature with block-relative request numbering.
+
+    ``quantum`` buckets computation durations so per-iteration timing
+    jitter does not defeat structural matching (ScalaTrace's lossy-time
+    mode); the stored block keeps the first iteration's durations.
+    """
+    req_map: Dict[int, int] = {}
+    out = []
+    for op in ops:
+        if op.req >= 0:
+            local = req_map.setdefault(op.req, len(req_map))
+        else:
+            local = -1
+        out.append(
+            (int(op.kind), op.peer, op.nbytes, op.tag, op.comm, local,
+             _quantize(op.duration, quantum))
+        )
+    return tuple(out)
+
+
+def _request_closed(ops: Sequence[Op]) -> bool:
+    """True when every request opened in the block is waited inside it."""
+    opened = set()
+    waited = set()
+    for op in ops:
+        if op.kind in (OpKind.ISEND, OpKind.IRECV):
+            opened.add(op.req)
+        elif op.kind == OpKind.WAIT:
+            waited.add(op.req)
+    return opened == waited
+
+
+@dataclass
+class CompressedStream:
+    """One rank's stream as (block, repeat count) runs."""
+
+    runs: List[Tuple[List[Op], int]]
+
+    def op_count(self) -> int:
+        return sum(len(block) * count for block, count in self.runs)
+
+    def stored_ops(self) -> int:
+        return sum(len(block) for block, _ in self.runs)
+
+
+@dataclass
+class CompressedTrace:
+    """A whole trace in compressed form plus its header fields."""
+
+    name: str
+    app: str
+    machine: str
+    ranks_per_node: int
+    comms: Dict[int, Tuple[int, ...]]
+    uses_comm_split: bool
+    uses_threads: bool
+    metadata: dict
+    streams: List[CompressedStream]
+
+    def op_count(self) -> int:
+        return sum(stream.op_count() for stream in self.streams)
+
+    def stored_ops(self) -> int:
+        return sum(stream.stored_ops() for stream in self.streams)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original ops over stored ops (>= 1)."""
+        stored = self.stored_ops()
+        return self.op_count() / stored if stored else 1.0
+
+
+def _compress_stream(ops: Sequence[Op], max_block: int, quantum: float) -> CompressedStream:
+    ops = list(ops)
+    n = len(ops)
+    # Cheap per-op keys for fast window prefiltering (ignores requests).
+    keys = [
+        (int(op.kind), op.peer, op.nbytes, op.tag, op.comm,
+         _quantize(op.duration, quantum))
+        for op in ops
+    ]
+    runs: List[Tuple[List[Op], int]] = []
+    i = 0
+    while i < n:
+        best: Optional[Tuple[int, int]] = None
+        best_saving = 0
+        limit = min(max_block, (n - i) // 2)
+        for w in range(1, limit + 1):
+            if keys[i : i + w] != keys[i + w : i + 2 * w]:
+                continue
+            if not _request_closed(ops[i : i + w]):
+                continue
+            first = _canonical(ops[i : i + w], quantum)
+            repeats = 1
+            j = i + w
+            while (
+                j + w <= n
+                and keys[j : j + w] == keys[i : i + w]
+                and _canonical(ops[j : j + w], quantum) == first
+            ):
+                repeats += 1
+                j += w
+            if repeats > 1:
+                saving = (repeats - 1) * w
+                if saving > best_saving:
+                    best_saving = saving
+                    best = (w, repeats)
+        if best is None:
+            runs.append(([ops[i]], 1))
+            i += 1
+        else:
+            w, repeats = best
+            runs.append((list(ops[i : i + w]), repeats))
+            i += w * repeats
+    # Merge adjacent literal runs into one block for compactness.
+    merged: List[Tuple[List[Op], int]] = []
+    for block, count in runs:
+        if count == 1 and merged and merged[-1][1] == 1:
+            merged[-1][0].extend(block)
+        else:
+            merged.append((list(block), count))
+    return CompressedStream(runs=merged)
+
+
+def compress_trace(
+    trace: TraceSet, max_block: int = MAX_BLOCK, duration_quantum: float = 0.0
+) -> CompressedTrace:
+    """Fold per-rank iteration structure into repeat runs.
+
+    ``duration_quantum > 0`` enables lossy-time matching: computation
+    durations within the same quantum bucket count as equal, and the
+    folded block stores the first iteration's durations.
+    """
+    if max_block < 1:
+        raise ValueError("max_block must be >= 1")
+    if duration_quantum < 0:
+        raise ValueError("duration_quantum must be >= 0")
+    return CompressedTrace(
+        name=trace.name,
+        app=trace.app,
+        machine=trace.machine,
+        ranks_per_node=trace.ranks_per_node,
+        comms=dict(trace.comms),
+        uses_comm_split=trace.uses_comm_split,
+        uses_threads=trace.uses_threads,
+        metadata=dict(trace.metadata),
+        streams=[
+            _compress_stream(stream, max_block, duration_quantum)
+            for stream in trace.ranks
+        ],
+    )
+
+
+def _emit(op: Op, req: int) -> Op:
+    return Op(
+        op.kind,
+        peer=op.peer,
+        nbytes=op.nbytes,
+        tag=op.tag,
+        comm=op.comm,
+        req=req,
+        duration=op.duration,
+    )
+
+
+def decompress_trace(compressed: CompressedTrace) -> TraceSet:
+    """Expand runs back into a full (unstamped) trace."""
+    ranks: List[List[Op]] = []
+    for stream in compressed.streams:
+        next_req = 1
+        literal_map: Dict[int, int] = {}
+        ops: List[Op] = []
+        for block, count in stream.runs:
+            if count == 1:
+                # Literal region: requests may span adjacent literal
+                # blocks, so the remapping persists across them.
+                for op in block:
+                    req = op.req
+                    if req >= 0:
+                        if req not in literal_map:
+                            literal_map[req] = next_req
+                            next_req += 1
+                        req = literal_map[req]
+                    ops.append(_emit(op, req))
+            else:
+                # Folded block: request-closed by construction, so each
+                # repetition gets its own fresh wiring.
+                for _ in range(count):
+                    block_map: Dict[int, int] = {}
+                    for op in block:
+                        req = op.req
+                        if req >= 0:
+                            if req not in block_map:
+                                block_map[req] = next_req
+                                next_req += 1
+                            req = block_map[req]
+                        ops.append(_emit(op, req))
+        ranks.append(ops)
+    return TraceSet(
+        name=compressed.name,
+        app=compressed.app,
+        ranks=ranks,
+        machine=compressed.machine,
+        ranks_per_node=compressed.ranks_per_node,
+        comms=dict(compressed.comms),
+        uses_comm_split=compressed.uses_comm_split,
+        uses_threads=compressed.uses_threads,
+        metadata=dict(compressed.metadata),
+    )

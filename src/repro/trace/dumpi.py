@@ -1,0 +1,137 @@
+"""DUMPI-like ASCII trace serialization.
+
+Real DUMPI traces are binary, one file per rank, recording entry/exit
+times and call metadata for each MPI call.  We keep the same information
+content in a single line-oriented ASCII file per :class:`TraceSet`:
+a header block followed by one section per rank with one line per op
+(kind, peer, nbytes, tag, comm, req, duration, entry, exit).  The format
+round-trips exactly (timestamps are stored as hex floats).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["write_trace", "read_trace", "dumps", "loads", "FORMAT_MAGIC"]
+
+FORMAT_MAGIC = "#DUMPI-LIKE 1"
+
+
+def _float_repr(x: float) -> str:
+    # Hex floats round-trip exactly, including nan for unstamped traces.
+    if x != x:
+        return "nan"
+    return x.hex()
+
+
+def _float_parse(s: str) -> float:
+    if s == "nan":
+        return float("nan")
+    return float.fromhex(s)
+
+
+def dumps(trace: TraceSet) -> str:
+    """Serialize a :class:`TraceSet` to the ASCII format."""
+    lines: List[str] = [FORMAT_MAGIC]
+    lines.append(f"name {trace.name}")
+    lines.append(f"app {trace.app}")
+    lines.append(f"machine {trace.machine}")
+    lines.append(f"nranks {trace.nranks}")
+    lines.append(f"ranks_per_node {trace.ranks_per_node}")
+    lines.append(f"flags comm_split={int(trace.uses_comm_split)} threads={int(trace.uses_threads)}")
+    lines.append("meta " + json.dumps(trace.metadata, sort_keys=True))
+    for comm_id in sorted(trace.comms):
+        members = " ".join(str(r) for r in trace.comms[comm_id])
+        lines.append(f"comm {comm_id} {members}")
+    for rank, stream in enumerate(trace.ranks):
+        lines.append(f"rank {rank} {len(stream)}")
+        for op in stream:
+            lines.append(
+                f"{int(op.kind)} {op.peer} {op.nbytes} {op.tag} {op.comm} {op.req} "
+                f"{_float_repr(op.duration)} {_float_repr(op.t_entry)} {_float_repr(op.t_exit)}"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def loads(text: str) -> TraceSet:
+    """Parse the ASCII format back into a :class:`TraceSet`."""
+    lines = text.splitlines()
+    if not lines or lines[0] != FORMAT_MAGIC:
+        raise ValueError(f"not a {FORMAT_MAGIC} trace")
+    header = {}
+    comms = {}
+    idx = 1
+
+    def take(prefix: str) -> str:
+        nonlocal idx
+        line = lines[idx]
+        if not line.startswith(prefix + " "):
+            raise ValueError(f"expected {prefix!r} at line {idx + 1}, got {line!r}")
+        idx += 1
+        return line[len(prefix) + 1 :]
+
+    header["name"] = take("name")
+    header["app"] = take("app")
+    header["machine"] = take("machine")
+    nranks = int(take("nranks"))
+    ranks_per_node = int(take("ranks_per_node"))
+    flag_text = take("flags")
+    flags = dict(item.split("=", 1) for item in flag_text.split())
+    metadata = json.loads(take("meta"))
+    while idx < len(lines) and lines[idx].startswith("comm "):
+        parts = lines[idx].split()
+        comms[int(parts[1])] = tuple(int(p) for p in parts[2:])
+        idx += 1
+    ranks: List[List[Op]] = []
+    for rank in range(nranks):
+        fields = take("rank").split()
+        if int(fields[0]) != rank:
+            raise ValueError(f"rank section out of order at line {idx}")
+        nops = int(fields[1])
+        stream: List[Op] = []
+        for _ in range(nops):
+            parts = lines[idx].split()
+            idx += 1
+            stream.append(
+                Op(
+                    OpKind(int(parts[0])),
+                    peer=int(parts[1]),
+                    nbytes=int(parts[2]),
+                    tag=int(parts[3]),
+                    comm=int(parts[4]),
+                    req=int(parts[5]),
+                    duration=_float_parse(parts[6]),
+                    t_entry=_float_parse(parts[7]),
+                    t_exit=_float_parse(parts[8]),
+                )
+            )
+        ranks.append(stream)
+    return TraceSet(
+        name=header["name"],
+        app=header["app"],
+        ranks=ranks,
+        machine=header["machine"],
+        ranks_per_node=ranks_per_node,
+        comms=comms,
+        uses_comm_split=bool(int(flags.get("comm_split", "0"))),
+        uses_threads=bool(int(flags.get("threads", "0"))),
+        metadata=metadata,
+    )
+
+
+def write_trace(trace: TraceSet, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(dumps(trace))
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> TraceSet:
+    """Read a trace written by :func:`write_trace`."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,228 @@
+"""Importer for ``dumpi2ascii`` text dumps.
+
+Real DUMPI traces are binary, one file per rank; SST ships
+``dumpi2ascii``, which renders each rank's stream as text records::
+
+    MPI_Send entering at walltime 11534.21554, cputime 0.05960 ...
+    int count=4096
+    int dest=3
+    int tag=7
+    MPI_Send returning at walltime 11534.21580, cputime ...
+
+This module parses that shape into a :class:`TraceSet`: one call per
+``entering``/``returning`` pair, arguments from the indented attribute
+lines, and the wall-time gaps between consecutive calls materialized as
+COMPUTE ops — exactly the preprocessing MFACT and SST/Macro perform.
+
+Supported calls: MPI_Send/Isend/Recv/Irecv/Wait/Waitall, MPI_Barrier,
+MPI_Bcast, MPI_Reduce, MPI_Allreduce, MPI_Allgather, MPI_Alltoall,
+MPI_Gather, MPI_Scatter, MPI_Init, MPI_Finalize.  Datatype sizes follow
+the common MPI defaults (8 bytes unless a ``datatype`` hint is given).
+Unknown calls are skipped with their wall time preserved as compute,
+which is how trace replayers usually treat unmodeled calls.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["parse_rank_stream", "import_dumpi_ascii", "DATATYPE_SIZES"]
+
+#: Byte widths for the datatype names dumpi2ascii prints.
+DATATYPE_SIZES: Dict[str, int] = {
+    "MPI_CHAR": 1,
+    "MPI_BYTE": 1,
+    "MPI_SHORT": 2,
+    "MPI_INT": 4,
+    "MPI_FLOAT": 4,
+    "MPI_LONG": 8,
+    "MPI_DOUBLE": 8,
+    "MPI_LONG_LONG": 8,
+    "MPI_DOUBLE_COMPLEX": 16,
+}
+_DEFAULT_TYPE_SIZE = 8
+
+_ENTER_RE = re.compile(r"^(MPI_\w+) entering at walltime ([0-9.eE+-]+)")
+_RETURN_RE = re.compile(r"^(MPI_\w+) returning at walltime ([0-9.eE+-]+)")
+_ATTR_RE = re.compile(r"^\s*(?:int|string)\s+(\w+)=(.+?)\s*$")
+
+_P2P_SEND = {"MPI_Send": OpKind.SEND, "MPI_Isend": OpKind.ISEND}
+_P2P_RECV = {"MPI_Recv": OpKind.RECV, "MPI_Irecv": OpKind.IRECV}
+_COLLECTIVES = {
+    "MPI_Barrier": OpKind.BARRIER,
+    "MPI_Bcast": OpKind.BCAST,
+    "MPI_Reduce": OpKind.REDUCE,
+    "MPI_Allreduce": OpKind.ALLREDUCE,
+    "MPI_Allgather": OpKind.ALLGATHER,
+    "MPI_Alltoall": OpKind.ALLTOALL,
+    "MPI_Gather": OpKind.GATHER,
+    "MPI_Scatter": OpKind.SCATTER,
+}
+_IGNORED = {"MPI_Init", "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Wtime"}
+
+
+def _type_size(attrs: Dict[str, str]) -> int:
+    # dumpi2ascii prints "datatype=1 (MPI_DOUBLE)": take the symbolic name.
+    value = attrs.get("datatype", "")
+    match = re.search(r"(MPI_\w+)", value)
+    name = match.group(1) if match else value.strip()
+    return DATATYPE_SIZES.get(name, _DEFAULT_TYPE_SIZE)
+
+
+def _payload(attrs: Dict[str, str]) -> int:
+    count = int(attrs.get("count", attrs.get("sendcount", "0")))
+    return max(0, count) * _type_size(attrs)
+
+
+def parse_rank_stream(text: str) -> List[Op]:
+    """Parse one rank's dumpi2ascii dump into an op stream.
+
+    Gaps between a call's return and the next call's entry become
+    COMPUTE ops; each call's measured entry/exit walltimes are stamped
+    on the op.
+    """
+    ops: List[Op] = []
+    lines = text.splitlines()
+    i = 0
+    prev_exit: Optional[float] = None
+    base: Optional[float] = None
+    next_req = 1
+    open_requests: List[int] = []  # issue order, consumed by Wait/Waitall
+    while i < len(lines):
+        enter = _ENTER_RE.match(lines[i])
+        if not enter:
+            i += 1
+            continue
+        call, t_entry = enter.group(1), float(enter.group(2))
+        attrs: Dict[str, str] = {}
+        i += 1
+        t_exit = t_entry
+        while i < len(lines):
+            ret = _RETURN_RE.match(lines[i])
+            if ret:
+                if ret.group(1) == call:
+                    t_exit = float(ret.group(2))
+                    i += 1
+                    break
+            attr = _ATTR_RE.match(lines[i])
+            if attr:
+                attrs[attr.group(1)] = attr.group(2)
+            i += 1
+        if base is None:
+            base = t_entry
+        entry_rel, exit_rel = t_entry - base, t_exit - base
+        if prev_exit is not None and entry_rel > prev_exit + 1e-12:
+            gap = entry_rel - prev_exit
+            ops.append(
+                Op(OpKind.COMPUTE, duration=gap, t_entry=prev_exit, t_exit=entry_rel)
+            )
+        prev_exit = exit_rel
+        if call in _IGNORED:
+            continue
+        if call in _P2P_SEND:
+            kind = _P2P_SEND[call]
+            req = -1
+            if kind == OpKind.ISEND:
+                req = next_req
+                next_req += 1
+                open_requests.append(req)
+            ops.append(
+                Op(
+                    kind,
+                    peer=int(attrs.get("dest", attrs.get("dst", "0"))),
+                    nbytes=_payload(attrs),
+                    tag=int(attrs.get("tag", "0")),
+                    req=req,
+                    t_entry=entry_rel,
+                    t_exit=exit_rel,
+                )
+            )
+        elif call in _P2P_RECV:
+            kind = _P2P_RECV[call]
+            req = -1
+            if kind == OpKind.IRECV:
+                req = next_req
+                next_req += 1
+                open_requests.append(req)
+            ops.append(
+                Op(
+                    kind,
+                    peer=int(attrs.get("source", attrs.get("src", "0"))),
+                    nbytes=_payload(attrs),
+                    tag=int(attrs.get("tag", "0")),
+                    req=req,
+                    t_entry=entry_rel,
+                    t_exit=exit_rel,
+                )
+            )
+        elif call == "MPI_Wait":
+            if open_requests:
+                ops.append(
+                    Op(OpKind.WAIT, req=open_requests.pop(0),
+                       t_entry=entry_rel, t_exit=exit_rel)
+                )
+        elif call == "MPI_Waitall":
+            count = int(attrs.get("count", str(len(open_requests))))
+            for _ in range(min(count, len(open_requests))):
+                ops.append(
+                    Op(OpKind.WAIT, req=open_requests.pop(0),
+                       t_entry=entry_rel, t_exit=exit_rel)
+                )
+        elif call in _COLLECTIVES:
+            kind = _COLLECTIVES[call]
+            root = int(attrs.get("root", "0")) if kind in (
+                OpKind.BCAST, OpKind.REDUCE, OpKind.GATHER, OpKind.SCATTER
+            ) else -1
+            ops.append(
+                Op(
+                    kind,
+                    peer=root,
+                    nbytes=_payload(attrs),
+                    t_entry=entry_rel,
+                    t_exit=exit_rel,
+                )
+            )
+        else:
+            # Unknown MPI call: keep its wall time as computation.
+            ops.append(
+                Op(OpKind.COMPUTE, duration=max(0.0, exit_rel - entry_rel),
+                   t_entry=entry_rel, t_exit=exit_rel)
+            )
+    return ops
+
+
+def import_dumpi_ascii(
+    rank_texts: Sequence[str],
+    name: str = "imported",
+    app: str = "unknown",
+    machine: str = "unknown",
+    ranks_per_node: int = 16,
+    validate: bool = True,
+) -> TraceSet:
+    """Build a trace from per-rank dumpi2ascii dumps (rank order).
+
+    ``rank_texts[i]`` is the text dump of rank ``i``.  Paths are also
+    accepted and read from disk.
+    """
+    streams: List[List[Op]] = []
+    for item in rank_texts:
+        if isinstance(item, (str, Path)) and "\n" not in str(item) and Path(str(item)).exists():
+            text = Path(str(item)).read_text()
+        else:
+            text = str(item)
+        streams.append(parse_rank_stream(text))
+    trace = TraceSet(
+        name=name,
+        app=app,
+        ranks=streams,
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+    )
+    if validate:
+        trace.validate()
+    return trace

@@ -1,0 +1,191 @@
+"""MPI trace event model.
+
+A trace is a per-rank, program-ordered sequence of :class:`Op` records,
+mirroring what the DUMPI tracer captures: for every MPI call its entry
+and exit timestamps plus communication metadata (peer, byte count, tag,
+communicator), and for the gaps between MPI calls the local computation
+time.  We materialize computation explicitly as ``COMPUTE`` ops so that
+replay engines never need to reconstruct inter-call gaps.
+
+Timestamps (``t_entry``/``t_exit``) hold the *measured* execution times
+from the (synthesized) original run; replay engines read only the op
+structure and compute durations, exactly as MFACT and SST/Macro replay
+DUMPI traces.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, Optional, Tuple
+
+__all__ = ["OpKind", "Op", "P2P_KINDS", "COLLECTIVE_KINDS", "make_compute"]
+
+
+class OpKind(IntEnum):
+    """MPI operation kinds recorded in traces."""
+
+    COMPUTE = 0
+    SEND = 1  # blocking MPI_Send
+    ISEND = 2  # MPI_Isend
+    RECV = 3  # blocking MPI_Recv
+    IRECV = 4  # MPI_Irecv
+    WAIT = 5  # MPI_Wait on an earlier request
+    BARRIER = 6
+    BCAST = 7
+    REDUCE = 8
+    ALLREDUCE = 9
+    ALLGATHER = 10
+    ALLTOALL = 11
+    GATHER = 12
+    SCATTER = 13
+    REDUCE_SCATTER = 14
+
+
+#: Point-to-point op kinds (initiation side).
+P2P_KINDS = frozenset(
+    {OpKind.SEND, OpKind.ISEND, OpKind.RECV, OpKind.IRECV}
+)
+
+#: Collective op kinds.
+COLLECTIVE_KINDS = frozenset(
+    {
+        OpKind.BARRIER,
+        OpKind.BCAST,
+        OpKind.REDUCE,
+        OpKind.ALLREDUCE,
+        OpKind.ALLGATHER,
+        OpKind.ALLTOALL,
+        OpKind.GATHER,
+        OpKind.SCATTER,
+        OpKind.REDUCE_SCATTER,
+    }
+)
+
+_ROOTED = frozenset({OpKind.BCAST, OpKind.REDUCE, OpKind.GATHER, OpKind.SCATTER})
+
+
+class Op:
+    """One trace record.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`OpKind`.
+    peer:
+        Destination/source rank for p2p ops; root rank for rooted
+        collectives; ``-1`` otherwise.
+    nbytes:
+        Message payload for p2p ops; per-rank payload for collectives.
+    tag:
+        MPI tag for p2p ops (``0`` otherwise).
+    comm:
+        Communicator id; ``0`` is ``MPI_COMM_WORLD``.
+    req:
+        Request id for ISEND/IRECV (unique per rank) and the request a
+        WAIT completes; ``-1`` otherwise.
+    duration:
+        For COMPUTE ops, the local computation time in seconds as
+        measured in the original run (replay engines may scale it).
+    t_entry, t_exit:
+        Measured wall-clock entry/exit times of the call in the original
+        run, in seconds from application start (``nan`` until the
+        ground-truth synthesizer fills them in).
+    """
+
+    __slots__ = ("kind", "peer", "nbytes", "tag", "comm", "req", "duration", "t_entry", "t_exit")
+
+    def __init__(
+        self,
+        kind: OpKind,
+        peer: int = -1,
+        nbytes: int = 0,
+        tag: int = 0,
+        comm: int = 0,
+        req: int = -1,
+        duration: float = 0.0,
+        t_entry: float = float("nan"),
+        t_exit: float = float("nan"),
+    ):
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if kind in P2P_KINDS and peer < 0:
+            raise ValueError(f"{OpKind(kind).name} requires a peer rank")
+        if kind in _ROOTED and peer < 0:
+            raise ValueError(f"{OpKind(kind).name} requires a root rank in peer")
+        if kind in (OpKind.ISEND, OpKind.IRECV, OpKind.WAIT) and req < 0:
+            raise ValueError(f"{OpKind(kind).name} requires a request id")
+        self.kind = OpKind(kind)
+        self.peer = int(peer)
+        self.nbytes = int(nbytes)
+        self.tag = int(tag)
+        self.comm = int(comm)
+        self.req = int(req)
+        self.duration = float(duration)
+        self.t_entry = float(t_entry)
+        self.t_exit = float(t_exit)
+
+    # -- convenience -------------------------------------------------
+
+    @property
+    def is_p2p(self) -> bool:
+        """True for point-to-point initiation ops."""
+        return self.kind in P2P_KINDS
+
+    @property
+    def is_collective(self) -> bool:
+        """True for collective ops."""
+        return self.kind in COLLECTIVE_KINDS
+
+    @property
+    def is_send_like(self) -> bool:
+        """True for SEND and ISEND."""
+        return self.kind in (OpKind.SEND, OpKind.ISEND)
+
+    @property
+    def is_recv_like(self) -> bool:
+        """True for RECV and IRECV."""
+        return self.kind in (OpKind.RECV, OpKind.IRECV)
+
+    @property
+    def measured_duration(self) -> float:
+        """Measured call duration ``t_exit - t_entry`` (nan if unset)."""
+        return self.t_exit - self.t_entry
+
+    def key(self) -> Tuple:
+        """Structural identity tuple (ignores timestamps)."""
+        return (int(self.kind), self.peer, self.nbytes, self.tag, self.comm, self.req, self.duration)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts = [self.kind.name]
+        if self.kind == OpKind.COMPUTE:
+            parts.append(f"duration={self.duration:.3g}")
+        else:
+            if self.peer >= 0:
+                parts.append(f"peer={self.peer}")
+            if self.nbytes:
+                parts.append(f"nbytes={self.nbytes}")
+            if self.req >= 0:
+                parts.append(f"req={self.req}")
+            if self.comm:
+                parts.append(f"comm={self.comm}")
+        return f"Op({', '.join(parts)})"
+
+
+def make_compute(duration: float) -> Op:
+    """Shorthand for a computation segment of ``duration`` seconds."""
+    return Op(OpKind.COMPUTE, duration=duration)
+
+
+def total_payload(ops: Iterable[Op]) -> int:
+    """Sum of payload bytes over send-like and collective ops."""
+    return sum(op.nbytes for op in ops if op.is_send_like or op.is_collective)

@@ -1,0 +1,200 @@
+"""Table III candidate features.
+
+Extracts the 35 candidate features the paper feeds to the statistical
+model (Table III).  34 of them are computed directly from the measured
+trace; the 35th, ``CL`` (sensitivity to communication), comes from
+MFACT's classification and is attached by :mod:`repro.core`.
+
+Time-valued features are means over ranks of the measured in-call
+durations; percentage features are relative to the measured total
+application time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.events import OpKind
+from repro.trace.trace import TraceSet
+
+__all__ = ["FEATURE_NAMES", "NUMERIC_FEATURE_NAMES", "extract_features", "FEATURE_DESCRIPTIONS"]
+
+#: All numeric feature names, in Table III order.
+NUMERIC_FEATURE_NAMES: List[str] = [
+    # Application
+    "R", "RN", "N",
+    # Execution
+    "T", "Tcp", "PoCP", "Tc", "PoC",
+    # Collective
+    "Tbr", "PoBR", "Tfbr", "PoFBR", "Tcoll", "PoCOLL", "Tfcoll", "PoFCOLL",
+    # Point-to-point
+    "Tp2p", "PoTp2p", "Tsyn", "PoSYN", "Tasyn", "PoASYN",
+    # Message
+    "TB", "NoM", "TBp2p", "CR", "CRComm",
+    # MPI
+    "NoCALL", "NoS", "NoIS", "NoR", "NoIR", "NoB", "NoC",
+]
+
+#: Full candidate list including the MFACT classification feature.
+FEATURE_NAMES: List[str] = NUMERIC_FEATURE_NAMES + ["CL"]
+
+FEATURE_DESCRIPTIONS: Dict[str, str] = {
+    "R": "Number of ranks",
+    "RN": "Ranks per node",
+    "N": "Number of nodes deployed",
+    "T": "Total execution time",
+    "Tcp": "Computation time",
+    "PoCP": "% of computation time",
+    "Tc": "Communication time",
+    "PoC": "% of communication time",
+    "Tbr": "Barrier time",
+    "PoBR": "% of barrier time",
+    "Tfbr": "First barrier time",
+    "PoFBR": "% of first barrier time",
+    "Tcoll": "Collective time",
+    "PoCOLL": "% of collective time",
+    "Tfcoll": "First all-to-all collective time",
+    "PoFCOLL": "% of Tfcoll",
+    "Tp2p": "Point-to-point time",
+    "PoTp2p": "% of peer-to-peer time",
+    "Tsyn": "Synchronous peer-to-peer time",
+    "PoSYN": "% of synchronous peer-to-peer time",
+    "Tasyn": "Asynchronous peer-to-peer time",
+    "PoASYN": "% of asynchronous peer-to-peer time",
+    "TB": "Total bytes sent",
+    "NoM": "Number of messages sent",
+    "TBp2p": "Total peer-to-peer bytes sent",
+    "CR": "Number of destination ranks per source",
+    "CRComm": "Average peer-to-peer comm. per dest.",
+    "NoCALL": "Number of MPI calls",
+    "NoS": "Number of blocking sends",
+    "NoIS": "Number of non-blocking sends",
+    "NoR": "Number of blocking receives",
+    "NoIR": "Number of non-blocking receives",
+    "NoB": "Number of barriers",
+    "NoC": "Number of collectives",
+    "CL": "Sensitivity to communication (cs / ncs)",
+}
+
+_SYNC_KINDS = (OpKind.SEND, OpKind.RECV)
+_ASYNC_KINDS = (OpKind.ISEND, OpKind.IRECV, OpKind.WAIT)
+
+
+def extract_features(trace: TraceSet) -> Dict[str, float]:
+    """Compute the 34 numeric Table III features for ``trace``.
+
+    Requires measured timestamps (the ground-truth synthesizer must have
+    stamped the trace).  The ``CL`` feature is *not* included; it is an
+    MFACT output attached by the study pipeline.
+    """
+    nranks = trace.nranks
+    total = trace.measured_total_time()
+
+    comp = 0.0
+    comm = 0.0
+    barrier = 0.0
+    first_barrier = 0.0
+    collective = 0.0
+    first_a2a = 0.0
+    p2p = 0.0
+    syn = 0.0
+    asyn = 0.0
+    total_bytes = 0
+    nmsg = 0
+    p2p_bytes = 0
+    ncall = ns = nis = nr = nir = nb = nc = 0
+    dests_per_src: List[int] = []
+    bytes_per_dest: List[float] = []
+
+    for rank, stream in enumerate(trace.ranks):
+        seen_first_barrier = False
+        seen_first_a2a = False
+        dests: Dict[int, int] = {}
+        for op in stream:
+            dur = op.measured_duration
+            if op.kind == OpKind.COMPUTE:
+                comp += dur
+                continue
+            ncall += 1
+            comm += dur
+            if op.is_p2p or op.kind == OpKind.WAIT:
+                p2p += dur
+                if op.kind in _SYNC_KINDS:
+                    syn += dur
+                else:
+                    asyn += dur
+                if op.kind == OpKind.SEND:
+                    ns += 1
+                elif op.kind == OpKind.ISEND:
+                    nis += 1
+                elif op.kind == OpKind.RECV:
+                    nr += 1
+                elif op.kind == OpKind.IRECV:
+                    nir += 1
+                if op.is_send_like:
+                    nmsg += 1
+                    total_bytes += op.nbytes
+                    p2p_bytes += op.nbytes
+                    dests[op.peer] = dests.get(op.peer, 0) + op.nbytes
+            elif op.kind == OpKind.BARRIER:
+                nb += 1
+                nc += 1
+                barrier += dur
+                collective += dur
+                if not seen_first_barrier:
+                    first_barrier += dur
+                    seen_first_barrier = True
+            elif op.is_collective:
+                nc += 1
+                collective += dur
+                # Every member contributes bytes to the fabric.
+                total_bytes += op.nbytes
+                if op.kind in (OpKind.ALLTOALL, OpKind.ALLGATHER) and not seen_first_a2a:
+                    first_a2a += dur
+                    seen_first_a2a = True
+        if dests:
+            dests_per_src.append(len(dests))
+            bytes_per_dest.append(sum(dests.values()) / len(dests))
+
+    def mean(x: float) -> float:
+        return x / nranks
+
+    def pct(x: float) -> float:
+        return 100.0 * mean(x) / total if total > 0 else 0.0
+
+    return {
+        "R": float(nranks),
+        "RN": float(trace.ranks_per_node),
+        "N": float(trace.nnodes),
+        "T": total,
+        "Tcp": mean(comp),
+        "PoCP": pct(comp),
+        "Tc": mean(comm),
+        "PoC": pct(comm),
+        "Tbr": mean(barrier),
+        "PoBR": pct(barrier),
+        "Tfbr": mean(first_barrier),
+        "PoFBR": pct(first_barrier),
+        "Tcoll": mean(collective),
+        "PoCOLL": pct(collective),
+        "Tfcoll": mean(first_a2a),
+        "PoFCOLL": pct(first_a2a),
+        "Tp2p": mean(p2p),
+        "PoTp2p": pct(p2p),
+        "Tsyn": mean(syn),
+        "PoSYN": pct(syn),
+        "Tasyn": mean(asyn),
+        "PoASYN": pct(asyn),
+        "TB": float(total_bytes),
+        "NoM": float(nmsg),
+        "TBp2p": float(p2p_bytes),
+        "CR": float(sum(dests_per_src) / len(dests_per_src)) if dests_per_src else 0.0,
+        "CRComm": float(sum(bytes_per_dest) / len(bytes_per_dest)) if bytes_per_dest else 0.0,
+        "NoCALL": float(ncall),
+        "NoS": float(ns),
+        "NoIS": float(nis),
+        "NoR": float(nr),
+        "NoIR": float(nir),
+        "NoB": float(nb),
+        "NoC": float(nc),
+    }

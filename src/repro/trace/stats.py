@@ -1,0 +1,82 @@
+"""Corpus summary statistics (Table I).
+
+Bins a collection of traces by rank count and by measured communication
+intensity using exactly the bin edges of Table Ia and Table Ib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.trace.trace import TraceSet
+
+__all__ = ["RANK_BINS", "COMM_BINS", "rank_histogram", "comm_histogram", "summarize_corpus"]
+
+#: Table Ia bins: inclusive (low, high) rank ranges.
+RANK_BINS: List[Tuple[int, int]] = [
+    (64, 64),
+    (65, 128),
+    (129, 256),
+    (257, 512),
+    (513, 1024),
+    (1025, 1728),
+]
+
+#: Table Ib bins: (low, high] percentage of time in communication.
+COMM_BINS: List[Tuple[float, float]] = [
+    (0.0, 5.0),
+    (5.0, 10.0),
+    (10.0, 20.0),
+    (20.0, 40.0),
+    (40.0, 60.0),
+    (60.0, 100.0),
+]
+
+
+def _rank_label(lo: int, hi: int) -> str:
+    return str(lo) if lo == hi else f"{lo}-{hi}"
+
+
+def _comm_label(lo: float, hi: float) -> str:
+    if lo == 0.0:
+        return f"<={hi:g}"
+    if hi >= 100.0:
+        return f">{lo:g}"
+    return f"{lo:g}-{hi:g}"
+
+
+def rank_histogram(traces: Iterable[TraceSet]) -> Dict[str, int]:
+    """Count traces per Table Ia rank bin; labels match the paper's rows."""
+    counts = {_rank_label(lo, hi): 0 for lo, hi in RANK_BINS}
+    for trace in traces:
+        for lo, hi in RANK_BINS:
+            if lo <= trace.nranks <= hi:
+                counts[_rank_label(lo, hi)] += 1
+                break
+        else:
+            raise ValueError(f"trace {trace.name!r} has {trace.nranks} ranks, outside Table I bins")
+    return counts
+
+
+def comm_histogram(traces: Iterable[TraceSet]) -> Dict[str, int]:
+    """Count traces per Table Ib communication-intensity bin."""
+    counts = {_comm_label(lo, hi): 0 for lo, hi in COMM_BINS}
+    for trace in traces:
+        pct = 100.0 * trace.comm_fraction()
+        for lo, hi in COMM_BINS:
+            if lo < pct <= hi or (lo == 0.0 and pct <= hi):
+                counts[_comm_label(lo, hi)] += 1
+                break
+        else:
+            raise ValueError(f"trace {trace.name!r} has comm fraction {pct:.1f}% outside bins")
+    return counts
+
+
+def summarize_corpus(traces: Iterable[TraceSet]) -> Dict[str, Dict[str, int]]:
+    """Both Table I panels plus the total, as nested dicts."""
+    traces = list(traces)
+    return {
+        "ranks": rank_histogram(traces),
+        "comm_time_pct": comm_histogram(traces),
+        "total": {"traces": len(traces)},
+    }

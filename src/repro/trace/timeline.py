@@ -1,0 +1,108 @@
+"""ASCII timeline rendering for stamped traces.
+
+A lightweight Gantt view for terminals and logs: each rank becomes one
+row of fixed-width cells, each cell showing what dominated that time
+slice — computation, point-to-point, collective, or idle.  Useful for
+eyeballing load imbalance and synchronization structure without any
+plotting dependency.
+
+::
+
+    rank  0 ######--####C-####C-##
+    rank  1 ####--##--##C-##--##C-
+            0.0ms                21.4ms
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.events import OpKind
+from repro.trace.trace import TraceSet
+from repro.util.units import format_time
+
+__all__ = ["render_timeline", "CELL_SYMBOLS"]
+
+#: Cell glyphs by activity class (idle wins only when nothing else ran).
+CELL_SYMBOLS = {
+    "compute": "#",
+    "p2p": "-",
+    "collective": "C",
+    "idle": ".",
+}
+
+_P2P = {OpKind.SEND, OpKind.ISEND, OpKind.RECV, OpKind.IRECV, OpKind.WAIT}
+
+
+def _classify(op) -> str:
+    if op.kind == OpKind.COMPUTE:
+        return "compute"
+    if op.kind in _P2P:
+        return "p2p"
+    return "collective"
+
+
+def render_timeline(
+    trace: TraceSet,
+    width: int = 72,
+    ranks: Optional[Sequence[int]] = None,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+) -> str:
+    """Render the stamped trace as one text row per rank.
+
+    Each cell covers ``(t_end - t_start) / width`` seconds and shows the
+    activity with the most time in that slice.  ``ranks`` selects a
+    subset (default: all, capped at 32 rows with head/tail elision).
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    if not trace.has_timestamps():
+        raise ValueError("trace is unstamped; run the ground-truth synthesizer first")
+    total = trace.measured_total_time()
+    t_end = total if t_end is None else t_end
+    if not t_end > t_start:
+        raise ValueError("t_end must exceed t_start")
+    span = t_end - t_start
+    cell = span / width
+    if ranks is None:
+        if trace.nranks <= 32:
+            ranks = list(range(trace.nranks))
+        else:
+            ranks = list(range(16)) + list(range(trace.nranks - 16, trace.nranks))
+    lines: List[str] = []
+    elided = trace.nranks > len(ranks)
+    previous = None
+    for rank in ranks:
+        if previous is not None and rank != previous + 1 and elided:
+            lines.append("  ...")
+        previous = rank
+        buckets: List[Dict[str, float]] = [dict() for _ in range(width)]
+        for op in trace.ranks[rank]:
+            lo, hi = op.t_entry, op.t_exit
+            if hi <= t_start or lo >= t_end or hi <= lo:
+                continue
+            kind = _classify(op)
+            first = max(0, int((lo - t_start) / cell))
+            last = min(width - 1, int((hi - t_start) / cell))
+            for c in range(first, last + 1):
+                cell_lo = t_start + c * cell
+                cell_hi = cell_lo + cell
+                overlap = min(hi, cell_hi) - max(lo, cell_lo)
+                if overlap > 0:
+                    buckets[c][kind] = buckets[c].get(kind, 0.0) + overlap
+        row = []
+        for bucket in buckets:
+            if not bucket:
+                row.append(CELL_SYMBOLS["idle"])
+            else:
+                row.append(CELL_SYMBOLS[max(bucket, key=bucket.get)])
+        lines.append(f"rank {rank:4d} " + "".join(row))
+    footer_pad = " " * 10
+    left = format_time(t_start)
+    right = format_time(t_end)
+    gap = max(1, width - len(left) - len(right))
+    lines.append(footer_pad + left + " " * gap + right)
+    legend = "  ".join(f"{sym}={name}" for name, sym in CELL_SYMBOLS.items())
+    lines.append(footer_pad + legend)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Shared utilities: units, deterministic RNG streams, statistics, validation."""
+
+from repro.util.rng import DEFAULT_SEED, substream
+from repro.util.stats import ecdf, fraction_within, percentile_of, trimmed_mean
+from repro.util.units import (
+    GBPS,
+    KIB,
+    MIB,
+    NS,
+    US,
+    format_time,
+    gbps_to_bytes_per_s,
+    ns_to_s,
+    parse_bandwidth,
+    parse_latency,
+    parse_size,
+)
+from repro.util.validation import check_nonnegative, check_positive, check_rank, require
+
+__all__ = [
+    "DEFAULT_SEED",
+    "substream",
+    "ecdf",
+    "fraction_within",
+    "percentile_of",
+    "trimmed_mean",
+    "GBPS",
+    "KIB",
+    "MIB",
+    "NS",
+    "US",
+    "format_time",
+    "gbps_to_bytes_per_s",
+    "ns_to_s",
+    "parse_bandwidth",
+    "parse_latency",
+    "parse_size",
+    "check_nonnegative",
+    "check_positive",
+    "check_rank",
+    "require",
+]

@@ -1,0 +1,53 @@
+"""Deterministic random-stream management.
+
+Every stochastic component in the reproduction (workload generators,
+ground-truth synthesis, Monte Carlo cross-validation) draws from a named
+substream derived from a single experiment seed, so that the full corpus
+and every experiment are bit-reproducible while independent components
+remain statistically independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "substream", "spawn"]
+
+#: Seed used by the published experiment pipeline unless overridden.
+DEFAULT_SEED = 20180521  # IPPS 2018 conference date.
+
+
+def _mix(seed: int, *names: object) -> int:
+    """Hash a root seed with a label path into a 64-bit stream seed."""
+    digest = hashlib.sha256()
+    digest.update(str(int(seed)).encode())
+    for name in names:
+        digest.update(b"/")
+        digest.update(str(name).encode())
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def substream(seed: int, *names: object) -> np.random.Generator:
+    """Return an independent :class:`numpy.random.Generator` for a label path.
+
+    ``substream(seed, "corpus", 17)`` always yields the same stream, and
+    differs from any other label path with overwhelming probability.
+    """
+    return np.random.default_rng(_mix(seed, *names))
+
+
+def spawn(rng_or_seed, *names: object) -> np.random.Generator:
+    """Derive a child stream from either a seed or a parent description.
+
+    Accepts an ``int`` seed (delegates to :func:`substream`) so call sites
+    can thread plain seeds through their APIs without constructing
+    generators eagerly.
+    """
+    if isinstance(rng_or_seed, (int, np.integer)):
+        return substream(int(rng_or_seed), *names)
+    raise TypeError(
+        "spawn() expects an integer seed; pass named substreams explicitly "
+        "instead of sharing Generator objects between components"
+    )

@@ -1,0 +1,57 @@
+"""Small statistics helpers shared across the library.
+
+These implement exactly the summaries the paper reports: trimmed means
+(Section VI-B3 discards the top and bottom 2% of 100 cross-validation
+runs), empirical CDFs (Figures 2 and 5), and "fraction within x" readings
+off those CDFs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["trimmed_mean", "ecdf", "fraction_within", "percentile_of"]
+
+
+def trimmed_mean(values: Sequence[float], trim: float = 0.02) -> float:
+    """Mean after discarding the top and bottom ``trim`` fraction of values.
+
+    The paper reports "the trimmed mean that discards the top and bottom
+    2% of the 100 test results"; with 100 values and ``trim=0.02`` this
+    removes the 2 smallest and 2 largest observations.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim must be in [0, 0.5), got {trim}")
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("trimmed_mean of empty sequence")
+    cut = int(np.floor(trim * arr.size))
+    trimmed = arr[cut : arr.size - cut] if cut else arr
+    return float(trimmed.mean())
+
+
+def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities in (0, 1]."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("ecdf of empty sequence")
+    probs = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, probs
+
+
+def fraction_within(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values with ``value <= threshold`` (a CDF reading)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("fraction_within of empty sequence")
+    return float(np.count_nonzero(arr <= threshold) / arr.size)
+
+
+def percentile_of(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile_of of empty sequence")
+    return float(np.percentile(arr, q))

@@ -1,0 +1,146 @@
+"""Unit parsing and conversion helpers.
+
+All internal quantities in :mod:`repro` use SI base units:
+
+* time in **seconds**,
+* data sizes in **bytes**,
+* bandwidth in **bytes per second**.
+
+The paper quotes network parameters in mixed engineering units
+(``10Gbps``, ``2,500ns``); this module converts between those
+spellings and the internal representation.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "KIB",
+    "MIB",
+    "NS",
+    "US",
+    "MS",
+    "gbps_to_bytes_per_s",
+    "bytes_per_s_to_gbps",
+    "ns_to_s",
+    "s_to_ns",
+    "parse_bandwidth",
+    "parse_latency",
+    "parse_size",
+    "format_time",
+]
+
+#: One gigabit per second, in bytes per second.
+GBPS = 1e9 / 8.0
+#: One megabit per second, in bytes per second.
+MBPS = 1e6 / 8.0
+#: One kibibyte, in bytes.
+KIB = 1024
+#: One mebibyte, in bytes.
+MIB = 1024 * 1024
+#: One nanosecond, in seconds.
+NS = 1e-9
+#: One microsecond, in seconds.
+US = 1e-6
+#: One millisecond, in seconds.
+MS = 1e-3
+
+_BANDWIDTH_UNITS = {
+    "bps": 1.0 / 8.0,
+    "kbps": 1e3 / 8.0,
+    "mbps": 1e6 / 8.0,
+    "gbps": 1e9 / 8.0,
+    "tbps": 1e12 / 8.0,
+    "b/s": 1.0,
+    "kb/s": 1e3,
+    "mb/s": 1e6,
+    "gb/s": 1e9,
+}
+
+_TIME_UNITS = {
+    "s": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+}
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": 1000,
+    "kib": 1024,
+    "mb": 1000**2,
+    "mib": 1024**2,
+    "gb": 1000**3,
+    "gib": 1024**3,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9][0-9,]*\.?[0-9]*(?:[eE][+-]?[0-9]+)?)\s*([a-zA-Z/]+)\s*$")
+
+
+def _parse(text: str, units: dict, kind: str) -> float:
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse {kind} quantity {text!r}")
+    value = float(match.group(1).replace(",", ""))
+    unit = match.group(2).lower()
+    if unit not in units:
+        known = ", ".join(sorted(units))
+        raise ValueError(f"unknown {kind} unit {unit!r} in {text!r} (known: {known})")
+    return value * units[unit]
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return gbps * GBPS
+
+
+def bytes_per_s_to_gbps(bps: float) -> float:
+    """Convert bytes per second to gigabits per second."""
+    return bps / GBPS
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns * NS
+
+
+def s_to_ns(s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return s / NS
+
+
+def parse_bandwidth(text: str) -> float:
+    """Parse a bandwidth string such as ``"10Gbps"`` or ``"24 GB/s"``.
+
+    Lower-case ``b`` means bits, upper-case handled case-insensitively by
+    unit name: ``bps`` suffixes are bits per second, ``B/s`` suffixes are
+    bytes per second.  Returns bytes per second.
+    """
+    return _parse(text, _BANDWIDTH_UNITS, "bandwidth")
+
+
+def parse_latency(text: str) -> float:
+    """Parse a latency string such as ``"2,500ns"`` or ``"1.3us"`` to seconds."""
+    return _parse(text, _TIME_UNITS, "latency")
+
+
+def parse_size(text: str) -> int:
+    """Parse a data-size string such as ``"4KiB"`` or ``"1MB"`` to bytes."""
+    return int(round(_parse(text, _SIZE_UNITS, "size")))
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate engineering unit."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0 or magnitude == 0.0:
+        return f"{seconds:.3f}s"
+    if magnitude >= 1e-3:
+        return f"{seconds / 1e-3:.3f}ms"
+    if magnitude >= 1e-6:
+        return f"{seconds / 1e-6:.3f}us"
+    return f"{seconds / 1e-9:.1f}ns"

@@ -1,0 +1,34 @@
+"""Argument-validation helpers used at public API boundaries."""
+
+from __future__ import annotations
+
+__all__ = ["require", "check_positive", "check_nonnegative", "check_rank"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive; return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0; return it."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_rank(rank: int, nranks: int, name: str = "rank") -> int:
+    """Validate that ``rank`` is a valid process id for ``nranks`` processes."""
+    if not isinstance(rank, (int,)) or isinstance(rank, bool):
+        raise TypeError(f"{name} must be an int, got {type(rank).__name__}")
+    if not 0 <= rank < nranks:
+        raise ValueError(f"{name} must be in [0, {nranks}), got {rank}")
+    return rank

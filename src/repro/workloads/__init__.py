@@ -1,0 +1,48 @@
+"""Synthetic workload generation: patterns, NPB + DOE apps, corpus, ground truth."""
+
+# NOTE: repro.workloads.audit is intentionally not re-exported here; it
+# depends on repro.core and importing it at package init would be circular.
+from repro.workloads.base import ProgramBuilder
+from repro.workloads.doe import DOE_APPS, generate_doe
+from repro.workloads.npb import NPB_APPS, generate_npb
+from repro.workloads.patterns import (
+    butterfly_exchange,
+    grid_dims,
+    halo_exchange,
+    irregular_exchange,
+    neighbor_lists_grid,
+    ring_shift,
+    sweep_pipeline,
+)
+from repro.workloads.suite import (
+    CORPUS_SIZE,
+    RANK_POOL,
+    TraceSpec,
+    build_corpus,
+    build_trace,
+    corpus_specs,
+)
+from repro.workloads.synthesis import GroundTruthSynthesizer, synthesize_ground_truth
+
+__all__ = [
+    "ProgramBuilder",
+    "NPB_APPS",
+    "DOE_APPS",
+    "generate_npb",
+    "generate_doe",
+    "grid_dims",
+    "halo_exchange",
+    "sweep_pipeline",
+    "butterfly_exchange",
+    "irregular_exchange",
+    "ring_shift",
+    "neighbor_lists_grid",
+    "TraceSpec",
+    "corpus_specs",
+    "build_trace",
+    "build_corpus",
+    "CORPUS_SIZE",
+    "RANK_POOL",
+    "GroundTruthSynthesizer",
+    "synthesize_ground_truth",
+]

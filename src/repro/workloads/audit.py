@@ -1,0 +1,147 @@
+"""Corpus health auditing.
+
+The synthetic corpus must hold several structural properties for the
+experiments to be meaningful; :func:`audit_corpus` checks them over
+study records and returns human-readable findings instead of failing
+fast, so a drifting calibration is visible in one place:
+
+* Table Ia rank bins exact, Table Ib communication bins populated;
+* exactly 19 multi-threaded and 54 grouped traces (engine-failure
+  emulation quotas);
+* per-class DIFFtotal shape (computation-bound tight, tail only in the
+  communication-sensitive group);
+* modeling faster than every simulation on (nearly) every trace;
+* both tools predicting at or below the measured time on average.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import StudyRecord
+from repro.experiments.fig5 import group_of
+from repro.experiments.table1 import PAPER_RANKS
+from repro.trace.stats import RANK_BINS
+
+__all__ = ["Finding", "audit_corpus"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit observation."""
+
+    severity: str  # "ok" | "warn" | "fail"
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.upper():4s}] {self.check}: {self.detail}"
+
+
+def _check(findings, ok: bool, check: str, detail: str, warn_only: bool = False):
+    severity = "ok" if ok else ("warn" if warn_only else "fail")
+    findings.append(Finding(severity, check, detail))
+
+
+def audit_corpus(records: Sequence[StudyRecord]) -> List[Finding]:
+    """Run every corpus health check; returns findings (never raises)."""
+    findings: List[Finding] = []
+    n = len(records)
+    _check(findings, n == 235, "corpus size", f"{n} records (expected 235)")
+
+    # Table Ia bins.
+    observed = Counter()
+    for record in records:
+        for (lo, hi), label in zip(RANK_BINS, PAPER_RANKS):
+            if lo <= record.nranks <= hi:
+                observed[label] += 1
+                break
+    _check(
+        findings,
+        dict(observed) == PAPER_RANKS,
+        "rank bins",
+        f"observed {dict(observed)}",
+    )
+
+    # Engine-failure quotas.
+    pkt_fail = sum(1 for r in records if not r.sims.get("packet").completed)
+    flow_fail = sum(1 for r in records if not r.sims.get("flow").completed)
+    pflow_fail = sum(1 for r in records if not r.sims.get("packet-flow").completed)
+    _check(findings, pkt_fail == 19, "packet completions", f"{n - pkt_fail} (expected 216)")
+    _check(findings, flow_fail == 73, "flow completions", f"{n - flow_fail} (expected 162)")
+    _check(findings, pflow_fail == 0, "packet-flow completions", f"{n - pflow_fail} (expected 235)")
+
+    # DIFF shape by group.
+    diffs = {g: [] for g in ("computation-bound", "load-imbalance-bound",
+                             "communication-sensitive")}
+    for record in records:
+        d = record.diff_total()
+        if d is not None:
+            diffs[group_of(record)].append(d)
+    comp = np.array(diffs["computation-bound"]) if diffs["computation-bound"] else np.array([0.0])
+    cs = np.array(diffs["communication-sensitive"]) if diffs["communication-sensitive"] else np.array([0.0])
+    _check(
+        findings,
+        float(np.mean(comp <= 0.02)) >= 0.9,
+        "computation-bound DIFF",
+        f"{100 * float(np.mean(comp <= 0.02)):.1f}% within 2%",
+        warn_only=True,
+    )
+    _check(
+        findings,
+        cs.max() >= 0.05,
+        "communication-sensitive tail",
+        f"max DIFF {100 * cs.max():.1f}% (paper ~27%)",
+        warn_only=True,
+    )
+    _check(
+        findings,
+        cs.max() <= 0.7,
+        "tail bounded",
+        f"max DIFF {100 * cs.max():.1f}% stays below 70%",
+        warn_only=True,
+    )
+
+    # Modeling fastest.
+    wins = sum(
+        1
+        for r in records
+        if r.mfact.walltime
+        <= min(s.walltime for s in r.sims.values() if s.completed)
+    )
+    _check(
+        findings,
+        wins >= 0.9 * n,
+        "modeling fastest tool",
+        f"MFACT fastest on {wins}/{n} traces",
+        warn_only=True,
+    )
+
+    # Under-prediction direction.
+    mfact_ratio = np.mean([r.mfact.total_time / r.measured_total for r in records])
+    sst_ratio = np.mean(
+        [
+            r.sims["packet-flow"].total_time / r.measured_total
+            for r in records
+            if r.sims["packet-flow"].completed
+        ]
+    )
+    _check(
+        findings,
+        mfact_ratio <= 1.0 and sst_ratio <= 1.0,
+        "tools below measured",
+        f"MFACT/meas {mfact_ratio:.3f}, SST/meas {sst_ratio:.3f}",
+        warn_only=True,
+    )
+    _check(
+        findings,
+        sst_ratio >= mfact_ratio - 0.01,
+        "simulator closer to measured",
+        f"SST {sst_ratio:.3f} vs MFACT {mfact_ratio:.3f}",
+        warn_only=True,
+    )
+    return findings

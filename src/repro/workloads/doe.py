@@ -1,0 +1,200 @@
+"""DOE DesignForward / co-design workload generators.
+
+Covers the extracted kernels (Big FFT, Crystal Router), mini-apps (AMG,
+MiniFE, LULESH, CNS, CMC, Nekbone) and full applications (MultiGrid,
+FillBoundary) used in the study, with the communication structures
+their papers and trace analyses describe: halo exchanges, staged
+hypercube routing, irregular AMR ghost exchange, spectral-element
+gather/scatter, and large FFT transposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.machines.config import MachineConfig
+from repro.util.rng import substream
+from repro.workloads.base import ProgramBuilder
+from repro.workloads.npb import _App, _imbalance_multipliers, _scaled
+from repro.workloads.patterns import (
+    butterfly_exchange,
+    grid_dims,
+    halo_exchange,
+    irregular_exchange,
+)
+
+__all__ = ["DOE_APPS", "generate_doe"]
+
+
+def _bigfft_round(b, machine, rng, nranks, scale, it):
+    # 1-D decomposed 3-D FFT: one giant transpose each direction.
+    per_pair = _scaled(40 * 1024, nranks, scale, 1.0)
+    b.alltoall(per_pair)
+    b.alltoall(per_pair)
+
+
+def _cr_round(b, machine, rng, nranks, scale, it):
+    # Crystal router: log p staged hypercube exchange with highly
+    # variable per-stage payloads (routed aggregates).
+    base = _scaled(224 * 1024, nranks, scale, 0.8)
+
+    def stage_size(k):
+        return max(1024, int(base * float(rng.lognormal(0.0, 0.55))) >> max(0, k - 2))
+
+    butterfly_exchange(b, stage_size)
+
+
+def _amg_round(b, machine, rng, nranks, scale, it):
+    # Algebraic multigrid V-cycle: fine levels exchange moderate halos,
+    # coarse levels send many small messages to wider neighbor sets.
+    dims = grid_dims(nranks, 3)
+    base = _scaled(96 * 1024, nranks, scale)
+    halo_exchange(b, dims, base)
+    halo_exchange(b, dims, max(256, base >> 3))
+    irregular_exchange(
+        b,
+        rng,
+        messages_per_rank=3.0,
+        size_sampler=lambda r: int(r.lognormal(np.log(2048), 0.7)),
+        locality=0.7,
+    )
+    b.allreduce(8)
+    b.allreduce(8)
+
+
+def _minife_round(b, machine, rng, nranks, scale, it):
+    dims = grid_dims(nranks, 3)
+    size = _scaled(64 * 1024, nranks, scale)
+    halo_exchange(b, dims, size)
+    b.allreduce(8)
+    b.allreduce(8)
+
+
+def _mgprod_round(b, machine, rng, nranks, scale, it):
+    # Production MultiGrid: deeper cycle than NPB MG, residual checks.
+    dims = grid_dims(nranks, 3)
+    base = _scaled(160 * 1024, nranks, scale)
+    for level in range(5):
+        halo_exchange(b, dims, max(256, base >> (2 * level)))
+    b.allreduce(16)
+
+
+def _fb_round(b, machine, rng, nranks, scale, it):
+    # AMR FillBoundary: bursty, irregular ghost-zone exchange.
+    irregular_exchange(
+        b,
+        rng,
+        messages_per_rank=14.0,
+        size_sampler=lambda r: int(r.lognormal(np.log(_scaled(24 * 1024, b.nranks, scale)), 1.0)),
+        locality=0.8,
+    )
+    if it % 2 == 0:
+        b.allreduce(64)
+
+
+def _lulesh_round(b, machine, rng, nranks, scale, it):
+    dims = grid_dims(nranks, 3)
+    size = _scaled(96 * 1024, nranks, scale)
+    halo_exchange(b, dims, size)
+    b.allreduce(8)  # dt computation
+    b.allreduce(8)
+
+
+def _cns_round(b, machine, rng, nranks, scale, it):
+    dims = grid_dims(nranks, 3)
+    size = _scaled(224 * 1024, nranks, scale)
+    halo_exchange(b, dims, size)
+    halo_exchange(b, dims, max(1024, size // 2))
+
+
+def _cmc_round(b, machine, rng, nranks, scale, it):
+    # Monte Carlo: nearly no communication inside a step.
+    if it % 3 == 2:
+        b.allreduce(128)
+
+
+def _cmc_final(b, machine, rng, nranks, scale):
+    b.reduce(4096, root=0)
+    b.barrier()
+
+
+def _nekbone_round(b, machine, rng, nranks, scale, it):
+    # Spectral-element CG: gather/scatter halo plus dot products.
+    dims = grid_dims(nranks, 3)
+    size = _scaled(20 * 1024, nranks, scale, 0.4)
+    halo_exchange(b, dims, size)
+    b.allreduce(8)
+    halo_exchange(b, dims, size)
+    b.allreduce(8)
+
+
+DOE_APPS: Dict[str, _App] = {
+    "BIGFFT": _App("BigFFT", iters=2, emit_round=_bigfft_round),
+    "CR": _App("CR", iters=4, emit_round=_cr_round),
+    "AMG": _App("AMG", iters=4, emit_round=_amg_round),
+    "MINIFE": _App("MiniFE", iters=8, emit_round=_minife_round),
+    "MGPROD": _App("MultiGrid", iters=4, emit_round=_mgprod_round),
+    "FB": _App("FillBoundary", iters=5, emit_round=_fb_round),
+    "LULESH": _App("LULESH", iters=8, emit_round=_lulesh_round),
+    "CNS": _App("CNS", iters=5, emit_round=_cns_round),
+    "CMC": _App("CMC", iters=9, emit_round=_cmc_round, finalize=_cmc_final),
+    "NEKBONE": _App("Nekbone", iters=10, emit_round=_nekbone_round),
+}
+
+
+def generate_doe(
+    app: str,
+    nranks: int,
+    machine: MachineConfig,
+    seed: int,
+    scale: float = 1.0,
+    compute_per_iter: float = 0.0,
+    imbalance: float = 0.0,
+    ranks_per_node: int = 16,
+    use_threads: bool = False,
+    use_comm_split: bool = False,
+    name: str = None,
+    iters: int = None,
+):
+    """Build one DOE application trace (same contract as ``generate_npb``)."""
+    key = app.upper().replace("-", "")
+    try:
+        spec = DOE_APPS[key]
+    except KeyError:
+        known = ", ".join(sorted(DOE_APPS))
+        raise ValueError(f"unknown DOE app {app!r} (known: {known})") from None
+    rng = substream(seed, "doe", key, nranks)
+    trace_name = name or f"{spec.name.lower()}.{nranks}.{machine.name}.s{seed % 1000}"
+    b = ProgramBuilder(nranks, spec.name, trace_name, ranks_per_node=ranks_per_node)
+    b.uses_threads = use_threads
+    if use_comm_split:
+        half = max(1, nranks // 2)
+        b.add_comm(tuple(range(half)))
+        b.add_comm(tuple(range(half, nranks)))
+    mult = _imbalance_multipliers(nranks, imbalance, rng)
+    if spec.setup:
+        spec.setup(b, machine, rng, nranks, scale)
+    niters = iters if iters is not None else spec.iters
+    for it in range(niters):
+        # Jitter is drawn unconditionally so the RNG stream (and hence
+        # the traffic) is identical across calibration passes that only
+        # change the compute budget.
+        jitter = rng.normal(1.0, 0.02, size=nranks).clip(0.8, 1.2)
+        if compute_per_iter > 0:
+            for rank in range(nranks):
+                b.compute(rank, compute_per_iter * mult[rank] * jitter[rank])
+        spec.emit_round(b, machine, rng, nranks, scale, it)
+    if spec.finalize:
+        spec.finalize(b, machine, rng, nranks, scale)
+    b.barrier()
+    b.metadata.update(
+        app=spec.name,
+        suite="DOE",
+        scale=scale,
+        imbalance=imbalance,
+        iters=niters,
+        seed=seed,
+    )
+    return b.build(machine=machine.name)

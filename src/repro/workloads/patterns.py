@@ -1,0 +1,231 @@
+"""Reusable communication patterns.
+
+Each pattern emits one communication round for every participating rank
+into a :class:`ProgramBuilder`.  Patterns are deadlock-free by
+construction: receives are posted non-blocking before sends wherever a
+cycle could otherwise form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.base import ProgramBuilder
+
+__all__ = [
+    "grid_dims",
+    "halo_exchange",
+    "sweep_pipeline",
+    "butterfly_exchange",
+    "irregular_exchange",
+    "ring_shift",
+    "neighbor_lists_grid",
+]
+
+
+def grid_dims(nranks: int, ndim: int) -> Tuple[int, ...]:
+    """Near-balanced process-grid factorization of ``nranks``.
+
+    Greedy: repeatedly assign the largest prime factor to the smallest
+    dimension, mirroring ``MPI_Dims_create``.
+    """
+    if nranks < 1 or ndim < 1:
+        raise ValueError("nranks and ndim must be >= 1")
+    dims = [1] * ndim
+    remaining = nranks
+    factors: List[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+def _coords(rank: int, dims: Sequence[int]) -> List[int]:
+    out = []
+    for d in dims:
+        out.append(rank % d)
+        rank //= d
+    return out
+
+
+def _rank_at(coords: Sequence[int], dims: Sequence[int]) -> int:
+    rank = 0
+    stride = 1
+    for c, d in zip(coords, dims):
+        rank += (c % d) * stride
+        stride *= d
+    return rank
+
+
+def neighbor_lists_grid(nranks: int, dims: Sequence[int], periodic: bool = True):
+    """Per-rank neighbor list on a process grid: (axis, direction, peer)."""
+    out: List[List[Tuple[int, int, int]]] = []
+    for rank in range(nranks):
+        coords = _coords(rank, dims)
+        neighbors = []
+        for axis, d in enumerate(dims):
+            if d == 1:
+                continue
+            for step in (+1, -1):
+                c = list(coords)
+                if not periodic and not 0 <= c[axis] + step < d:
+                    continue
+                c[axis] = (c[axis] + step) % d
+                neighbors.append((axis, step, _rank_at(c, dims)))
+        out.append(neighbors)
+    return out
+
+
+def halo_exchange(
+    builder: ProgramBuilder,
+    dims: Sequence[int],
+    nbytes: int,
+    periodic: bool = True,
+    size_jitter: Callable[[int], int] = None,
+) -> None:
+    """One ghost-cell exchange round on an n-D process grid.
+
+    Every rank posts irecvs from all grid neighbors, isends to all of
+    them, then waits.  ``size_jitter(rank)`` may perturb the per-rank
+    message size (the same size is used for all of a rank's sends, and
+    receives are sized to match the *sender's* size).
+    """
+    n = builder.nranks
+    tag = builder.site_tag("halo", tuple(dims), nbytes, periodic)
+    sizes = [size_jitter(r) if size_jitter else nbytes for r in range(n)]
+    neighbor_lists = neighbor_lists_grid(n, dims, periodic)
+    for rank in range(n):
+        reqs = []
+        for _, _, peer in neighbor_lists[rank]:
+            reqs.append(builder.irecv(rank, peer, sizes[peer], tag))
+        for _, _, peer in neighbor_lists[rank]:
+            reqs.append(builder.isend(rank, peer, sizes[rank], tag))
+        builder.waitall(rank, reqs)
+
+
+def sweep_pipeline(
+    builder: ProgramBuilder,
+    dims2d: Tuple[int, int],
+    nbytes: int,
+    compute_per_cell: float = 0.0,
+    reverse: bool = False,
+) -> None:
+    """A 2-D wavefront sweep (LU-style): blocking recvs from the
+    upstream neighbors, local work, blocking sends downstream.
+
+    The dependency chain from corner to corner makes the pattern
+    latency-sensitive and pipeline-imbalanced, like NPB LU.
+    """
+    px, py = dims2d
+    n = builder.nranks
+    if px * py != n:
+        raise ValueError(f"dims {dims2d} do not cover {n} ranks")
+    tag = builder.site_tag("sweep", dims2d, nbytes, reverse)
+    step = -1 if reverse else +1
+    for rank in range(n):
+        x, y = rank % px, rank // px
+        ups = []
+        downs = []
+        for dx, dy in ((step, 0), (0, step)):
+            ux, uy = x - dx, y - dy
+            if 0 <= ux < px and 0 <= uy < py:
+                ups.append(ux + uy * px)
+            wx, wy = x + dx, y + dy
+            if 0 <= wx < px and 0 <= wy < py:
+                downs.append(wx + wy * px)
+        for peer in ups:
+            builder.recv(rank, peer, nbytes, tag)
+        if compute_per_cell > 0:
+            builder.compute(rank, compute_per_cell)
+        for peer in downs:
+            builder.send(rank, peer, nbytes, tag)
+
+
+def butterfly_exchange(
+    builder: ProgramBuilder,
+    nbytes_per_stage: Callable[[int], int],
+    ranks: Sequence[int] = None,
+) -> None:
+    """Hypercube (butterfly) staged exchange, Crystal-Router style.
+
+    ``ceil(log2 p)`` stages; stage ``k`` pairs rank ``i`` with
+    ``i XOR 2^k`` (partners beyond the rank count are skipped).
+    ``nbytes_per_stage(k)`` sizes stage ``k``'s messages.
+    """
+    members = list(ranks) if ranks is not None else list(range(builder.nranks))
+    p = len(members)
+    stages = max(1, (p - 1).bit_length())
+    for k in range(stages):
+        tag = builder.site_tag("butterfly", k, tuple(members[:2]))
+        size = nbytes_per_stage(k)
+        for i, rank in enumerate(members):
+            j = i ^ (1 << k)
+            if j >= p:
+                continue
+            peer = members[j]
+            req_r = builder.irecv(rank, peer, size, tag)
+            req_s = builder.isend(rank, peer, size, tag)
+            builder.waitall(rank, (req_r, req_s))
+
+
+def irregular_exchange(
+    builder: ProgramBuilder,
+    rng: np.random.Generator,
+    messages_per_rank: float,
+    size_sampler: Callable[[np.random.Generator], int],
+    locality: float = 0.0,
+) -> None:
+    """One round of irregular point-to-point traffic (AMR FillBoundary
+    style): each rank messages a random set of peers with random sizes.
+
+    ``locality`` in [0, 1) biases destinations toward nearby ranks.
+    Receives are posted (irecv) before any sends, then everything is
+    waited, so arbitrary traffic patterns cannot deadlock.
+    """
+    n = builder.nranks
+    tag = builder.fresh_tag()
+    traffic: List[Tuple[int, int, int]] = []  # (src, dst, nbytes)
+    for src in range(n):
+        count = rng.poisson(messages_per_rank)
+        for _ in range(count):
+            if locality > 0 and rng.random() < locality:
+                dst = (src + int(rng.integers(1, max(2, n // 8)))) % n
+            else:
+                dst = int(rng.integers(0, n))
+            if dst == src:
+                dst = (dst + 1) % n
+            traffic.append((src, dst, int(size_sampler(rng))))
+    by_src: Dict[int, List[Tuple[int, int]]] = {r: [] for r in range(n)}
+    by_dst: Dict[int, List[Tuple[int, int]]] = {r: [] for r in range(n)}
+    for src, dst, size in traffic:
+        by_src[src].append((dst, size))
+        by_dst[dst].append((src, size))
+    for rank in range(n):
+        reqs = []
+        for src, size in by_dst[rank]:
+            reqs.append(builder.irecv(rank, src, size, tag))
+        for dst, size in by_src[rank]:
+            reqs.append(builder.isend(rank, dst, size, tag))
+        builder.waitall(rank, reqs)
+
+
+def ring_shift(builder: ProgramBuilder, nbytes: int, displacement: int = 1) -> None:
+    """Every rank passes a block to ``(rank + displacement) mod p``."""
+    n = builder.nranks
+    tag = builder.site_tag("ring", displacement, nbytes)
+    for rank in range(n):
+        src = (rank - displacement) % n
+        dst = (rank + displacement) % n
+        req_r = builder.irecv(rank, src, nbytes, tag)
+        req_s = builder.isend(rank, dst, nbytes, tag)
+        builder.waitall(rank, (req_r, req_s))

@@ -1,0 +1,56 @@
+"""Shared test helpers."""
+
+import pytest
+
+from typing import List
+
+from repro.core.pipeline import StudyRecord, ToolRun
+from repro.trace.features import NUMERIC_FEATURE_NAMES
+from repro.util.rng import substream
+
+
+def fabricate_records(n=60, seed=0):
+    """Records shaped like a miniature study (no simulation run)."""
+    rng = substream(seed, "fab")
+    records = []
+    apps = ["CG", "EP", "IS", "LULESH", "CR", "MiniFE"]
+    suites = {"CG": "NPB", "EP": "NPB", "IS": "NPB",
+              "LULESH": "DOE", "CR": "DOE", "MiniFE": "DOE"}
+    for i in range(n):
+        app = apps[i % len(apps)]
+        cs = app in ("CG", "IS", "CR")
+        diff = float(rng.uniform(0.03, 0.2)) if cs else float(rng.uniform(0, 0.015))
+        features = {name: float(rng.normal()) for name in NUMERIC_FEATURE_NAMES}
+        features["R"] = [64, 128, 256, 512, 1024, 1728][i % 6]
+        record = StudyRecord(
+            name=f"{app.lower()}.{i}",
+            app=app,
+            suite=suites[app],
+            machine="cielito",
+            nranks=int(features["R"]),
+            spec_index=i,
+            measured_total=1.3,
+            measured_comm=0.3,
+            comm_fraction=float(rng.uniform(0.02, 0.8)),
+            features=features,
+        )
+        record.mfact = ToolRun(True, total_time=1.0, comm_time=0.2,
+                               walltime=0.01)
+        record.mfact_cs = cs
+        record.mfact_class = "communication-bound" if cs else (
+            "load-imbalance-bound" if i % 4 == 1 else "computation-bound")
+        for model, factor in (("packet", 40), ("flow", 15), ("packet-flow", 8)):
+            record.sims[model] = ToolRun(
+                True,
+                total_time=1.0 + diff * (1 + 0.02 * rng.normal()),
+                comm_time=0.2 * (1 + diff),
+                walltime=0.01 * factor * float(rng.lognormal(0, 1)),
+            )
+        records.append(record)
+    return records
+
+
+@pytest.fixture(scope="session")
+def fabricate():
+    """Factory fixture: build synthetic study records."""
+    return fabricate_records

@@ -1,0 +1,115 @@
+"""Tests for ablation sweeps, corpus auditing, calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ToolRun
+from repro.experiments.ablations import (
+    sweep_chunk_size,
+    sweep_diff_threshold,
+    sweep_ripple,
+    sweep_stepwise_cap,
+    sweep_vectorization,
+)
+from repro.machines import CIELITO
+from repro.stats.calibration import brier_score, error_margins, reliability_table
+from repro.workloads import generate_doe
+from repro.workloads.audit import audit_corpus
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_doe("CNS", 16, CIELITO, seed=61, compute_per_iter=0.001,
+                        ranks_per_node=2)
+
+
+class TestAblationSweeps:
+    def test_chunk_size_rows(self, trace):
+        rows = sweep_chunk_size(trace, CIELITO, sizes=(1024, 8192))
+        assert len(rows) == 2
+        assert rows[0]["packets"] > rows[1]["packets"]
+        for row in rows:
+            assert row["predicted_total"] > 0
+
+    def test_ripple_rows(self, trace):
+        rows = sweep_ripple(trace, CIELITO)
+        assert {row["ripple"] for row in rows} == {0.0, 1.0}
+        with_ripple = next(r for r in rows if r["ripple"] == 1.0)
+        assert with_ripple["ripple_updates"] > 0
+
+    def test_stepwise_cap_rows(self, fabricate):
+        records = fabricate(n=80, seed=3)
+        rows = sweep_stepwise_cap(records, caps=(1, 5), runs=6)
+        assert [row["max_vars"] for row in rows] == [1.0, 5.0]
+        assert all(0 <= row["trimmed_mr"] <= 1 for row in rows)
+
+    def test_diff_threshold_rows(self, fabricate):
+        records = fabricate(n=80, seed=3)
+        rows = sweep_diff_threshold(records, thresholds=(0.01, 0.10), runs=6)
+        assert rows[0]["positive_share"] >= rows[1]["positive_share"]
+
+    def test_vectorization_row(self, trace):
+        row = sweep_vectorization(trace, CIELITO)
+        assert row["speedup"] > 1.0
+        assert row["max_prediction_gap"] < 1e-9
+
+
+class TestAudit:
+    def test_fabricated_corpus_flags_size(self, fabricate):
+        findings = audit_corpus(fabricate(n=60, seed=1))
+        by_check = {f.check: f for f in findings}
+        assert by_check["corpus size"].severity == "fail"
+
+    def test_findings_printable(self, fabricate):
+        findings = audit_corpus(fabricate(n=60, seed=1))
+        text = "\n".join(str(f) for f in findings)
+        assert "corpus size" in text
+        assert any(f.severity == "ok" for f in findings)
+
+    def test_quota_checks_react(self, fabricate):
+        records = fabricate(n=60, seed=1)
+        for r in records[:19]:
+            r.sims["packet"] = ToolRun(False, error="threads")
+        findings = {f.check: f for f in audit_corpus(records)}
+        assert findings["packet completions"].severity == "ok"
+
+
+class TestCalibration:
+    def test_brier_perfect(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_brier_worst(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_brier_validation(self):
+        with pytest.raises(ValueError):
+            brier_score([1], [1.5])
+        with pytest.raises(ValueError):
+            brier_score([], [])
+        with pytest.raises(ValueError):
+            brier_score([1, 0], [0.5])
+
+    def test_reliability_table_calibrated_model(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0, 1, 5000)
+        y = (rng.uniform(0, 1, 5000) < p).astype(int)
+        table = reliability_table(y, p, bins=5)
+        assert len(table) == 5
+        for row in table:
+            assert abs(row.gap) < 0.05
+
+    def test_reliability_bins_partition(self):
+        p = np.array([0.05, 0.55, 0.95, 1.0])
+        y = np.array([0, 1, 1, 1])
+        table = reliability_table(y, p, bins=10)
+        assert sum(row.count for row in table) == 4
+
+    def test_error_margins_boundary_errors(self):
+        y = [1, 0, 1, 0]
+        p = [0.45, 0.55, 0.9, 0.1]  # first two wrong, near the boundary
+        margins = error_margins(y, p)
+        assert margins.shape == (2,)
+        assert np.all(margins <= 0.06)
+
+    def test_error_margins_no_errors(self):
+        assert error_margins([1, 0], [0.9, 0.1]).size == 0

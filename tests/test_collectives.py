@@ -1,0 +1,201 @@
+"""Tests for collective schedules and cost models.
+
+The key invariant: every schedule's sends and receives match pairwise
+(the simulator's expansion of a collective must not deadlock or drop
+bytes), and cost models agree with schedule critical paths in order of
+magnitude.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.collectives import (
+    ALLTOALL_BRUCK_MAX_BYTES,
+    CollectiveCost,
+    collective_cost,
+    schedule_collective,
+)
+from repro.trace.events import OpKind
+
+ALL_COLLECTIVES = [
+    OpKind.BARRIER,
+    OpKind.BCAST,
+    OpKind.REDUCE,
+    OpKind.ALLREDUCE,
+    OpKind.ALLGATHER,
+    OpKind.ALLTOALL,
+    OpKind.GATHER,
+    OpKind.SCATTER,
+    OpKind.REDUCE_SCATTER,
+]
+
+SIZES = [2, 3, 4, 7, 8, 16, 17]
+
+
+def check_matching(schedule):
+    """Sends from a to b must equal recvs posted at b from a (as multisets)."""
+    sends = Counter()
+    recvs = Counter()
+    for rank, phases in schedule.items():
+        for phase in phases:
+            for peer, size in phase.sends:
+                sends[(rank, peer, size)] += 1
+            for peer, size in phase.recvs:
+                recvs[(peer, rank, size)] += 1
+    assert sends == recvs, f"unmatched traffic: {sends - recvs} / {recvs - sends}"
+
+
+class TestScheduleMatching:
+    @pytest.mark.parametrize("kind", ALL_COLLECTIVES)
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sends_match_recvs(self, kind, p):
+        ranks = tuple(range(p))
+        check_matching(schedule_collective(kind, ranks, 1024, root=0))
+
+    @pytest.mark.parametrize("kind", [OpKind.BCAST, OpKind.REDUCE, OpKind.GATHER, OpKind.SCATTER])
+    def test_nonzero_root(self, kind):
+        ranks = tuple(range(6))
+        check_matching(schedule_collective(kind, ranks, 512, root=4))
+
+    def test_noncontiguous_world_ranks(self):
+        ranks = (3, 7, 11, 20)
+        sched = schedule_collective(OpKind.ALLREDUCE, ranks, 256)
+        check_matching(sched)
+        assert set(sched) == set(ranks)
+
+    def test_single_member_trivial(self):
+        sched = schedule_collective(OpKind.ALLREDUCE, (5,), 1024)
+        assert sched == {5: []}
+
+    def test_root_not_member_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            schedule_collective(OpKind.BCAST, (0, 1), 8, root=9)
+
+    def test_empty_comm_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_collective(OpKind.BARRIER, (), 0)
+
+    def test_non_collective_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_collective(OpKind.SEND, (0, 1), 8)
+
+
+class TestScheduleStructure:
+    def test_bcast_root_only_sends(self):
+        sched = schedule_collective(OpKind.BCAST, tuple(range(8)), 100, root=0)
+        assert all(not phase.recvs for phase in sched[0])
+        # Every non-root receives exactly once.
+        for rank in range(1, 8):
+            recvs = sum(len(ph.recvs) for ph in sched[rank])
+            assert recvs == 1
+
+    def test_bcast_log_depth(self):
+        sched = schedule_collective(OpKind.BCAST, tuple(range(16)), 100, root=0)
+        assert len(sched[0]) == 4  # root sends ceil(log2 16) times
+
+    def test_reduce_is_reversed_bcast(self):
+        bcast = schedule_collective(OpKind.BCAST, tuple(range(8)), 64, root=2)
+        reduce_ = schedule_collective(OpKind.REDUCE, tuple(range(8)), 64, root=2)
+        root_sends = sum(len(ph.sends) for ph in bcast[2])
+        root_recvs = sum(len(ph.recvs) for ph in reduce_[2])
+        assert root_sends == root_recvs
+
+    def test_allreduce_power_of_two_rounds(self):
+        sched = schedule_collective(OpKind.ALLREDUCE, tuple(range(8)), 64)
+        assert all(len(phases) == 3 for phases in sched.values())
+
+    def test_allreduce_non_power_of_two_fold(self):
+        sched = schedule_collective(OpKind.ALLREDUCE, tuple(range(6)), 64)
+        # Extra ranks (4, 5) fold into the pow2 core then unfold.
+        assert len(sched[4]) == 2  # one send, one recv
+        assert len(sched[0]) >= 3
+
+    def test_allgather_bruck_sizes_double(self):
+        sched = schedule_collective(OpKind.ALLGATHER, tuple(range(8)), 100)
+        sizes = [ph.sends[0][1] for ph in sched[0]]
+        assert sizes == [100, 200, 400]
+
+    def test_alltoall_small_uses_bruck(self):
+        p = 8
+        sched = schedule_collective(OpKind.ALLTOALL, tuple(range(p)), 64)
+        assert all(len(phases) == 3 for phases in sched.values())  # log2(8)
+
+    def test_alltoall_large_uses_pairwise(self):
+        p = 8
+        size = ALLTOALL_BRUCK_MAX_BYTES + 1
+        sched = schedule_collective(OpKind.ALLTOALL, tuple(range(p)), size)
+        assert all(len(phases) == p - 1 for phases in sched.values())
+
+    def test_alltoall_total_bytes_conserved(self):
+        p, m = 8, 128
+        for size in (m, ALLTOALL_BRUCK_MAX_BYTES + 1):
+            sched = schedule_collective(OpKind.ALLTOALL, tuple(range(p)), size)
+            total = sum(
+                s for phases in sched.values() for ph in phases for _, s in ph.sends
+            )
+            # Pairwise moves exactly p*(p-1)*size; Bruck moves at least that.
+            assert total >= p * (p - 1) * min(size, m)
+
+    def test_barrier_everyone_participates(self):
+        sched = schedule_collective(OpKind.BARRIER, tuple(range(7)), 0)
+        assert all(phases for phases in sched.values())
+
+    def test_gather_payload_grows_toward_root(self):
+        sched = schedule_collective(OpKind.GATHER, tuple(range(8)), 100, root=0)
+        root_recv_sizes = sorted(s for ph in sched[0] for _, s in ph.recvs)
+        assert root_recv_sizes == [100, 200, 400]
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("kind", ALL_COLLECTIVES)
+    @pytest.mark.parametrize("p", SIZES)
+    def test_nonnegative(self, kind, p):
+        cost = collective_cost(kind, p, 4096)
+        assert cost.alpha_count >= 0
+        assert cost.bytes_on_wire >= 0
+
+    def test_single_rank_free(self):
+        assert collective_cost(OpKind.ALLREDUCE, 1, 1 << 20) == CollectiveCost(0.0, 0.0)
+
+    def test_barrier_log_steps(self):
+        assert collective_cost(OpKind.BARRIER, 16, 0).alpha_count == 4
+        assert collective_cost(OpKind.BARRIER, 17, 0).alpha_count == 5
+
+    def test_bcast_scales_with_log_p(self):
+        c8 = collective_cost(OpKind.BCAST, 8, 1000)
+        c64 = collective_cost(OpKind.BCAST, 64, 1000)
+        assert c64.bytes_on_wire == 2 * c8.bytes_on_wire
+
+    def test_time_evaluation(self):
+        cost = CollectiveCost(alpha_count=2, bytes_on_wire=1000)
+        assert cost.time(1e-6, 1e9) == pytest.approx(2e-6 + 1e-6)
+
+    def test_alltoall_switches_algorithm(self):
+        small = collective_cost(OpKind.ALLTOALL, 16, 64)
+        large = collective_cost(OpKind.ALLTOALL, 16, ALLTOALL_BRUCK_MAX_BYTES + 1)
+        assert small.alpha_count == 4  # Bruck: log p rounds
+        assert large.alpha_count == 15  # pairwise: p - 1 rounds
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            collective_cost(OpKind.BCAST, 0, 10)
+        with pytest.raises(ValueError):
+            collective_cost(OpKind.BCAST, 4, -1)
+        with pytest.raises(ValueError):
+            collective_cost(OpKind.SEND, 4, 1)
+
+    def test_cost_tracks_schedule_critical_path(self):
+        """Closed-form bytes should be within 2x of the schedule's
+        per-rank maximum (they price the same algorithm)."""
+        for kind in (OpKind.ALLREDUCE, OpKind.ALLGATHER, OpKind.BCAST):
+            p, m = 16, 1024
+            sched = schedule_collective(kind, tuple(range(p)), m, root=0)
+            max_rank_bytes = max(
+                sum(s for ph in phases for _, s in ph.sends)
+                + sum(s for ph in phases for _, s in ph.recvs)
+                for phases in sched.values()
+            )
+            cost = collective_cost(kind, p, m)
+            assert cost.bytes_on_wire <= 2 * max_rank_bytes
+            assert max_rank_bytes <= 4 * max(cost.bytes_on_wire, m)

@@ -1,0 +1,88 @@
+"""Round-trip tests for the DUMPI-like serialization."""
+
+import math
+
+import pytest
+
+from repro.machines import CIELITO
+from repro.trace.dumpi import FORMAT_MAGIC, dumps, loads, read_trace, write_trace
+from repro.trace.events import Op, OpKind, make_compute
+from repro.trace.trace import TraceSet
+from repro.workloads import generate_npb
+
+
+def sample_trace():
+    ranks = [
+        [make_compute(0.25), Op(OpKind.ISEND, peer=1, nbytes=4096, tag=3, req=1),
+         Op(OpKind.WAIT, req=1), Op(OpKind.BARRIER)],
+        [Op(OpKind.RECV, peer=0, nbytes=4096, tag=3), Op(OpKind.BARRIER)],
+    ]
+    return TraceSet(
+        "sample",
+        "TEST",
+        ranks,
+        machine="cielito",
+        ranks_per_node=2,
+        comms={1: (0, 1)},
+        uses_comm_split=True,
+        metadata={"seed": 7, "note": "hello world"},
+    )
+
+
+class TestRoundTrip:
+    def test_header_fields(self):
+        t2 = loads(dumps(sample_trace()))
+        assert t2.name == "sample"
+        assert t2.app == "TEST"
+        assert t2.machine == "cielito"
+        assert t2.ranks_per_node == 2
+        assert t2.uses_comm_split and not t2.uses_threads
+        assert t2.metadata == {"seed": 7, "note": "hello world"}
+        assert t2.comms[1] == (0, 1)
+
+    def test_ops_identical(self):
+        t = sample_trace()
+        t2 = loads(dumps(t))
+        for s1, s2 in zip(t.ranks, t2.ranks):
+            assert s1 == s2
+
+    def test_nan_timestamps_roundtrip(self):
+        t2 = loads(dumps(sample_trace()))
+        assert math.isnan(t2.ranks[0][0].t_entry)
+
+    def test_stamped_timestamps_exact(self):
+        t = sample_trace()
+        t.ranks[0][0].t_entry = 0.1234567890123456
+        t.ranks[0][0].t_exit = 0.9876543210987654
+        t2 = loads(dumps(t))
+        assert t2.ranks[0][0].t_entry == t.ranks[0][0].t_entry
+        assert t2.ranks[0][0].t_exit == t.ranks[0][0].t_exit
+
+    def test_file_roundtrip(self, tmp_path):
+        t = sample_trace()
+        path = write_trace(t, tmp_path / "trace.dmp")
+        t2 = read_trace(path)
+        assert t2.name == t.name
+        assert t2.op_count() == t.op_count()
+
+    def test_generated_trace_roundtrip(self):
+        t = generate_npb("CG", 16, CIELITO, seed=3, compute_per_iter=0.001)
+        t2 = loads(dumps(t))
+        assert t2.op_count() == t.op_count()
+        for s1, s2 in zip(t.ranks, t2.ranks):
+            assert s1 == s2
+        t2.validate()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="not a"):
+            loads("#SOMETHING ELSE\n")
+
+    def test_truncated(self):
+        text = dumps(sample_trace())
+        with pytest.raises((ValueError, IndexError)):
+            loads("\n".join(text.splitlines()[:5]))
+
+    def test_magic_constant(self):
+        assert dumps(sample_trace()).startswith(FORMAT_MAGIC)

@@ -1,0 +1,122 @@
+"""Tests for Hockney parameter fitting and the LogGP baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CIELITO, EDISON, HOPPER
+from repro.machines.fitting import DEFAULT_SIZES, HockneyFit, fit_hockney, measure_pingpong
+from repro.mfact.loggp import (
+    LogGPParameters,
+    compare_models,
+    loggp_from_machine,
+    p2p_time_loggp,
+)
+from repro.workloads import generate_npb
+
+
+class TestFitHockney:
+    def test_exact_recovery_on_clean_data(self):
+        sizes = np.array(DEFAULT_SIZES, dtype=float)
+        alpha, bw = 2.5e-6, 1.25e9
+        times = alpha + sizes / bw
+        fit = fit_hockney(sizes, times)
+        assert fit.latency == pytest.approx(alpha, rel=1e-6)
+        assert fit.bandwidth == pytest.approx(bw, rel=1e-6)
+        assert fit.residual_rms < 1e-12
+
+    def test_noisy_data_close(self):
+        rng = np.random.default_rng(5)
+        sizes = np.array(DEFAULT_SIZES, dtype=float)
+        times = (2.5e-6 + sizes / 1.25e9) * rng.normal(1.0, 0.03, sizes.size)
+        fit = fit_hockney(sizes, times)
+        assert fit.latency == pytest.approx(2.5e-6, rel=0.3)
+        assert fit.bandwidth == pytest.approx(1.25e9, rel=0.15)
+
+    def test_predict(self):
+        fit = HockneyFit(latency=1e-6, bandwidth=1e9, residual_rms=0.0, n_points=2)
+        assert fit.predict(1000) == pytest.approx(2e-6)
+
+    def test_as_machine(self):
+        fit = HockneyFit(latency=9e-7, bandwidth=2e9, residual_rms=0.0, n_points=2)
+        machine = fit.as_machine(CIELITO)
+        assert machine.latency == 9e-7
+        assert machine.bandwidth == 2e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_hockney([1], [1e-6])
+        with pytest.raises(ValueError):
+            fit_hockney([1, 2], [1e-6])
+        with pytest.raises(ValueError):
+            fit_hockney([1, 2], [1e-6, -1e-6])
+
+    def test_degenerate_constant_times(self):
+        fit = fit_hockney([64, 128, 256], [1e-6, 1e-6, 1e-6])
+        assert fit.latency >= 0
+        assert fit.bandwidth > 0
+
+
+class TestPingpongClosure:
+    @pytest.mark.parametrize("machine", [CIELITO, HOPPER, EDISON])
+    def test_fit_recovers_machine_parameters(self, machine):
+        """Simulate ping-pong on a machine, fit Hockney, get it back."""
+        sizes, times = measure_pingpong(machine, sizes=DEFAULT_SIZES[:13])
+        fit = fit_hockney(sizes, times)
+        # The simulator adds per-hop switch latency and software
+        # overheads on top of alpha, so the fit lands near but above.
+        assert fit.bandwidth == pytest.approx(machine.bandwidth, rel=0.25)
+        assert machine.latency * 0.8 < fit.latency < machine.latency * 3.5
+
+    def test_times_monotone_in_size(self):
+        sizes, times = measure_pingpong(CIELITO, sizes=(64, 4096, 262144))
+        assert times[0] < times[1] < times[2]
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            measure_pingpong(CIELITO, repeats=0)
+
+
+class TestLogGP:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogGPParameters(L=-1, o=0, g=0, G=0)
+
+    def test_one_way_formula(self):
+        p = LogGPParameters(L=1e-6, o=1e-7, g=1e-7, G=1e-9)
+        assert p.one_way(1) == pytest.approx(1e-6 + 2e-7)
+        assert p.one_way(1001) == pytest.approx(1e-6 + 2e-7 + 1000 * 1e-9)
+
+    def test_sender_occupancy_less_than_one_way(self):
+        p = loggp_from_machine(CIELITO)
+        assert p.sender_occupancy(4096) < p.one_way(4096)
+
+    def test_from_machine_bandwidth_term(self):
+        p = loggp_from_machine(CIELITO)
+        assert p.G == pytest.approx(1.0 / CIELITO.bandwidth)
+        assert p.L < CIELITO.latency
+
+    def test_vectorized(self):
+        p = loggp_from_machine(EDISON)
+        out = p2p_time_loggp([64, 128, 256], p)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_models_agree_for_large_messages(self):
+        """For bandwidth-dominated messages both models converge."""
+        p = loggp_from_machine(CIELITO)
+        m = 64 * 1024 * 1024
+        hockney = CIELITO.latency + m / CIELITO.bandwidth
+        assert p.one_way(m) == pytest.approx(hockney, rel=0.01)
+
+    def test_compare_models_on_trace(self):
+        trace = generate_npb("CG", 16, CIELITO, seed=7, compute_per_iter=0.001,
+                             ranks_per_node=2)
+        result = compare_models(trace, CIELITO)
+        assert result["messages"] > 0
+        assert result["relative_gap"] < 0.2  # same B term, differing alpha split
+
+    def test_compare_models_empty_trace(self):
+        trace = generate_npb("EP", 8, CIELITO, seed=7, compute_per_iter=0.01)
+        result = compare_models(trace, CIELITO)
+        assert result["messages"] == 0.0
+        assert result["relative_gap"] == 0.0

@@ -1,0 +1,135 @@
+"""Machine preset and Table III feature extraction tests."""
+
+import pytest
+
+from repro.machines import CIELITO, EDISON, HOPPER, MachineConfig, get_machine, machine_names
+from repro.trace.features import NUMERIC_FEATURE_NAMES, extract_features
+from repro.trace.stats import comm_histogram, rank_histogram, summarize_corpus
+from repro.machines.config import MachineConfig as MC
+from repro.util.units import gbps_to_bytes_per_s, ns_to_s
+from repro.workloads import generate_npb, synthesize_ground_truth
+
+
+class TestPresets:
+    def test_paper_network_parameters(self):
+        assert CIELITO.bandwidth == pytest.approx(gbps_to_bytes_per_s(10))
+        assert CIELITO.latency == pytest.approx(ns_to_s(2500))
+        assert HOPPER.bandwidth == pytest.approx(gbps_to_bytes_per_s(35))
+        assert HOPPER.latency == pytest.approx(ns_to_s(2575))
+        assert EDISON.bandwidth == pytest.approx(gbps_to_bytes_per_s(24))
+        assert EDISON.latency == pytest.approx(ns_to_s(1300))
+
+    def test_topology_families(self):
+        assert CIELITO.topology == "torus3d"
+        assert HOPPER.topology == "torus3d"
+        assert EDISON.topology == "dragonfly"
+
+    def test_lookup(self):
+        assert get_machine("Cielito") is CIELITO
+        with pytest.raises(KeyError):
+            get_machine("summit")
+
+    def test_names(self):
+        assert machine_names() == ["cielito", "edison", "hopper"]
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        m = MachineConfig(name="x", bandwidth=1e9, latency=1e-6)
+        assert m.effective_injection_bandwidth == 1e9
+
+    def test_with_network_scales(self):
+        m = CIELITO.with_network(bandwidth=CIELITO.bandwidth * 2)
+        assert m.bandwidth == 2 * CIELITO.bandwidth
+        assert m.latency == CIELITO.latency
+        assert m.name == CIELITO.name
+
+    def test_with_network_noop(self):
+        assert CIELITO.with_network() is CIELITO
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MC(name="x", bandwidth=0, latency=1e-6)
+        with pytest.raises(ValueError):
+            MC(name="x", bandwidth=1e9, latency=1e-6, topology="mesh")
+        with pytest.raises(ValueError):
+            MC(name="x", bandwidth=1e9, latency=1e-6, software_overhead=-1)
+
+
+@pytest.fixture(scope="module")
+def stamped_trace():
+    trace = generate_npb("CG", 16, CIELITO, seed=8, compute_per_iter=0.002,
+                         ranks_per_node=4)
+    return synthesize_ground_truth(trace, CIELITO, seed=8)
+
+
+class TestFeatureExtraction:
+    def test_all_numeric_features_present(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        assert set(features) == set(NUMERIC_FEATURE_NAMES)
+
+    def test_application_features(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        assert features["R"] == 16
+        assert features["RN"] == 4
+        assert features["N"] == 4
+
+    def test_percentages_bounded(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        for name in ("PoCP", "PoC", "PoBR", "PoCOLL", "PoTp2p", "PoSYN", "PoASYN"):
+            assert 0.0 <= features[name] <= 100.0 + 1e-9
+
+    def test_times_consistent(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        assert features["T"] == pytest.approx(stamped_trace.measured_total_time())
+        assert features["Tc"] <= features["T"]
+        assert features["Tsyn"] + features["Tasyn"] == pytest.approx(
+            features["Tp2p"], rel=1e-6
+        )
+        assert features["Tbr"] <= features["Tcoll"] + 1e-12
+
+    def test_counts_consistent(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        assert features["NoIS"] == features["NoIR"]  # symmetric halo
+        assert features["NoM"] == features["NoIS"] + features["NoS"]
+        assert features["NoCALL"] >= features["NoM"]
+        assert features["NoC"] >= features["NoB"]
+
+    def test_bytes_consistent(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        assert features["TBp2p"] <= features["TB"]
+        assert features["TBp2p"] == stamped_trace.total_send_bytes()
+
+    def test_cr_plausible(self, stamped_trace):
+        features = extract_features(stamped_trace)
+        # CG on a 2-D grid talks to 4 neighbors.
+        assert 1 <= features["CR"] <= 8
+        assert features["CRComm"] > 0
+
+
+class TestTableIBinning:
+    def _trace(self, n):
+        t = generate_npb("EP", n, CIELITO, seed=1, compute_per_iter=0.005,
+                         ranks_per_node=4)
+        return synthesize_ground_truth(t, CIELITO, seed=1)
+
+    def test_rank_histogram(self):
+        traces = [self._trace(n) for n in (64, 128, 256)]
+        hist = rank_histogram(traces)
+        assert hist["64"] == 1
+        assert hist["65-128"] == 1
+        assert hist["129-256"] == 1
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            rank_histogram([self._trace(32)])
+
+    def test_comm_histogram_covers(self):
+        traces = [self._trace(64)]
+        hist = comm_histogram(traces)
+        assert sum(hist.values()) == 1
+
+    def test_summarize(self):
+        traces = [self._trace(64)]
+        summary = summarize_corpus(traces)
+        assert summary["total"]["traces"] == 1

@@ -1,0 +1,55 @@
+"""End-to-end tests for the experiments CLI (uses the study cache when
+present; otherwise exercises parsing/error paths only)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import study_cache_path
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+CACHE_PRESENT = study_cache_path().exists()
+
+
+class TestRunnerParsing:
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_experiments_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "table4",
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "section5b", "section6",
+        }
+
+    def test_every_registered_experiment_has_compute_and_render(self):
+        for name, (compute, render) in EXPERIMENTS.items():
+            assert callable(compute) and callable(render)
+
+
+@pytest.mark.skipif(not CACHE_PRESENT, reason="study cache not built")
+class TestRunnerAgainstCache:
+    def test_record_driven_targets(self, capsys):
+        assert main(["table1", "fig5", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Figure 5" in out
+
+    def test_audit_target(self, capsys):
+        assert main(["audit", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus size" in out
+        assert "FAIL" not in out
+
+    def test_run_experiment_helper(self):
+        from repro.experiments.corpus import study_records
+
+        records = study_records()
+        text = run_experiment("section5b", records)
+        assert "Section V-B" in text
+
+    def test_limit_slices_cache(self, capsys):
+        assert main(["table1", "--limit", "40", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "40" in out

@@ -1,0 +1,113 @@
+"""Edge-case tests for SimResult, engine state and replay internals."""
+
+import pytest
+
+from repro.machines import CIELITO
+from repro.sim import SimReplay, SimResult, simulate_trace
+from repro.sim.flow import FlowModel, RIPPLE_COALESCE
+from repro.trace.events import Op, OpKind, make_compute
+from repro.trace.trace import TraceSet
+
+
+class TestSimResult:
+    def test_frozen(self):
+        result = SimResult(
+            trace_name="t", app="A", machine="m", model="packet",
+            total_time=1.0, comm_time=0.5, compute_time=0.5,
+            walltime=0.1, events=10, messages=2, bytes_sent=100,
+        )
+        with pytest.raises(Exception):
+            result.total_time = 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimResult(
+                trace_name="t", app="A", machine="m", model="packet",
+                total_time=-1.0, comm_time=0.0, compute_time=0.0,
+                walltime=0.0, events=0, messages=0, bytes_sent=0,
+            )
+
+
+class TestReplayEdgeCases:
+    def test_compute_only_trace(self):
+        trace = TraceSet("t", "T", [[make_compute(0.5)], [make_compute(0.25)]])
+        res = simulate_trace(trace, CIELITO, "packet-flow")
+        assert res.total_time == pytest.approx(0.5)
+        assert res.comm_time == 0.0
+
+    def test_empty_rank_stream(self):
+        trace = TraceSet("t", "T", [[make_compute(0.1)], []])
+        res = simulate_trace(trace, CIELITO, "packet-flow")
+        assert res.total_time == pytest.approx(0.1)
+
+    def test_zero_byte_message(self):
+        ranks = [
+            [Op(OpKind.SEND, peer=1, nbytes=0, tag=1)],
+            [Op(OpKind.RECV, peer=0, nbytes=0, tag=1)],
+        ]
+        trace = TraceSet("t", "T", ranks, machine="cielito", ranks_per_node=1)
+        for model in ("packet", "flow", "packet-flow"):
+            res = simulate_trace(trace, CIELITO, model)
+            assert res.total_time < 0.001
+
+    def test_same_node_message_fast(self):
+        ranks = [
+            [Op(OpKind.SEND, peer=1, nbytes=1 << 20, tag=1)],
+            [Op(OpKind.RECV, peer=0, nbytes=1 << 20, tag=1)],
+        ]
+        same = TraceSet("t", "T", ranks, machine="cielito", ranks_per_node=2)
+        apart = TraceSet("t", "T", ranks, machine="cielito", ranks_per_node=1)
+        t_same = simulate_trace(same, CIELITO, "packet-flow").total_time
+        t_apart = simulate_trace(apart, CIELITO, "packet-flow").total_time
+        assert t_same < t_apart
+
+    def test_out_of_order_waits(self):
+        ranks = [
+            [
+                Op(OpKind.ISEND, peer=1, nbytes=4096, tag=1, req=1),
+                Op(OpKind.ISEND, peer=1, nbytes=4096, tag=2, req=2),
+                Op(OpKind.WAIT, req=2),
+                Op(OpKind.WAIT, req=1),
+            ],
+            [
+                Op(OpKind.IRECV, peer=0, nbytes=4096, tag=2, req=1),
+                Op(OpKind.IRECV, peer=0, nbytes=4096, tag=1, req=2),
+                Op(OpKind.WAIT, req=1),
+                Op(OpKind.WAIT, req=2),
+            ],
+        ]
+        trace = TraceSet("t", "T", ranks, machine="cielito", ranks_per_node=1)
+        res = simulate_trace(trace, CIELITO, "packet-flow")
+        assert res.total_time > 0
+
+    def test_wait_on_unknown_request_fails(self):
+        trace = TraceSet("t", "T", [[Op(OpKind.WAIT, req=9)], []])
+        with pytest.raises(RuntimeError, match="unknown request"):
+            simulate_trace(trace, CIELITO, "packet-flow")
+
+    def test_deadlocked_trace_detected(self):
+        ranks = [
+            [Op(OpKind.RECV, peer=1, nbytes=8, tag=0)],
+            [Op(OpKind.RECV, peer=0, nbytes=8, tag=0)],
+        ]
+        trace = TraceSet("t", "T", ranks)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate_trace(trace, CIELITO, "packet-flow")
+
+
+class TestFlowBatching:
+    def test_coalesce_window_small(self):
+        assert RIPPLE_COALESCE <= 1e-5
+
+    def test_many_simultaneous_flows_few_ripples(self):
+        n = 32
+        ranks = []
+        for r in range(n // 2):
+            ranks.append([Op(OpKind.SEND, peer=r + n // 2, nbytes=1 << 18, tag=1)])
+        for r in range(n // 2):
+            ranks.append([Op(OpKind.RECV, peer=r, nbytes=1 << 18, tag=1)])
+        trace = TraceSet("t", "T", ranks, machine="cielito", ranks_per_node=1)
+        replay = SimReplay(trace, CIELITO, "flow")
+        replay.run()
+        # 16 simultaneous flows must not cause 16 arrival ripples.
+        assert replay.model.ripple_updates < 10

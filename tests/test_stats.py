@@ -1,0 +1,200 @@
+"""Statistics tests: logistic regression, AIC, stepwise, MCCV, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ConfusionCounts,
+    LogisticModel,
+    MAX_VARIABLES,
+    aic,
+    aicc,
+    confusion,
+    fit_logistic,
+    misclassification_rate,
+    monte_carlo_cv,
+    stepwise_forward,
+)
+from repro.util.rng import substream
+
+
+def make_data(n=200, k=4, informative=(0,), seed=0, noise=0.5):
+    rng = substream(seed, "logit-data")
+    X = rng.normal(size=(n, k))
+    eta = sum(2.5 * X[:, j] for j in informative) + noise * rng.normal(size=n)
+    y = (eta > 0).astype(int)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_recovers_separating_direction(self):
+        X, y = make_data()
+        model = fit_logistic(X, y)
+        assert model.coef[1] > 1.0  # informative feature has positive weight
+        assert abs(model.coef[2]) < abs(model.coef[1])
+
+    def test_predict_proba_in_unit_interval(self):
+        X, y = make_data()
+        model = fit_logistic(X, y)
+        p = model.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_training_accuracy_high(self):
+        X, y = make_data(noise=0.1)
+        model = fit_logistic(X, y)
+        acc = (model.predict(X) == y).mean()
+        assert acc > 0.95
+
+    def test_intercept_only_model(self):
+        y = np.array([0, 0, 0, 1])
+        model = fit_logistic(np.zeros((4, 0)), y, ())
+        assert model.predict_proba(np.zeros((1, 0)))[0] == pytest.approx(0.25, abs=0.05)
+
+    def test_separation_does_not_crash(self):
+        X = np.linspace(-1, 1, 20)[:, None]
+        y = (X[:, 0] > 0).astype(int)
+        model = fit_logistic(X, y)
+        assert (model.predict(X) == y).all()
+
+    def test_feature_name_mismatch(self):
+        X, y = make_data()
+        with pytest.raises(ValueError):
+            fit_logistic(X, y, feature_names=("a",))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            fit_logistic(np.zeros((3, 1)), [0, 1, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_logistic(np.zeros((3, 1)), [0, 1])
+
+    def test_predict_wrong_width(self):
+        X, y = make_data(k=3)
+        model = fit_logistic(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 5)))
+
+    def test_log_likelihood_negative(self):
+        X, y = make_data()
+        model = fit_logistic(X, y)
+        assert model.log_likelihood < 0
+
+    def test_constant_feature_handled(self):
+        X, y = make_data(k=2)
+        X[:, 1] = 3.0  # zero variance
+        model = fit_logistic(X, y)
+        assert np.isfinite(model.coef).all()
+
+
+class TestAIC:
+    def test_aic_formula(self):
+        X, y = make_data(k=2)
+        model = fit_logistic(X, y)
+        assert aic(model) == pytest.approx(2 * 3 - 2 * model.log_likelihood)
+
+    def test_aicc_exceeds_aic(self):
+        X, y = make_data(n=20, k=2)
+        model = fit_logistic(X, y)
+        assert aicc(model) > aic(model)
+
+    def test_extra_noise_feature_increases_aic(self):
+        X, y = make_data(noise=0.2)
+        informative = fit_logistic(X[:, :1], y)
+        with_noise = fit_logistic(X[:, :2], y)
+        # AIC penalizes the useless second feature (usually).
+        assert aic(with_noise) > aic(informative) - 2.5
+
+
+class TestStepwise:
+    def test_selects_informative_first(self):
+        X, y = make_data(k=6, informative=(2,), noise=0.2)
+        names = [f"f{i}" for i in range(6)]
+        result = stepwise_forward(X, y, names)
+        assert result.selected[0] == "f2"
+
+    def test_respects_cap(self):
+        X, y = make_data(k=10, informative=(0, 1, 2, 3, 4, 5), noise=0.1)
+        result = stepwise_forward(X, y, [f"f{i}" for i in range(10)], max_vars=3)
+        assert len(result.selected) <= 3
+
+    def test_default_cap_is_five(self):
+        assert MAX_VARIABLES == 5
+
+    def test_aic_path_decreases(self):
+        X, y = make_data(k=4, informative=(0, 1), noise=0.2)
+        result = stepwise_forward(X, y, [f"f{i}" for i in range(4)])
+        assert all(b < a for a, b in zip(result.aic_path, result.aic_path[1:]))
+
+    def test_pure_noise_selects_nothing_much(self):
+        rng = substream(3, "noise")
+        X = rng.normal(size=(100, 5))
+        y = rng.integers(0, 2, size=100)
+        result = stepwise_forward(X, y, [f"f{i}" for i in range(5)])
+        assert len(result.selected) <= 2
+
+    def test_invalid_max_vars(self):
+        X, y = make_data()
+        with pytest.raises(ValueError):
+            stepwise_forward(X, y, [f"f{i}" for i in range(4)], max_vars=0)
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        c = confusion([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+
+    def test_rates_match_paper_definitions(self):
+        c = ConfusionCounts(tp=8, tn=80, fp=6, fn=2)
+        assert c.fn_rate == pytest.approx(2 / 10)
+        assert c.fp_rate == pytest.approx(6 / 86)
+        assert c.misclassification_rate == pytest.approx(8 / 96)
+        assert c.success_rate == pytest.approx(1 - 8 / 96)
+
+    def test_degenerate_rates(self):
+        c = ConfusionCounts(tp=0, tn=4, fp=0, fn=0)
+        assert c.fn_rate == 0.0
+        assert c.fp_rate == 0.0
+
+    def test_misclassification_helper(self):
+        assert misclassification_rate([1, 0], [0, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion([1], [1, 0])
+
+
+class TestMonteCarloCV:
+    def test_low_error_on_separable_data(self):
+        X, y = make_data(n=150, k=5, informative=(0,), noise=0.2)
+        cv = monte_carlo_cv(X, y, [f"f{i}" for i in range(5)], runs=30, seed=1)
+        assert cv.trimmed_mr < 0.1
+        assert cv.success_rate > 0.9
+
+    def test_informative_variable_always_selected(self):
+        X, y = make_data(n=150, k=5, informative=(1,), noise=0.2)
+        cv = monte_carlo_cv(X, y, [f"f{i}" for i in range(5)], runs=20, seed=2)
+        top = cv.top_variables(1)[0]
+        assert top.name == "f1"
+        assert top.selected_pct == 100.0
+
+    def test_confusions_per_run(self):
+        X, y = make_data(n=60)
+        cv = monte_carlo_cv(X, y, [f"f{i}" for i in range(4)], runs=10, seed=0)
+        assert len(cv.confusions) == 10
+        assert cv.runs == 10
+
+    def test_deterministic_by_seed(self):
+        X, y = make_data(n=80)
+        a = monte_carlo_cv(X, y, [f"f{i}" for i in range(4)], runs=5, seed=7)
+        b = monte_carlo_cv(X, y, [f"f{i}" for i in range(4)], runs=5, seed=7)
+        assert a.trimmed_mr == b.trimmed_mr
+
+    def test_train_fraction_validated(self):
+        X, y = make_data(n=50)
+        with pytest.raises(ValueError):
+            monte_carlo_cv(X, y, [f"f{i}" for i in range(4)], train_fraction=1.5)
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            monte_carlo_cv(np.zeros((3, 1)), [0, 1, 0], ["a"])

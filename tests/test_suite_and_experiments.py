@@ -1,0 +1,194 @@
+"""Corpus-spec and experiment-module tests (small-scale, no full corpus)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StudyRecord, ToolRun, measure_trace
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    section5b,
+    section6,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.fig5 import group_of
+from repro.machines import get_machine
+from repro.trace.features import NUMERIC_FEATURE_NAMES
+from repro.util.rng import substream
+from repro.workloads import RANK_POOL, build_trace, corpus_specs
+from repro.workloads.suite import CORPUS_SIZE
+
+
+class TestCorpusSpecs:
+    def test_exactly_235(self):
+        assert len(corpus_specs()) == CORPUS_SIZE == 235
+
+    def test_rank_pool_matches_table_1a(self):
+        specs = corpus_specs()
+        counts = Counter(s.nranks for s in specs)
+        assert counts == Counter(RANK_POOL)
+        bins = {
+            "64": 72,
+            "65-128": 18,
+            "129-256": 80,
+            "257-512": 12,
+            "513-1024": 37,
+            "1025-1728": 16,
+        }
+        observed = Counter()
+        for s in specs:
+            for label, (lo, hi) in zip(
+                bins, [(64, 64), (65, 128), (129, 256), (257, 512), (513, 1024), (1025, 1728)]
+            ):
+                if lo <= s.nranks <= hi:
+                    observed[label] += 1
+        assert dict(observed) == bins
+
+    def test_engine_failure_quotas(self):
+        specs = corpus_specs()
+        assert sum(s.use_threads for s in specs) == 19  # packet completes 216
+        assert sum(s.use_comm_split for s in specs) == 54  # flow completes 162
+        assert not any(s.use_threads and s.use_comm_split for s in specs)
+
+    def test_names_unique(self):
+        names = [s.name for s in corpus_specs()]
+        assert len(set(names)) == len(names)
+
+    def test_deterministic(self):
+        assert corpus_specs(1) == corpus_specs(1)
+        assert corpus_specs(1) != corpus_specs(2)
+
+    def test_machines_all_used(self):
+        machines = {s.machine for s in corpus_specs()}
+        assert machines == {"cielito", "edison", "hopper"}
+
+    def test_all_19_applications_present(self):
+        apps = {s.app for s in corpus_specs()}
+        assert len(apps) == 19
+
+    def test_comm_targets_span_table_1b(self):
+        targets = [s.comm_target for s in corpus_specs()]
+        assert min(targets) <= 0.05
+        assert max(targets) >= 0.5
+
+
+class TestBuildTrace:
+    @pytest.fixture(scope="class")
+    def built(self):
+        spec = corpus_specs()[0]
+        return spec, build_trace(spec)
+
+    def test_calibrated_near_target(self, built):
+        spec, trace = built
+        assert trace.has_timestamps()
+        # EP targets ~1%; within the first Table Ib bin.
+        assert trace.comm_fraction() < 0.08
+
+    def test_metadata(self, built):
+        spec, trace = built
+        assert trace.metadata["spec_index"] == spec.index
+        assert trace.name == spec.name
+
+    def test_rebuild_identical(self, built):
+        spec, trace = built
+        again = build_trace(spec)
+        assert again.measured_total_time() == pytest.approx(trace.measured_total_time())
+
+
+class TestExperimentModules:
+    @pytest.fixture(scope="class")
+    def records(self, fabricate):
+        return fabricate()
+
+    def test_table1(self, records):
+        result = table1.compute(records)
+        assert result["total"]["traces"] == len(records)
+        assert sum(result["ranks"].values()) == len(records)
+        assert sum(result["comm_time_pct"].values()) == len(records)
+        assert "Table I" in table1.render(result)
+
+    def test_fig1(self, records):
+        result = fig1.compute(records)
+        for model in ("packet", "flow", "packet-flow"):
+            buckets = result[model]
+            assert buckets["<=10x"] <= buckets["<=100x"] <= buckets["<=1000x"]
+            assert buckets[">1000x"] == pytest.approx(100 - buckets["<=1000x"])
+        assert "Figure 1" in fig1.render(result)
+
+    def test_fig1_filters_failures(self, records):
+        records = [r for r in records]
+        records[0].sims["flow"] = ToolRun(False, error="x")
+        subset = fig1.time_study_subset(records)
+        assert all(r.sims["flow"].completed for r in subset)
+
+    def test_fig2(self, records):
+        result = fig2.compute(records)
+        pf = result["packet-flow"]
+        assert 0 <= pf["total_within"][0.02] <= pf["total_within"][0.05] <= 1
+        assert "Figure 2" in fig2.render(result)
+
+    def test_fig3(self, records):
+        result = fig3.compute(records)
+        assert "CG" in result and "EP" in result
+        assert result["EP"]["max_total_diff"] < result["IS"]["max_total_diff"]
+        assert "_average" in result
+        assert "Figure 3" in fig3.render(result)
+
+    def test_fig4(self, records):
+        result = fig4.compute(records)
+        assert "CR" in result and "LULESH" in result
+        assert "Figure 4" in fig4.render(result)
+
+    def test_fig5_grouping(self, records):
+        groups = Counter(group_of(r) for r in records)
+        assert set(groups) <= {
+            "communication-sensitive",
+            "computation-bound",
+            "load-imbalance-bound",
+        }
+        result = fig5.compute(records)
+        cs = result["communication-sensitive"]
+        comp = result["computation-bound"]
+        assert comp["within_2pct"] > cs["within_2pct"]
+        assert "Figure 5" in fig5.render(result)
+
+    def test_table3(self, records):
+        result = table3.compute(records)
+        assert set(NUMERIC_FEATURE_NAMES) <= set(result)
+        assert "Table III" in table3.render(result)
+
+    def test_table4(self, records):
+        result = table4.compute(records, runs=10, seed=0)
+        assert len(result["top"]) == 10
+        names = [row["name"] for row in result["top"]]
+        assert "CL{ncs}" in names[:3]
+        assert "Table IV" in table4.render(result)
+
+    def test_section5b(self, records):
+        result = section5b.compute(records)
+        for place in ("first", "second", "third", "fourth"):
+            total = sum(v for k, v in result[place].items())
+            assert total == pytest.approx(100.0)
+        assert result["first"]["mfact"] > 50.0
+        assert "Section V-B" in section5b.render(result)
+
+    def test_section6(self, records):
+        result = section6.compute(records, runs=10, seed=0)
+        assert result["enhanced_success"] >= result["naive_success"] - 0.05
+        assert 0 <= result["within_2pct"] <= 1
+        assert "Section VI" in section6.render(result)
+
+
+class TestRunnerCLI:
+    def test_unknown_target_errors(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["bogus"])

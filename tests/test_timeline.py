@@ -1,0 +1,65 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.machines import CIELITO
+from repro.trace.timeline import CELL_SYMBOLS, render_timeline
+from repro.workloads import generate_doe, generate_npb, synthesize_ground_truth
+
+
+@pytest.fixture(scope="module")
+def stamped():
+    trace = generate_npb("CG", 8, CIELITO, seed=77, compute_per_iter=0.002,
+                         ranks_per_node=2)
+    return synthesize_ground_truth(trace, CIELITO, seed=77)
+
+
+class TestRenderTimeline:
+    def test_one_row_per_rank(self, stamped):
+        text = render_timeline(stamped, width=40)
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert len(rows) == stamped.nranks
+
+    def test_row_width(self, stamped):
+        text = render_timeline(stamped, width=40)
+        row = next(l for l in text.splitlines() if l.startswith("rank"))
+        assert len(row) == len("rank    0 ") + 40
+
+    def test_contains_compute_and_comm(self, stamped):
+        text = render_timeline(stamped, width=60)
+        assert CELL_SYMBOLS["compute"] in text
+        assert (CELL_SYMBOLS["p2p"] in text) or (CELL_SYMBOLS["collective"] in text)
+
+    def test_legend_and_scale(self, stamped):
+        text = render_timeline(stamped, width=40)
+        assert "#=compute" in text.replace("compute=#", "#=compute") or "compute" in text
+
+    def test_rank_subset(self, stamped):
+        text = render_timeline(stamped, width=40, ranks=[0, 3])
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert len(rows) == 2
+
+    def test_elision_for_many_ranks(self):
+        trace = generate_doe("CMC", 64, CIELITO, seed=78, compute_per_iter=0.005,
+                             ranks_per_node=4)
+        synthesize_ground_truth(trace, CIELITO, seed=78)
+        text = render_timeline(trace, width=30)
+        assert "..." in text
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert len(rows) == 32
+
+    def test_window_selection(self, stamped):
+        total = stamped.measured_total_time()
+        text = render_timeline(stamped, width=30, t_start=0.0, t_end=total / 2)
+        assert text
+
+    def test_unstamped_rejected(self):
+        trace = generate_npb("CG", 4, CIELITO, seed=1, compute_per_iter=0.001)
+        with pytest.raises(ValueError, match="unstamped"):
+            render_timeline(trace)
+
+    def test_bad_window(self, stamped):
+        with pytest.raises(ValueError):
+            render_timeline(stamped, t_start=1.0, t_end=0.5)
+        with pytest.raises(ValueError):
+            render_timeline(stamped, width=4)

@@ -1,0 +1,206 @@
+"""Topology tests: structure, routing validity, determinism."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    Dragonfly,
+    FatTree,
+    Torus3D,
+    block_mapping,
+    build_topology,
+    fit_dragonfly,
+    fit_fattree,
+    fit_torus_dims,
+    random_mapping,
+    round_robin_mapping,
+)
+
+
+def route_is_path(topo, src, dst):
+    """Follow a route through the edge list; it must go src -> dst."""
+    graph = topo.to_networkx()
+    by_link = {data["link"]: (u, v) for u, v, data in graph.edges(data=True)}
+    route = topo.route(src, dst)
+    return route, by_link
+
+
+class TestTorus:
+    def test_fit_covers(self):
+        for n in (1, 5, 64, 100, 108, 1000):
+            dims = fit_torus_dims(n)
+            assert dims[0] * dims[1] * dims[2] >= n
+
+    def test_fit_is_near_cubic(self):
+        a, b, c = fit_torus_dims(64)
+        assert (a, b, c) == (4, 4, 4)
+
+    def test_coords_roundtrip(self):
+        t = Torus3D((3, 4, 5))
+        for node in range(t.nnodes):
+            assert t.node_at(*t.coords(node)) == node
+
+    def test_route_empty_for_self(self):
+        t = Torus3D((4, 4, 4))
+        assert t.route(5, 5) == ()
+
+    def test_route_follows_edges(self):
+        t = Torus3D((4, 3, 2))
+        by_link = {link: (u, v) for u, v, link in t._edges()}
+        for src, dst in [(0, 23), (7, 2), (11, 12), (23, 0)]:
+            here = src
+            for link in t.route(src, dst):
+                u, v = by_link[link]
+                assert u == here
+                here = v
+            assert here == dst
+
+    def test_route_is_minimal_on_ring(self):
+        t = Torus3D((8, 1, 1))
+        # 0 -> 3 goes forward (3 hops), 0 -> 6 goes backward (2 hops).
+        assert t.hop_count(0, 3) == 3
+        assert t.hop_count(0, 6) == 2
+
+    def test_dimension_order(self):
+        t = Torus3D((4, 4, 4))
+        # x differences resolve before y and z.
+        route = t.route(0, t.node_at(1, 1, 1))
+        assert len(route) == 3
+
+    def test_route_cached(self):
+        t = Torus3D((4, 4, 4))
+        assert t.route(1, 2) is t.route(1, 2)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            Torus3D((0, 4, 4))
+
+    def test_out_of_range_node(self):
+        t = Torus3D((2, 2, 2))
+        with pytest.raises(ValueError):
+            t.route(0, 8)
+
+    def test_six_links_per_node(self):
+        t = Torus3D((3, 3, 3))
+        assert t.nlinks == 27 * 6
+
+
+class TestDragonfly:
+    def test_fit_covers(self):
+        for n in (1, 8, 72, 100, 342, 1000):
+            p, a, h, g = fit_dragonfly(n)
+            assert p * a * g >= n
+            assert g <= a * h + 1
+
+    def test_locate(self):
+        d = Dragonfly(2, 4, 2, 9)
+        group, router = d.locate(71)
+        assert 0 <= group < 9 and 0 <= router < 4
+
+    def test_intra_router_route_empty(self):
+        d = Dragonfly(2, 4, 2, 9)
+        assert d.route(0, 1) == ()  # both nodes on router 0
+
+    def test_intra_group_route_single_local(self):
+        d = Dragonfly(2, 4, 2, 9)
+        assert len(d.route(0, 2)) == 1
+
+    def test_inter_group_at_most_three_hops(self):
+        d = Dragonfly(2, 4, 2, 9)
+        for src in range(0, d.nnodes, 7):
+            for dst in range(0, d.nnodes, 11):
+                assert len(d.route(src, dst)) <= 3
+
+    def test_routes_follow_edges(self):
+        d = Dragonfly(2, 4, 2, 9)
+        by_link = {link: (u, v) for u, v, link in d._edges()}
+        for src, dst in [(0, 70), (5, 40), (33, 8), (71, 0)]:
+            sg, sr = d.locate(src)
+            dg, dr = d.locate(dst)
+            here = ("r", sg, sr)
+            for link in d.route(src, dst):
+                u, v = by_link[link]
+                assert u == here, f"route {src}->{dst} broken at {link}"
+                here = v
+            assert here == ("r", dg, dr)
+
+    def test_trunk_spreading_uses_multiple_links(self):
+        # Small group count, many ports: parallel trunks must be used.
+        d = Dragonfly(2, 8, 4, 5)
+        links = set()
+        for src in range(0, 16):  # group 0 nodes
+            for dst in range(16, 32):  # group 1 nodes
+                for link in d.route(src, dst):
+                    if link >= d._global_base:
+                        links.add(link)
+        assert len(links) > 1
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Dragonfly(2, 4, 2, 10)
+
+
+class TestFatTree:
+    def test_fit_covers(self):
+        for n in (1, 10, 64, 100):
+            m, nn, r = fit_fattree(n)
+            assert m * nn >= n
+
+    def test_same_leaf_two_hops(self):
+        f = FatTree(4, 4, 4)
+        assert len(f.route(0, 1)) == 2
+
+    def test_cross_leaf_four_hops(self):
+        f = FatTree(4, 4, 4)
+        assert len(f.route(0, 15)) == 4
+
+    def test_dmod_routing_funnels_by_destination(self):
+        f = FatTree(4, 4, 4)
+        # Same destination from different leaves uses the same root.
+        r1 = f.route(0, 15)
+        r2 = f.route(4, 15)
+        assert r1[1] != r2[1]  # different up links
+        assert r1[2] == r2[2]  # same down link (same root)
+
+    def test_routes_follow_edges(self):
+        f = FatTree(3, 2, 2)
+        by_link = {link: (u, v) for u, v, link in f._edges()}
+        for src in range(f.nnodes):
+            for dst in range(f.nnodes):
+                if src == dst:
+                    continue
+                here = ("node", src)
+                for link in f.route(src, dst):
+                    u, v = by_link[link]
+                    assert u == here
+                    here = v
+                assert here == ("node", dst)
+
+
+class TestBuildTopology:
+    def test_families(self):
+        assert isinstance(build_topology("torus3d", 27), Torus3D)
+        assert isinstance(build_topology("dragonfly", 72), Dragonfly)
+        assert isinstance(build_topology("fattree", 64), FatTree)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology("hypercube", 16)
+
+
+class TestMappings:
+    def test_block(self):
+        assert block_mapping(6, 2) == [0, 0, 1, 1, 2, 2]
+
+    def test_round_robin(self):
+        assert round_robin_mapping(5, 2) == [0, 1, 0, 1, 0]
+
+    def test_random_respects_capacity(self):
+        mapping = random_mapping(64, 4, seed=9)
+        from collections import Counter
+
+        assert max(Counter(mapping).values()) <= 4
+
+    def test_random_deterministic(self):
+        assert random_mapping(32, 4, seed=1) == random_mapping(32, 4, seed=1)
+        assert random_mapping(32, 4, seed=1) != random_mapping(32, 4, seed=2)

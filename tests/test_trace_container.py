@@ -1,0 +1,142 @@
+"""Tests for TraceSet validation and measured-time accessors."""
+
+import pytest
+
+from repro.trace.events import Op, OpKind, make_compute
+from repro.trace.trace import TraceSet, TraceValidationError
+
+
+def two_rank_trace(stamp=False):
+    send = Op(OpKind.SEND, peer=1, nbytes=100, tag=7)
+    recv = Op(OpKind.RECV, peer=0, nbytes=100, tag=7)
+    c0, c1 = make_compute(1.0), make_compute(2.0)
+    if stamp:
+        c0.t_entry, c0.t_exit = 0.0, 1.0
+        send.t_entry, send.t_exit = 1.0, 1.1
+        c1.t_entry, c1.t_exit = 0.0, 2.0
+        recv.t_entry, recv.t_exit = 2.0, 2.2
+    return TraceSet("t", "APP", [[c0, send], [c1, recv]])
+
+
+class TestBasics:
+    def test_shape(self):
+        t = two_rank_trace()
+        assert t.nranks == 2
+        assert t.op_count() == 4
+        assert t.message_count() == 1
+        assert t.total_send_bytes() == 100
+        assert len(t) == 2
+
+    def test_world_comm_auto(self):
+        t = two_rank_trace()
+        assert t.comm_ranks(0) == (0, 1)
+
+    def test_unknown_comm(self):
+        with pytest.raises(KeyError):
+            two_rank_trace().comm_ranks(9)
+
+    def test_nnodes(self):
+        t = TraceSet("t", "A", [[], [], []], ranks_per_node=2)
+        assert t.nnodes == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet("t", "A", [])
+
+
+class TestMeasuredTimes:
+    def test_unstamped_raises(self):
+        with pytest.raises(ValueError):
+            two_rank_trace().measured_total_time()
+
+    def test_has_timestamps(self):
+        assert not two_rank_trace().has_timestamps()
+        assert two_rank_trace(stamp=True).has_timestamps()
+
+    def test_total_is_latest_exit(self):
+        assert two_rank_trace(stamp=True).measured_total_time() == pytest.approx(2.2)
+
+    def test_comm_time_mean_over_ranks(self):
+        # rank0 MPI time 0.1, rank1 MPI time 0.2 -> mean 0.15
+        assert two_rank_trace(stamp=True).measured_comm_time() == pytest.approx(0.15)
+
+    def test_comm_fraction(self):
+        t = two_rank_trace(stamp=True)
+        assert t.comm_fraction() == pytest.approx(0.15 / 2.2)
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        two_rank_trace().validate()
+
+    def test_unmatched_send(self):
+        t = TraceSet("t", "A", [[Op(OpKind.SEND, peer=1, nbytes=4, tag=1)], []])
+        with pytest.raises(TraceValidationError, match="unmatched"):
+            t.validate()
+
+    def test_byte_mismatch(self):
+        t = TraceSet(
+            "t",
+            "A",
+            [
+                [Op(OpKind.SEND, peer=1, nbytes=4, tag=1)],
+                [Op(OpKind.RECV, peer=0, nbytes=8, tag=1)],
+            ],
+        )
+        with pytest.raises(TraceValidationError, match="mismatch"):
+            t.validate()
+
+    def test_unwaited_request(self):
+        t = TraceSet(
+            "t",
+            "A",
+            [
+                [Op(OpKind.ISEND, peer=1, nbytes=4, tag=1, req=1)],
+                [Op(OpKind.RECV, peer=0, nbytes=4, tag=1)],
+            ],
+        )
+        with pytest.raises(TraceValidationError, match="unwaited"):
+            t.validate()
+
+    def test_request_reuse(self):
+        ops = [
+            Op(OpKind.IRECV, peer=1, nbytes=4, tag=1, req=1),
+            Op(OpKind.IRECV, peer=1, nbytes=4, tag=2, req=1),
+        ]
+        t = TraceSet("t", "A", [ops, [Op(OpKind.SEND, peer=0, nbytes=4, tag=1),
+                                      Op(OpKind.SEND, peer=0, nbytes=4, tag=2)]])
+        with pytest.raises(TraceValidationError, match="reuses request"):
+            t.validate()
+
+    def test_wait_unknown_request(self):
+        t = TraceSet("t", "A", [[Op(OpKind.WAIT, req=5)], []])
+        with pytest.raises(TraceValidationError, match="unknown request"):
+            t.validate()
+
+    def test_collective_sequence_mismatch(self):
+        t = TraceSet(
+            "t",
+            "A",
+            [[Op(OpKind.ALLREDUCE, nbytes=8)], [Op(OpKind.ALLREDUCE, nbytes=16)]],
+        )
+        with pytest.raises(TraceValidationError, match="collective sequence"):
+            t.validate()
+
+    def test_collective_on_foreign_comm(self):
+        t = TraceSet(
+            "t",
+            "A",
+            [[Op(OpKind.BARRIER, comm=1)], []],
+            comms={1: (1,)},
+        )
+        with pytest.raises(TraceValidationError, match="does not belong"):
+            t.validate()
+
+    def test_subcomm_collective_valid(self):
+        t = TraceSet(
+            "t",
+            "A",
+            [[Op(OpKind.BARRIER, comm=1)], [Op(OpKind.BARRIER, comm=1)], []],
+            comms={1: (0, 1)},
+        )
+        t.validate()

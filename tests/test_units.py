@@ -1,0 +1,94 @@
+"""Unit conversion tests."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestConversions:
+    def test_gbps_to_bytes_per_s(self):
+        assert units.gbps_to_bytes_per_s(8.0) == 1e9
+
+    def test_bytes_per_s_to_gbps_roundtrip(self):
+        assert units.bytes_per_s_to_gbps(units.gbps_to_bytes_per_s(24.0)) == pytest.approx(24.0)
+
+    def test_ns_to_s(self):
+        assert units.ns_to_s(2500.0) == pytest.approx(2.5e-6)
+
+    def test_s_to_ns_roundtrip(self):
+        assert units.s_to_ns(units.ns_to_s(1300.0)) == pytest.approx(1300.0)
+
+    def test_constants(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 * 1024
+        assert units.GBPS == 1e9 / 8.0
+
+
+class TestParseBandwidth:
+    def test_gbps(self):
+        assert units.parse_bandwidth("10Gbps") == pytest.approx(10e9 / 8)
+
+    def test_with_comma(self):
+        assert units.parse_bandwidth("1,000Mbps") == pytest.approx(1e9 / 8)
+
+    def test_bytes_per_second(self):
+        assert units.parse_bandwidth("3 GB/s") == pytest.approx(3e9)
+
+    def test_case_insensitive(self):
+        assert units.parse_bandwidth("24GBPS") == units.parse_bandwidth("24gbps")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError, match="unknown bandwidth unit"):
+            units.parse_bandwidth("10 parsecs")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            units.parse_bandwidth("fast")
+
+
+class TestParseLatency:
+    def test_ns_with_comma(self):
+        assert units.parse_latency("2,500ns") == pytest.approx(2.5e-6)
+
+    def test_us(self):
+        assert units.parse_latency("1.3us") == pytest.approx(1.3e-6)
+
+    def test_seconds(self):
+        assert units.parse_latency("2s") == 2.0
+
+    def test_bad_unit(self):
+        with pytest.raises(ValueError):
+            units.parse_latency("5 minutes")
+
+
+class TestParseSize:
+    def test_kib(self):
+        assert units.parse_size("4KiB") == 4096
+
+    def test_mb_decimal(self):
+        assert units.parse_size("1MB") == 1_000_000
+
+    def test_plain_bytes(self):
+        assert units.parse_size("512B") == 512
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert units.format_time(1.5) == "1.500s"
+
+    def test_milliseconds(self):
+        assert units.format_time(0.0025) == "2.500ms"
+
+    def test_microseconds(self):
+        assert units.format_time(3.2e-6) == "3.200us"
+
+    def test_nanoseconds(self):
+        assert units.format_time(5e-9) == "5.0ns"
+
+    def test_zero(self):
+        assert units.format_time(0.0) == "0.000s"
+
+    def test_nan(self):
+        assert units.format_time(float("nan")) == "nan"

@@ -1,0 +1,116 @@
+"""Tests for RNG substreams, statistics helpers and validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import rng as rng_mod
+from repro.util.stats import ecdf, fraction_within, percentile_of, trimmed_mean
+from repro.util.validation import check_nonnegative, check_positive, check_rank, require
+
+
+class TestSubstreams:
+    def test_deterministic(self):
+        a = rng_mod.substream(42, "x", 1).integers(0, 1 << 30, 10)
+        b = rng_mod.substream(42, "x", 1).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_label_paths_independent(self):
+        a = rng_mod.substream(42, "x", 1).integers(0, 1 << 30, 10)
+        b = rng_mod.substream(42, "x", 2).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_stream(self):
+        a = rng_mod.substream(1, "x").integers(0, 1 << 30, 10)
+        b = rng_mod.substream(2, "x").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_accepts_int(self):
+        gen = rng_mod.spawn(7, "child")
+        assert isinstance(gen, np.random.Generator)
+
+    def test_spawn_rejects_generator(self):
+        with pytest.raises(TypeError):
+            rng_mod.spawn(np.random.default_rng(0), "child")
+
+
+class TestTrimmedMean:
+    def test_plain_mean_when_no_trim(self):
+        assert trimmed_mean([1, 2, 3], trim=0.0) == pytest.approx(2.0)
+
+    def test_discards_extremes(self):
+        values = [0.0] * 2 + [5.0] * 96 + [100.0] * 2
+        assert trimmed_mean(values, trim=0.02) == pytest.approx(5.0)
+
+    def test_matches_paper_protocol_on_100_runs(self):
+        values = list(range(100))
+        # Discards 2 smallest and 2 largest.
+        assert trimmed_mean(values) == pytest.approx(np.mean(range(2, 98)))
+
+    def test_invalid_trim(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], trim=0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+
+class TestECDF:
+    def test_sorted_output(self):
+        xs, ps = ecdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+
+    def test_probabilities_increase(self):
+        _, ps = ecdf(np.random.default_rng(0).random(50))
+        assert np.all(np.diff(ps) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestFractionWithin:
+    def test_all_within(self):
+        assert fraction_within([0.01, 0.02], 0.05) == 1.0
+
+    def test_half(self):
+        assert fraction_within([1, 2, 3, 4], 2) == 0.5
+
+    def test_boundary_inclusive(self):
+        assert fraction_within([0.05], 0.05) == 1.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile_of([1, 2, 3], 50) == 2.0
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "x")
+
+    def test_check_rank(self):
+        assert check_rank(3, 4) == 3
+        with pytest.raises(ValueError):
+            check_rank(4, 4)
+        with pytest.raises(ValueError):
+            check_rank(-1, 4)
+        with pytest.raises(TypeError):
+            check_rank(True, 4)
+        with pytest.raises(TypeError):
+            check_rank(1.5, 4)

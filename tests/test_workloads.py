@@ -1,0 +1,242 @@
+"""Workload generator and pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CIELITO, EDISON
+from repro.trace.events import OpKind
+from repro.util.rng import substream
+from repro.workloads import (
+    DOE_APPS,
+    NPB_APPS,
+    ProgramBuilder,
+    butterfly_exchange,
+    generate_doe,
+    generate_npb,
+    grid_dims,
+    halo_exchange,
+    irregular_exchange,
+    neighbor_lists_grid,
+    ring_shift,
+    sweep_pipeline,
+)
+
+
+class TestProgramBuilder:
+    def test_request_ids_unique_per_rank(self):
+        b = ProgramBuilder(2, "A", "t")
+        r1 = b.isend(0, 1, 10, 1)
+        r2 = b.irecv(0, 1, 10, 2)
+        assert r1 != r2
+
+    def test_fresh_tags_increase(self):
+        b = ProgramBuilder(2, "A", "t")
+        assert b.fresh_tag() != b.fresh_tag()
+
+    def test_collective_emitted_on_all_members(self):
+        b = ProgramBuilder(3, "A", "t")
+        b.allreduce(64)
+        assert all(len(ops) == 1 for ops in b.ops)
+
+    def test_subcomm_collective_only_members(self):
+        b = ProgramBuilder(3, "A", "t")
+        comm = b.add_comm([0, 2])
+        b.barrier(comm)
+        assert len(b.ops[1]) == 0
+        assert b.uses_comm_split
+
+    def test_build_validates(self):
+        b = ProgramBuilder(2, "A", "t")
+        b.isend(0, 1, 10, 1)  # never waited, never received
+        with pytest.raises(Exception):
+            b.build()
+
+    def test_compute_zero_skipped(self):
+        b = ProgramBuilder(1, "A", "t")
+        b.compute(0, 0.0)
+        assert len(b.ops[0]) == 0
+
+
+class TestGridDims:
+    def test_product(self):
+        for n in (4, 6, 64, 192, 256, 1728):
+            for d in (1, 2, 3):
+                dims = grid_dims(n, d)
+                assert int(np.prod(dims)) == n
+
+    def test_balance(self):
+        assert grid_dims(64, 3) == (4, 4, 4)
+        assert grid_dims(64, 2) == (8, 8)
+
+    def test_prime(self):
+        assert grid_dims(7, 2) == (7, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_dims(0, 2)
+
+
+class TestPatterns:
+    def _build(self, n=16):
+        return ProgramBuilder(n, "A", "t", ranks_per_node=2)
+
+    def test_halo_validates(self):
+        b = self._build()
+        halo_exchange(b, grid_dims(16, 2), 1024)
+        b.barrier()
+        b.build()
+
+    def test_halo_neighbor_count(self):
+        lists = neighbor_lists_grid(16, (4, 4))
+        assert all(len(nbrs) == 4 for nbrs in lists)
+
+    def test_halo_degenerate_dim_skipped(self):
+        lists = neighbor_lists_grid(4, (4, 1))
+        assert all(len(nbrs) == 2 for nbrs in lists)
+
+    def test_halo_nonperiodic_boundaries(self):
+        lists = neighbor_lists_grid(16, (4, 4), periodic=False)
+        corner = lists[0]
+        assert len(corner) == 2
+
+    def test_halo_size_jitter_matches(self):
+        b = self._build()
+        halo_exchange(b, (4, 4), 1000, size_jitter=lambda r: 1000 + r)
+        b.build()  # validation checks sizes match
+
+    def test_sweep_validates(self):
+        b = self._build()
+        sweep_pipeline(b, (4, 4), 512)
+        b.build()
+
+    def test_sweep_corner_has_no_upstream(self):
+        b = self._build()
+        sweep_pipeline(b, (4, 4), 512)
+        assert b.ops[0][0].kind == OpKind.SEND
+
+    def test_sweep_reverse(self):
+        b = self._build()
+        sweep_pipeline(b, (4, 4), 512, reverse=True)
+        b.build()
+        assert b.ops[15][0].kind == OpKind.SEND
+
+    def test_butterfly_validates(self):
+        b = self._build()
+        butterfly_exchange(b, lambda k: 256 << k)
+        b.build()
+
+    def test_butterfly_non_power_of_two(self):
+        b = ProgramBuilder(6, "A", "t")
+        butterfly_exchange(b, lambda k: 128)
+        b.barrier()
+        b.build()
+
+    def test_irregular_validates(self):
+        b = self._build()
+        rng = substream(1, "irr")
+        irregular_exchange(b, rng, 3.0, lambda r: int(r.integers(100, 1000)))
+        b.build()
+
+    def test_irregular_no_self_messages(self):
+        b = self._build()
+        rng = substream(2, "irr")
+        irregular_exchange(b, rng, 5.0, lambda r: 100)
+        for rank, ops in enumerate(b.ops):
+            for op in ops:
+                if op.is_p2p:
+                    assert op.peer != rank
+
+    def test_ring_shift_validates(self):
+        b = self._build()
+        ring_shift(b, 2048, displacement=3)
+        b.build()
+
+
+ALL_APPS = [("NPB", name) for name in NPB_APPS] + [("DOE", name) for name in DOE_APPS]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("suite,app", ALL_APPS)
+    def test_every_app_generates_valid_trace(self, suite, app):
+        gen = generate_npb if suite == "NPB" else generate_doe
+        trace = gen(app, 16, CIELITO, seed=5, compute_per_iter=0.001)
+        assert trace.nranks == 16
+        assert trace.op_count() > 0
+        # build() already validated; re-validate to be sure.
+        trace.validate()
+
+    def test_deterministic_given_seed(self):
+        a = generate_npb("CG", 16, CIELITO, seed=9, compute_per_iter=0.002)
+        b = generate_npb("CG", 16, CIELITO, seed=9, compute_per_iter=0.002)
+        for s1, s2 in zip(a.ranks, b.ranks):
+            assert s1 == s2
+
+    def test_seed_changes_trace(self):
+        a = generate_doe("FB", 16, CIELITO, seed=1, compute_per_iter=0.001)
+        b = generate_doe("FB", 16, CIELITO, seed=2, compute_per_iter=0.001)
+        assert any(s1 != s2 for s1, s2 in zip(a.ranks, b.ranks))
+
+    def test_traffic_invariant_under_compute_budget(self):
+        """The calibration contract: changing only the compute budget
+        must not change the communication structure."""
+        a = generate_doe("FB", 16, CIELITO, seed=3, compute_per_iter=0.0)
+        b = generate_doe("FB", 16, CIELITO, seed=3, compute_per_iter=0.01)
+        msgs_a = [
+            (r, op.peer, op.nbytes, op.tag)
+            for r, ops in enumerate(a.ranks)
+            for op in ops
+            if op.is_send_like
+        ]
+        msgs_b = [
+            (r, op.peer, op.nbytes, op.tag)
+            for r, ops in enumerate(b.ranks)
+            for op in ops
+            if op.is_send_like
+        ]
+        assert msgs_a == msgs_b
+
+    def test_compute_budget_inserted(self):
+        trace = generate_npb("EP", 8, CIELITO, seed=1, compute_per_iter=0.01)
+        comp = sum(
+            op.duration for ops in trace.ranks for op in ops if op.kind == OpKind.COMPUTE
+        )
+        assert comp == pytest.approx(8 * 6 * 0.01, rel=0.15)
+
+    def test_imbalance_spreads_compute(self):
+        trace = generate_npb("EP", 32, CIELITO, seed=1, compute_per_iter=0.01, imbalance=0.5)
+        per_rank = [
+            sum(op.duration for op in ops if op.kind == OpKind.COMPUTE)
+            for ops in trace.ranks
+        ]
+        assert max(per_rank) > 1.3 * min(per_rank)
+
+    def test_iters_override(self):
+        short = generate_npb("CG", 16, CIELITO, seed=1, iters=2)
+        long = generate_npb("CG", 16, CIELITO, seed=1, iters=8)
+        assert long.op_count() > short.op_count()
+        assert short.metadata["iters"] == 2
+
+    def test_flags_propagate(self):
+        trace = generate_doe(
+            "AMG", 16, CIELITO, seed=1, use_threads=True, use_comm_split=True
+        )
+        assert trace.uses_threads and trace.uses_comm_split
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            generate_npb("ZZ", 16, CIELITO, seed=1)
+        with pytest.raises(ValueError):
+            generate_doe("ZZ", 16, CIELITO, seed=1)
+
+    def test_machine_recorded(self):
+        trace = generate_npb("FT", 16, EDISON, seed=1)
+        assert trace.machine == "edison"
+
+    def test_alltoall_apps_emit_alltoall(self):
+        trace = generate_npb("FT", 16, CIELITO, seed=1)
+        kinds = {op.kind for ops in trace.ranks for op in ops}
+        assert OpKind.ALLTOALL in kinds
+
+    def test_halo_apps_emit_p2p(self):
+        trace = generate_doe("LULESH", 27, CIELITO, seed=1)
+        assert trace.message_count() > 0
