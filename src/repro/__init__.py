@@ -13,6 +13,8 @@ The package provides:
   235-trace study corpus, and ground-truth timestamp synthesis;
 * :mod:`repro.core` — DIFFtotal, the study pipeline and the enhanced
   MFACT need-for-simulation predictor;
+* :mod:`repro.analysis` — ``tracelint`` static trace analysis (no
+  simulation needed) and ``srclint`` source-invariant linting;
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -24,6 +26,7 @@ Quickstart::
     print(report.baseline_total_time, result.total_time)
 """
 
+from repro.analysis import Diagnostic, LintReport, Severity, lint_trace
 from repro.core import (
     DIFF_THRESHOLD,
     EnhancedMFACT,
@@ -83,4 +86,8 @@ __all__ = [
     "generate_npb",
     "generate_doe",
     "synthesize_ground_truth",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_trace",
 ]

@@ -1,0 +1,41 @@
+"""Static analysis over traces and sources.
+
+Two linting layers share one diagnostic vocabulary:
+
+* :mod:`repro.analysis.lint` — ``tracelint``, a rule-based static
+  analyzer that walks a :class:`~repro.trace.trace.TraceSet` without
+  simulating it (matching, deadlock, collective ordering, timestamps,
+  engine applicability);
+* :mod:`repro.analysis.srclint` — an AST linter enforcing repository
+  invariants (seeded RNG discipline, no float time equality, exhaustive
+  ``OpKind`` dispatch tables).
+
+Corpus audit findings (:mod:`repro.workloads.audit`) are re-expressed
+in the same :class:`~repro.analysis.diagnostics.Diagnostic` format, so
+trace health, code health and corpus health read as one report.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.lint import LintGateError, TRACE_RULES, lint_trace
+
+
+def __getattr__(name):
+    # srclint is imported lazily so that `python -m repro.analysis.srclint`
+    # does not warn about the module pre-existing in sys.modules.
+    if name in ("lint_paths", "lint_source"):
+        from repro.analysis import srclint
+
+        return getattr(srclint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "LintGateError",
+    "TRACE_RULES",
+    "lint_trace",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,621 @@
+"""Rule-based static analysis over MPI traces — no simulation required.
+
+``tracelint`` walks a :class:`~repro.trace.trace.TraceSet` once per rule
+and reports typed :class:`~repro.analysis.diagnostics.Diagnostic`
+records instead of raising on the first violation the way
+:meth:`TraceSet.validate` does.  The pass is purely structural: no
+virtual clocks, no network model, no event heap — a 64-rank trace lints
+in a small fraction of the cheapest replay's walltime, which is the
+whole point: catch malformed, deadlocking or engine-incompatible traces
+*before* any simulator burns cycles on them.
+
+Rules
+-----
+``trace/invalid-peer``
+    P2P peer rank outside ``[0, nranks)``.
+``trace/comm-membership``
+    Collective on an unknown communicator, issued by a non-member, or
+    rooted at a non-member.
+``trace/unmatched-p2p``
+    Send/recv count mismatch on a ``(src, dst, tag, comm)`` channel,
+    with a tag/communicator-mismatch hint when a sibling channel has the
+    opposite surplus.
+``trace/byte-asymmetry``
+    Matched channel whose k-th send and k-th recv disagree on payload.
+``trace/request-discipline``
+    ISEND/IRECV requests reused before completion, WAITs on unknown
+    requests, and requests never waited.
+``trace/collective-order``
+    Ranks of one communicator issuing different collective sequences.
+``trace/collective-args``
+    Same collective sequence but inconsistent root or byte count.
+``trace/deadlock``
+    Wait-for-graph cycle over blocking ops (abstract, untimed replay of
+    MPI matching semantics; reports the cycle).
+``trace/timestamps``
+    Non-monotonic ``t_entry``/``t_exit`` per rank, negative call
+    durations, partially stamped streams.
+``trace/model-support``
+    Statically predicts the :class:`UnsupportedTraceError` conditions
+    of the packet and flow engines (threads, complex grouping) so a
+    study can route traces before failing mid-replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import isnan
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.trace.events import Op, OpKind, _ROOTED
+from repro.trace.trace import TraceSet
+
+__all__ = ["lint_trace", "TRACE_RULES", "LintGateError"]
+
+#: Registered rule functions, each ``fn(trace) -> Iterator[Diagnostic]``.
+TRACE_RULES: List = []
+
+#: Cap on diagnostics a single rule emits for one trace (keeps reports
+#: readable on badly broken wide traces; the cap itself is reported).
+MAX_PER_RULE = 25
+
+#: Tolerance for timestamp monotonicity (seconds).
+_TIME_TOL = 1e-9
+
+
+class LintGateError(RuntimeError):
+    """A pre-replay lint gate rejected a trace (see :mod:`repro.core.pipeline`)."""
+
+    def __init__(self, report: LintReport):
+        errors = [d for d in report.diagnostics if d.severity >= Severity.ERROR]
+        super().__init__(
+            f"trace {report.subject!r} failed lint with {len(errors)} error(s): "
+            + "; ".join(d.message for d in errors[:3])
+        )
+        self.report = report
+
+
+def _rule(fn):
+    TRACE_RULES.append(fn)
+    return fn
+
+
+def _channel_walk(trace: TraceSet):
+    """Collect per-channel send/recv postings: key -> [(rank, op_index, nbytes)]."""
+    sends: Dict[Tuple[int, int, int, int], List[Tuple[int, int, int]]] = {}
+    recvs: Dict[Tuple[int, int, int, int], List[Tuple[int, int, int]]] = {}
+    n = trace.nranks
+    for rank, stream in enumerate(trace.ranks):
+        for i, op in enumerate(stream):
+            if not op.is_p2p or not (0 <= op.peer < n):
+                continue
+            if op.is_send_like:
+                sends.setdefault((rank, op.peer, op.tag, op.comm), []).append(
+                    (rank, i, op.nbytes)
+                )
+            else:
+                recvs.setdefault((op.peer, rank, op.tag, op.comm), []).append(
+                    (rank, i, op.nbytes)
+                )
+    return sends, recvs
+
+
+# -- structural rules -----------------------------------------------------
+
+
+@_rule
+def check_peers(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/invalid-peer``: p2p peers must name existing ranks."""
+    n = trace.nranks
+    emitted = 0
+    for rank, stream in enumerate(trace.ranks):
+        for i, op in enumerate(stream):
+            if op.is_p2p and not (0 <= op.peer < n):
+                yield Diagnostic(
+                    "trace/invalid-peer",
+                    Severity.ERROR,
+                    f"{op.kind.name} targets rank {op.peer} outside [0, {n})",
+                    rank=rank,
+                    op_index=i,
+                    hint="peer ranks must index into the trace's rank list",
+                )
+                emitted += 1
+                if emitted >= MAX_PER_RULE:
+                    return
+
+
+@_rule
+def check_comm_membership(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/comm-membership``: collectives run inside their communicator."""
+    emitted = 0
+    for rank, stream in enumerate(trace.ranks):
+        for i, op in enumerate(stream):
+            if not op.is_collective:
+                continue
+            members = trace.comms.get(op.comm)
+            if members is None:
+                msg = f"{op.kind.name} on unknown communicator {op.comm}"
+                hint = "register the communicator in TraceSet.comms"
+            elif rank not in members:
+                msg = f"rank calls {op.kind.name} on comm {op.comm} it does not belong to"
+                hint = "only communicator members may issue its collectives"
+            elif op.kind in _ROOTED and op.peer not in members:
+                msg = (
+                    f"{op.kind.name} on comm {op.comm} rooted at rank {op.peer}, "
+                    f"which is not a member"
+                )
+                hint = "the root of a rooted collective must be in the communicator"
+            else:
+                continue
+            yield Diagnostic(
+                "trace/comm-membership", Severity.ERROR, msg, rank=rank, op_index=i, hint=hint
+            )
+            emitted += 1
+            if emitted >= MAX_PER_RULE:
+                return
+
+
+@_rule
+def check_p2p_matching(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/unmatched-p2p`` and ``trace/byte-asymmetry``."""
+    sends, recvs = _channel_walk(trace)
+    surplus_sends: Dict[Tuple[int, int], List[Tuple]] = {}
+    surplus_recvs: Dict[Tuple[int, int], List[Tuple]] = {}
+    for key in sends.keys() | recvs.keys():
+        s, r = sends.get(key, []), recvs.get(key, [])
+        if len(s) > len(r):
+            surplus_sends.setdefault(key[:2], []).append((key, s[len(r)]))
+        elif len(r) > len(s):
+            surplus_recvs.setdefault(key[:2], []).append((key, r[len(s)]))
+    emitted = 0
+    for key in sorted(sends.keys() | recvs.keys()):
+        src, dst, tag, comm = key
+        s, r = sends.get(key, []), recvs.get(key, [])
+        if len(s) != len(r):
+            hint = ""
+            # A sibling channel with the opposite surplus on the same
+            # (src, dst) pair usually means a tag or communicator typo.
+            opposite = surplus_recvs if len(s) > len(r) else surplus_sends
+            for sib_key, _ in opposite.get((src, dst), []):
+                if sib_key != key:
+                    hint = (
+                        f"channel {src}->{dst} also has the opposite surplus on "
+                        f"tag {sib_key[2]} comm {sib_key[3]} — tag/comm mismatch?"
+                    )
+                    break
+            anchor = s[len(r)] if len(s) > len(r) else r[len(s)]
+            yield Diagnostic(
+                "trace/unmatched-p2p",
+                Severity.ERROR,
+                f"channel {src}->{dst} tag {tag} comm {comm}: "
+                f"{len(s)} send(s) vs {len(r)} recv(s)",
+                rank=anchor[0],
+                op_index=anchor[1],
+                hint=hint or "every send needs a matching recv posted at the destination",
+            )
+            emitted += 1
+        else:
+            for (s_rank, s_i, s_bytes), (r_rank, r_i, r_bytes) in zip(s, r):
+                if s_bytes != r_bytes:
+                    yield Diagnostic(
+                        "trace/byte-asymmetry",
+                        Severity.ERROR,
+                        f"channel {src}->{dst} tag {tag} comm {comm}: send of "
+                        f"{s_bytes} B (rank {s_rank} op {s_i}) matched by recv of "
+                        f"{r_bytes} B",
+                        rank=r_rank,
+                        op_index=r_i,
+                        hint="matched send/recv pairs must agree on payload size",
+                    )
+                    emitted += 1
+                    break  # one report per channel
+        if emitted >= MAX_PER_RULE:
+            return
+
+
+@_rule
+def check_request_discipline(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/request-discipline``: every nonblocking request completes once."""
+    emitted = 0
+    for rank, stream in enumerate(trace.ranks):
+        pending: Dict[int, Tuple[OpKind, int]] = {}
+        for i, op in enumerate(stream):
+            if op.kind in (OpKind.ISEND, OpKind.IRECV):
+                if op.req in pending:
+                    prev_kind, prev_i = pending[op.req]
+                    yield Diagnostic(
+                        "trace/request-discipline",
+                        Severity.ERROR,
+                        f"request {op.req} reissued by {op.kind.name} before the "
+                        f"{prev_kind.name} at op {prev_i} completed",
+                        rank=rank,
+                        op_index=i,
+                        hint="WAIT on the outstanding request before reusing its id",
+                    )
+                    emitted += 1
+                pending[op.req] = (op.kind, i)
+            elif op.kind == OpKind.WAIT:
+                if op.req not in pending:
+                    yield Diagnostic(
+                        "trace/request-discipline",
+                        Severity.ERROR,
+                        f"WAIT on unknown request {op.req}",
+                        rank=rank,
+                        op_index=i,
+                        hint="WAITs must follow the ISEND/IRECV that created the request",
+                    )
+                    emitted += 1
+                else:
+                    del pending[op.req]
+        for req, (kind, i) in sorted(pending.items()):
+            yield Diagnostic(
+                "trace/request-discipline",
+                Severity.ERROR,
+                f"{kind.name} request {req} is never waited",
+                rank=rank,
+                op_index=i,
+                hint="append a WAIT for every outstanding request",
+            )
+            emitted += 1
+        if emitted >= MAX_PER_RULE:
+            return
+
+
+@_rule
+def check_collective_order(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/collective-order`` and ``trace/collective-args``."""
+    seq: Dict[int, Dict[int, List[Tuple[int, int, int, int]]]] = {}
+    for rank, stream in enumerate(trace.ranks):
+        for i, op in enumerate(stream):
+            if op.is_collective and rank in trace.comms.get(op.comm, ()):
+                seq.setdefault(op.comm, {}).setdefault(rank, []).append(
+                    (int(op.kind), op.peer, op.nbytes, i)
+                )
+    emitted = 0
+    for comm in sorted(seq):
+        members = trace.comms[comm]
+        ref_rank = members[0]
+        ref = seq[comm].get(ref_rank, [])
+        for rank in members[1:]:
+            mine = seq[comm].get(rank, [])
+            if len(mine) != len(ref):
+                yield Diagnostic(
+                    "trace/collective-order",
+                    Severity.ERROR,
+                    f"comm {comm}: rank {rank} issues {len(mine)} collective(s) but "
+                    f"rank {ref_rank} issues {len(ref)}",
+                    rank=rank,
+                    op_index=mine[-1][3] if mine else -1,
+                    hint="all members of a communicator must run the same collectives",
+                )
+                emitted += 1
+            for (k_ref, root_ref, b_ref, _), (k, root, b, i) in zip(ref, mine):
+                if k != k_ref:
+                    yield Diagnostic(
+                        "trace/collective-order",
+                        Severity.ERROR,
+                        f"comm {comm}: rank {rank} issues {OpKind(k).name} where rank "
+                        f"{ref_rank} issues {OpKind(k_ref).name}",
+                        rank=rank,
+                        op_index=i,
+                        hint="reordered collectives deadlock or corrupt data at runtime",
+                    )
+                    emitted += 1
+                    break
+                if root != root_ref or b != b_ref:
+                    yield Diagnostic(
+                        "trace/collective-args",
+                        Severity.ERROR,
+                        f"comm {comm}: {OpKind(k).name} called with root={root} "
+                        f"nbytes={b} on rank {rank} but root={root_ref} "
+                        f"nbytes={b_ref} on rank {ref_rank}",
+                        rank=rank,
+                        op_index=i,
+                        hint="collective arguments must match across the communicator",
+                    )
+                    emitted += 1
+                    break
+            if emitted >= MAX_PER_RULE:
+                return
+
+
+# -- deadlock analysis ----------------------------------------------------
+
+
+class _AbstractReplay:
+    """Untimed replay of MPI matching semantics (eager sends).
+
+    Runs each rank forward until it blocks on a recv, wait, or
+    collective; completions propagate through FIFO channels exactly as
+    in the timed engines but with no clocks.  If the worklist drains
+    with ranks unfinished, the blocked ops induce a wait-for graph whose
+    cycles are true deadlocks.
+    """
+
+    def __init__(self, trace: TraceSet):
+        self.trace = trace
+        n = trace.nranks
+        self.ip = [0] * n
+        self.blocked: List[Optional[Tuple]] = [None] * n
+        self._avail: Dict[Tuple[int, int, int, int], int] = {}
+        self._slots: Dict[Tuple[int, int, int, int], deque] = {}
+        # req -> ("isend",) | ("pending", src) | ("ready", src)
+        self._requests: List[Dict[int, Tuple]] = [{} for _ in range(n)]
+        self._coll_instance: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._coll_arrived: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._work: deque = deque(range(n))
+        self._queued = [True] * n
+
+    def _enqueue(self, rank: int) -> None:
+        if not self._queued[rank]:
+            self._queued[rank] = True
+            self._work.append(rank)
+
+    def _deliver(self, key: Tuple[int, int, int, int]) -> None:
+        slots = self._slots.get(key)
+        if slots:
+            kind, rank, req = slots.popleft()
+            if kind == "recv":
+                self.blocked[rank] = None
+                self.ip[rank] += 1
+                self._enqueue(rank)
+            else:
+                self._requests[rank][req] = ("ready", key[0])
+                blk = self.blocked[rank]
+                if blk is not None and blk[0] == "wait" and blk[1] == req:
+                    del self._requests[rank][req]
+                    self.blocked[rank] = None
+                    self.ip[rank] += 1
+                    self._enqueue(rank)
+        else:
+            self._avail[key] = self._avail.get(key, 0) + 1
+
+    def _step(self, rank: int) -> bool:
+        """Execute one op; False when the rank blocks."""
+        op = self.trace.ranks[rank][self.ip[rank]]
+        kind = op.kind
+        n = self.trace.nranks
+        if kind in (OpKind.SEND, OpKind.ISEND):
+            if kind == OpKind.ISEND:
+                self._requests[rank][op.req] = ("isend",)
+            if 0 <= op.peer < n:  # invalid peers are another rule's problem
+                self._deliver((rank, op.peer, op.tag, op.comm))
+        elif kind in (OpKind.RECV, OpKind.IRECV):
+            if 0 <= op.peer < n:
+                key = (op.peer, rank, op.tag, op.comm)
+                have = self._avail.get(key, 0)
+                if have:
+                    self._avail[key] = have - 1
+                    if kind == OpKind.IRECV:
+                        self._requests[rank][op.req] = ("ready", op.peer)
+                elif kind == OpKind.RECV:
+                    self._slots.setdefault(key, deque()).append(("recv", rank, -1))
+                    self.blocked[rank] = ("recv", op.peer, self.ip[rank])
+                    return False
+                else:
+                    self._slots.setdefault(key, deque()).append(("irecv", rank, op.req))
+                    self._requests[rank][op.req] = ("pending", op.peer)
+            elif kind == OpKind.IRECV:
+                self._requests[rank][op.req] = ("ready", op.peer)
+        elif kind == OpKind.WAIT:
+            state = self._requests[rank].get(op.req)
+            if state is not None and state[0] == "pending":
+                self.blocked[rank] = ("wait", op.req, self.ip[rank], state[1])
+                return False
+            if state is not None:
+                del self._requests[rank][op.req]
+            # unknown requests are request-discipline's problem: fall through
+        elif op.is_collective:
+            members = self.trace.comms.get(op.comm)
+            if members is not None and rank in members:
+                inst = self._coll_instance[rank].get(op.comm, 0)
+                ckey = (op.comm, inst)
+                arrived = self._coll_arrived.setdefault(ckey, {})
+                arrived[rank] = self.ip[rank]
+                if len(arrived) < len(members):
+                    self.blocked[rank] = ("coll", ckey, self.ip[rank])
+                    return False
+                del self._coll_arrived[ckey]
+                for r in members:
+                    self._coll_instance[r][op.comm] = inst + 1
+                    if r != rank:
+                        self.blocked[r] = None
+                        self.ip[r] += 1
+                        self._enqueue(r)
+        self.ip[rank] += 1
+        return True
+
+    def run(self) -> List[int]:
+        """Drain the worklist; returns the ranks that never finished."""
+        lengths = [len(s) for s in self.trace.ranks]
+        while self._work:
+            rank = self._work.popleft()
+            self._queued[rank] = False
+            if self.blocked[rank] is not None:
+                continue
+            while self.ip[rank] < lengths[rank]:
+                if not self._step(rank):
+                    break
+        return [r for r in range(self.trace.nranks) if self.ip[r] < lengths[r]]
+
+    def waits_on(self, rank: int) -> Tuple[int, ...]:
+        """Ranks whose progress would unblock ``rank``."""
+        blk = self.blocked[rank]
+        if blk is None:
+            return ()
+        if blk[0] == "recv":
+            return (blk[1],)
+        if blk[0] == "wait":
+            return (blk[3],)
+        arrived = self._coll_arrived.get(blk[1], {})
+        members = self.trace.comms[blk[1][0]]
+        return tuple(r for r in members if r not in arrived)
+
+
+def _find_cycle(edges: Dict[int, Tuple[int, ...]]) -> Optional[List[int]]:
+    """One cycle in the wait-for digraph, as a rank list, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {r: WHITE for r in edges}
+    for start in edges:
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[int, Iterator[int]]] = [(start, iter(edges.get(start, ())))]
+        color[start] = GRAY
+        path = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in edges:
+                    continue
+                if color[nxt] == GRAY:
+                    return path[path.index(nxt):]
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, iter(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+@_rule
+def check_deadlock(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/deadlock``: wait-for-graph cycle analysis over blocking ops."""
+    replay = _AbstractReplay(trace)
+    stuck = replay.run()
+    if not stuck:
+        return
+    edges = {r: replay.waits_on(r) for r in stuck}
+    cycle = _find_cycle(edges)
+    if cycle is not None:
+        detail = []
+        for r in cycle:
+            op = trace.ranks[r][replay.ip[r]]
+            detail.append(f"rank {r} blocks at op {replay.ip[r]} ({op.kind.name})")
+        yield Diagnostic(
+            "trace/deadlock",
+            Severity.ERROR,
+            f"wait-for cycle among ranks {cycle}: " + "; ".join(detail),
+            rank=cycle[0],
+            op_index=replay.ip[cycle[0]],
+            hint="break the cycle by reordering the blocking ops on one rank",
+        )
+    for r in stuck[:8]:
+        if cycle is not None and r in cycle:
+            continue
+        blk = replay.blocked[r]
+        kind = trace.ranks[r][replay.ip[r]].kind.name
+        waits = ", ".join(str(w) for w in replay.waits_on(r)) or "nothing"
+        yield Diagnostic(
+            "trace/deadlock",
+            Severity.ERROR,
+            f"rank {r} blocks forever at op {replay.ip[r]} ({kind}), waiting on "
+            f"rank(s) {waits}",
+            rank=r,
+            op_index=replay.ip[r],
+            hint="the peer never posts the matching operation",
+        )
+    if len(stuck) > 8:
+        yield Diagnostic(
+            "trace/deadlock",
+            Severity.ERROR,
+            f"{len(stuck) - 8} further rank(s) also never finish",
+        )
+
+
+# -- timestamp and model rules --------------------------------------------
+
+
+def _stamped(op: Op) -> bool:
+    return not (isnan(op.t_entry) or isnan(op.t_exit))
+
+
+@_rule
+def check_timestamps(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/timestamps``: measured times must be sane if present."""
+    any_stamped = any(_stamped(op) for stream in trace.ranks for op in stream)
+    if not any_stamped:
+        return  # unstamped traces (pre-synthesis) are fine
+    emitted = 0
+    for rank, stream in enumerate(trace.ranks):
+        prev_exit = 0.0
+        for i, op in enumerate(stream):
+            if not _stamped(op):
+                yield Diagnostic(
+                    "trace/timestamps",
+                    Severity.ERROR,
+                    f"op {op.kind.name} is unstamped in an otherwise stamped trace",
+                    rank=rank,
+                    op_index=i,
+                    hint="run the ground-truth synthesizer over the whole trace",
+                )
+                emitted += 1
+            else:
+                if op.t_exit < op.t_entry - _TIME_TOL:
+                    yield Diagnostic(
+                        "trace/timestamps",
+                        Severity.ERROR,
+                        f"{op.kind.name} exits at {op.t_exit:.9g} before its entry "
+                        f"{op.t_entry:.9g}",
+                        rank=rank,
+                        op_index=i,
+                        hint="t_exit must be >= t_entry",
+                    )
+                    emitted += 1
+                if op.t_entry < prev_exit - _TIME_TOL:
+                    yield Diagnostic(
+                        "trace/timestamps",
+                        Severity.ERROR,
+                        f"{op.kind.name} enters at {op.t_entry:.9g}, a negative gap "
+                        f"after the previous op's exit {prev_exit:.9g}",
+                        rank=rank,
+                        op_index=i,
+                        hint="per-rank timestamps must be monotonically non-decreasing",
+                    )
+                    emitted += 1
+                prev_exit = max(prev_exit, op.t_exit)
+            if emitted >= MAX_PER_RULE:
+                return
+
+
+@_rule
+def check_model_support(trace: TraceSet) -> Iterator[Diagnostic]:
+    """``trace/model-support``: predict per-engine UnsupportedTraceError."""
+    if trace.uses_threads:
+        yield Diagnostic(
+            "trace/model-support",
+            Severity.NOTE,
+            "multi-threaded trace: the packet and flow engines raise "
+            "UnsupportedTraceError; only packet-flow completes",
+            hint="route this trace straight to the packet-flow engine",
+        )
+    if trace.uses_comm_split:
+        yield Diagnostic(
+            "trace/model-support",
+            Severity.NOTE,
+            "complex MPI grouping: the flow engine raises UnsupportedTraceError",
+            hint="use the packet or packet-flow engine",
+        )
+    if not trace.uses_comm_split and len(trace.comms) > 1:
+        yield Diagnostic(
+            "trace/model-support",
+            Severity.WARNING,
+            f"trace defines {len(trace.comms) - 1} sub-communicator(s) but "
+            f"uses_comm_split is False, so engine applicability checks will not "
+            f"reject it",
+            hint="set uses_comm_split=True on traces with sub-communicators",
+        )
+
+
+def lint_trace(trace: TraceSet, rules: Optional[Iterable] = None) -> LintReport:
+    """Run every registered rule over ``trace`` and collect diagnostics."""
+    report = LintReport(subject=trace.name)
+    for fn in (TRACE_RULES if rules is None else rules):
+        report.extend(fn(trace))
+    return report

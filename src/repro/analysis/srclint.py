@@ -1,0 +1,248 @@
+"""AST-based invariant linting for the repro codebase itself.
+
+The trace linter guards the *data*; this module guards the *code* that
+produces and consumes it.  Three repository invariants are enforced:
+
+``src/unseeded-rng``
+    All randomness must flow through :mod:`repro.util.rng` substreams.
+    Calls into the stdlib ``random`` module or ``numpy.random``
+    (``np.random.normal(...)``, ``np.random.default_rng(...)``) outside
+    ``util/rng.py`` break bit-reproducibility of the corpus.
+``src/float-time-eq``
+    Virtual times are floats accumulated through long chains of
+    additions; comparing them with ``==``/``!=`` is a correctness trap.
+    Flags equality comparisons where either operand is a time-like name
+    (``t_entry``, ``t_exit``, ``*_time``, ``clk``, ``duration``,
+    ``walltime``).  The ``x != x`` NaN idiom is exempt.
+``src/opkind-exhaustive``
+    Dispatch tables (dict literals keyed by ``OpKind`` members) must be
+    exhaustive over the family they draw from: a table of collective
+    kinds must cover all of ``COLLECTIVE_KINDS``, a table of p2p kinds
+    all of ``P2P_KINDS``, and a mixed table every ``OpKind`` member.
+    A partially filled table silently drops ops at runtime.
+
+Run standalone with ``python -m repro.analysis.srclint [path ...]`` or
+via the pytest wrapper in ``tests/test_srclint.py`` (tier-1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.trace.events import COLLECTIVE_KINDS, OpKind, P2P_KINDS
+
+__all__ = ["lint_source", "lint_paths", "main"]
+
+#: Files allowed to touch raw RNG constructors.
+_RNG_EXEMPT = ("util/rng.py",)
+
+_TIME_NAME = re.compile(
+    r"^(t_entry|t_exit|t\d*|clk|duration|walltime|time|.*_time)$"
+)
+
+_COLLECTIVE_NAMES = frozenset(k.name for k in COLLECTIVE_KINDS)
+_P2P_NAMES = frozenset(k.name for k in P2P_KINDS)
+_ALL_KIND_NAMES = frozenset(k.name for k in OpKind)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain (``np.random.normal``), or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _random_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the stdlib ``random`` module."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "random":
+                    aliases.add(item.asname or "random")
+    return aliases
+
+
+def _check_unseeded_rng(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
+    if rel.endswith(_RNG_EXEMPT):
+        return
+    random_names = _random_aliases(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield Diagnostic(
+                "src/unseeded-rng",
+                Severity.ERROR,
+                "imports from the stdlib random module",
+                location=f"{rel}:{node.lineno}",
+                hint="draw from a named substream via repro.util.rng instead",
+            )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        head = name.split(".", 1)[0]
+        if head in random_names:
+            yield Diagnostic(
+                "src/unseeded-rng",
+                Severity.ERROR,
+                f"call to {name}() uses the unseeded stdlib random module",
+                location=f"{rel}:{node.lineno}",
+                hint="draw from a named substream via repro.util.rng instead",
+            )
+        elif ".random." in f"{name}." and head in ("np", "numpy"):
+            yield Diagnostic(
+                "src/unseeded-rng",
+                Severity.ERROR,
+                f"call to {name}() constructs numpy randomness outside util/rng.py",
+                location=f"{rel}:{node.lineno}",
+                hint="accept a Generator argument or use repro.util.rng.substream",
+            )
+
+
+def _is_timelike(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_TIME_NAME.match(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_TIME_NAME.match(node.attr))
+    return False
+
+
+def _check_float_time_eq(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if ast.dump(lhs) == ast.dump(rhs):
+                continue  # x != x is the NaN check idiom
+            side = lhs if _is_timelike(lhs) else (rhs if _is_timelike(rhs) else None)
+            if side is None:
+                continue
+            shown = _dotted(side) or getattr(side, "id", getattr(side, "attr", "?"))
+            yield Diagnostic(
+                "src/float-time-eq",
+                Severity.ERROR,
+                f"float equality comparison on time-like value {shown!r}",
+                location=f"{rel}:{node.lineno}",
+                hint="use math.isclose or an explicit tolerance on accumulated times",
+            )
+
+
+def _opkind_keys(node: ast.Dict) -> Optional[Set[str]]:
+    """Member names when every key is an ``OpKind.X`` attribute (>= 3 keys)."""
+    names: Set[str] = set()
+    for key in node.keys:
+        if (
+            isinstance(key, ast.Attribute)
+            and isinstance(key.value, ast.Name)
+            and key.value.id == "OpKind"
+            and key.attr in _ALL_KIND_NAMES
+        ):
+            names.add(key.attr)
+        else:
+            return None
+    return names if len(names) >= 3 else None
+
+
+def _check_opkind_tables(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        keys = _opkind_keys(node)
+        if keys is None:
+            continue
+        if keys <= _COLLECTIVE_NAMES:
+            family, missing = "COLLECTIVE_KINDS", _COLLECTIVE_NAMES - keys
+        elif keys <= _P2P_NAMES:
+            family, missing = "P2P_KINDS", _P2P_NAMES - keys
+        else:
+            family, missing = "OpKind", _ALL_KIND_NAMES - keys
+        if missing:
+            yield Diagnostic(
+                "src/opkind-exhaustive",
+                Severity.ERROR,
+                f"OpKind dispatch table drawn from {family} misses "
+                f"{', '.join(sorted(missing))}",
+                location=f"{rel}:{node.lineno}",
+                hint="add the missing kinds or dispatch through an explicit default",
+            )
+
+
+_SRC_CHECKS = (_check_unseeded_rng, _check_float_time_eq, _check_opkind_tables)
+
+
+def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:
+    """Lint one module's source text; ``rel`` labels the diagnostics."""
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "src/syntax",
+                Severity.ERROR,
+                f"module does not parse: {exc.msg}",
+                location=f"{rel}:{exc.lineno or 0}",
+            )
+        ]
+    out: List[Diagnostic] = []
+    for check in _SRC_CHECKS:
+        out.extend(check(tree, rel))
+    return out
+
+
+def _default_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_paths(paths: Optional[Sequence[Path]] = None) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` (default: the repro package)."""
+    roots = [Path(p) for p in paths] if paths else [_default_root()]
+    report = LintReport(subject=", ".join(str(r) for r in roots))
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.as_posix()
+            report.extend(lint_source(path.read_text(), rel))
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.srclint",
+        description="Lint the repro sources for reproducibility invariants.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: the repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+    args = parser.parse_args(argv)
+    report = lint_paths(args.paths or None)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

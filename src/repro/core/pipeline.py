@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.lint import LintGateError, lint_trace
 from repro.core.difftotal import DIFF_THRESHOLD, diff_total
 from repro.machines.presets import get_machine
 from repro.mfact.logical_clock import model_trace
@@ -88,8 +89,21 @@ class StudyRecord:
         return cls(**data)
 
 
-def measure_trace(trace: TraceSet, spec_index: int = -1, suite: str = "") -> StudyRecord:
-    """Run all four tools and feature extraction on one stamped trace."""
+def measure_trace(
+    trace: TraceSet, spec_index: int = -1, suite: str = "", lint_gate: bool = False
+) -> StudyRecord:
+    """Run all four tools and feature extraction on one stamped trace.
+
+    With ``lint_gate=True`` the trace is first vetted by the static
+    analyzer (:func:`repro.analysis.lint.lint_trace`); any error-level
+    diagnostic raises :class:`~repro.analysis.lint.LintGateError`
+    *before* any replay engine spends time on a trace that would fail
+    or produce meaningless results mid-flight.
+    """
+    if lint_gate:
+        report = lint_trace(trace)
+        if not report.ok:
+            raise LintGateError(report)
     machine = get_machine(trace.machine)
     record = StudyRecord(
         name=trace.name,
@@ -132,15 +146,24 @@ def run_study(
     seed: int = DEFAULT_SEED,
     limit: Optional[int] = None,
     progress: Optional[Callable[[int, StudyRecord], None]] = None,
+    lint_gate: bool = False,
 ) -> List[StudyRecord]:
-    """Build the corpus and measure every trace with all four tools."""
+    """Build the corpus and measure every trace with all four tools.
+
+    ``lint_gate=True`` statically vets each trace before replay and
+    raises :class:`~repro.analysis.lint.LintGateError` on the first
+    structurally broken one (opt-in: the synthetic corpus is clean by
+    construction, but imported or hand-edited traces may not be).
+    """
     specs = corpus_specs(seed)
     if limit is not None:
         specs = specs[:limit]
     records: List[StudyRecord] = []
     for spec in specs:
         trace = build_trace(spec)
-        record = measure_trace(trace, spec_index=spec.index, suite=spec.suite)
+        record = measure_trace(
+            trace, spec_index=spec.index, suite=spec.suite, lint_gate=lint_gate
+        )
         records.append(record)
         if progress:
             progress(spec.index, record)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig1,
@@ -52,7 +52,7 @@ def run_experiment(name: str, records) -> str:
     return render(compute(records))
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "targets",
@@ -91,10 +91,9 @@ def main(argv: List[str] = None) -> int:
             path = write_experiments_md(records, table2_result=table2_result)
             print(f"wrote {path}")
         elif target == "audit":
-            from repro.workloads.audit import audit_corpus
+            from repro.workloads.audit import audit_report
 
-            for finding in audit_corpus(records):
-                print(finding)
+            print(audit_report(records).render())
         else:
             print(run_experiment(target, records))
     return 0

@@ -4,17 +4,23 @@ Usage::
 
     python -m repro.trace.cli info trace.dmp
     python -m repro.trace.cli validate trace.dmp
+    python -m repro.trace.cli lint trace.dmp [--json]
     python -m repro.trace.cli features trace.dmp
     python -m repro.trace.cli compress-stats trace.dmp
     python -m repro.trace.cli convert trace.dmp trace.bin   # ascii <-> binary
+
+Every subcommand returns a conventional exit code: ``0`` on success,
+``1`` on a warning-level or usage failure, ``2`` on an error-level
+finding.  ``lint`` maps its exit code directly from the worst
+diagnostic severity (0 clean / 1 warnings / 2 errors).
 """
 
 from __future__ import annotations
 
 import argparse
-import math
+import json
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro.trace.binary import read_trace_binary, write_trace_binary
 from repro.trace.compress import compress_trace
@@ -24,6 +30,11 @@ from repro.trace.trace import TraceValidationError
 from repro.util.units import format_time
 
 __all__ = ["main"]
+
+#: Exit codes shared by all subcommands.
+EXIT_OK = 0
+EXIT_WARN = 1
+EXIT_ERROR = 2
 
 
 def _cmd_info(trace, args) -> int:
@@ -42,7 +53,7 @@ def _cmd_info(trace, args) -> int:
               f"({100 * trace.comm_fraction():.1f}%)")
     else:
         print("measured total  (trace is unstamped)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_validate(trace, args) -> int:
@@ -50,20 +61,31 @@ def _cmd_validate(trace, args) -> int:
         trace.validate()
     except TraceValidationError as exc:
         print(f"INVALID: {exc}")
-        return 1
+        return EXIT_ERROR
     print(f"{trace.name}: valid ({trace.op_count()} ops, {trace.nranks} ranks)")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_lint(trace, args) -> int:
+    from repro.analysis.lint import lint_trace
+
+    report = lint_trace(trace)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code()
 
 
 def _cmd_features(trace, args) -> int:
     if not trace.has_timestamps():
         print("trace is unstamped; features need measured timestamps", file=sys.stderr)
-        return 1
+        return EXIT_WARN
     features = extract_features(trace)
     width = max(len(name) for name in features)
     for name, value in features.items():
         print(f"{name:<{width}s}  {value:.6g}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_compress_stats(trace, args) -> int:
@@ -73,32 +95,33 @@ def _cmd_compress_stats(trace, args) -> int:
     print(f"ratio        {compressed.compression_ratio:.2f}x")
     runs = sum(len(s.runs) for s in compressed.streams)
     print(f"runs         {runs} across {len(compressed.streams)} ranks")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_convert(trace, args) -> int:
     out = args.output
     if out is None:
         print("convert needs an output path", file=sys.stderr)
-        return 1
+        return EXIT_WARN
     if out.endswith(".bin"):
         write_trace_binary(trace, out)
     else:
         write_trace(trace, out)
     print(f"wrote {out}")
-    return 0
+    return EXIT_OK
 
 
 _COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
     "features": _cmd_features,
     "compress-stats": _cmd_compress_stats,
     "convert": _cmd_convert,
 }
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.trace.cli", description=__doc__)
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("path", help="trace file (.dmp ascii or .bin binary)")
@@ -106,11 +129,17 @@ def main(argv: List[str] = None) -> int:
                         help="output path for the convert command")
     parser.add_argument("--max-block", type=int, default=128,
                         help="compression search window (compress-stats)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable output (lint)")
     args = parser.parse_args(argv)
-    if args.path.endswith(".bin"):
-        trace = read_trace_binary(args.path)
-    else:
-        trace = read_trace(args.path)
+    try:
+        if args.path.endswith(".bin"):
+            trace = read_trace_binary(args.path)
+        else:
+            trace = read_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return EXIT_WARN
     return _COMMANDS[args.command](trace, args)
 
 

@@ -22,7 +22,12 @@ from repro.workloads.suite import (
     build_trace,
     corpus_specs,
 )
-from repro.workloads.synthesis import GroundTruthSynthesizer, synthesize_ground_truth
+from repro.workloads.synthesis import (
+    DEFECT_KINDS,
+    GroundTruthSynthesizer,
+    inject_defect,
+    synthesize_ground_truth,
+)
 
 __all__ = [
     "ProgramBuilder",
@@ -45,4 +50,6 @@ __all__ = [
     "RANK_POOL",
     "GroundTruthSynthesizer",
     "synthesize_ground_truth",
+    "DEFECT_KINDS",
+    "inject_defect",
 ]

@@ -22,12 +22,16 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 from repro.core.pipeline import StudyRecord
 from repro.experiments.fig5 import group_of
 from repro.experiments.table1 import PAPER_RANKS
 from repro.trace.stats import RANK_BINS
 
-__all__ = ["Finding", "audit_corpus"]
+__all__ = ["Finding", "audit_corpus", "audit_report"]
+
+#: Audit severity -> shared diagnostic severity.
+_SEVERITY_MAP = {"ok": Severity.NOTE, "warn": Severity.WARNING, "fail": Severity.ERROR}
 
 
 @dataclass(frozen=True)
@@ -40,6 +44,16 @@ class Finding:
 
     def __str__(self) -> str:
         return f"[{self.severity.upper():4s}] {self.check}: {self.detail}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        """Re-express this finding in the shared diagnostic format, so
+        corpus health and trace health reports can be merged."""
+        return Diagnostic(
+            rule=f"corpus/{self.check.replace(' ', '-')}",
+            severity=_SEVERITY_MAP[self.severity],
+            message=self.detail,
+            location=self.check,
+        )
 
 
 def _check(findings, ok: bool, check: str, detail: str, warn_only: bool = False):
@@ -145,3 +159,15 @@ def audit_corpus(records: Sequence[StudyRecord]) -> List[Finding]:
         warn_only=True,
     )
     return findings
+
+
+def audit_report(records: Sequence[StudyRecord]) -> LintReport:
+    """Corpus health as a :class:`LintReport` of typed diagnostics.
+
+    Passing checks become NOTE diagnostics, soft checks WARNINGs and
+    hard checks ERRORs — the same vocabulary ``tracelint`` uses, so one
+    renderer and one exit-code convention cover both layers.
+    """
+    report = LintReport(subject=f"corpus[{len(records)} records]")
+    report.extend(f.to_diagnostic() for f in audit_corpus(records))
+    return report

@@ -32,11 +32,16 @@ import numpy as np
 from repro.collectives.cost_models import collective_cost
 from repro.machines.config import MachineConfig
 from repro.sim.network import Fabric
-from repro.trace.events import OpKind
+from repro.trace.events import Op, OpKind
 from repro.trace.trace import TraceSet
 from repro.util.rng import substream
 
-__all__ = ["GroundTruthSynthesizer", "synthesize_ground_truth"]
+__all__ = [
+    "GroundTruthSynthesizer",
+    "synthesize_ground_truth",
+    "inject_defect",
+    "DEFECT_KINDS",
+]
 
 _SYNC_COLLECTIVES = frozenset(
     {
@@ -323,3 +328,136 @@ class _Chan:
 def synthesize_ground_truth(trace: TraceSet, machine: MachineConfig, seed: int) -> TraceSet:
     """Stamp measured timestamps onto ``trace`` (mutates and returns it)."""
     return GroundTruthSynthesizer(trace, machine, seed).run()
+
+
+# -- fault injection ----------------------------------------------------------
+
+#: Defect kinds :func:`inject_defect` can plant (each targets one
+#: tracelint rule; see ``repro.analysis.lint`` for the rule catalogue).
+DEFECT_KINDS = (
+    "deadlock",  # send/recv wait-for cycle between two ranks
+    "unmatched-send",  # a send no rank ever receives
+    "unmatched-recv",  # a recv no rank ever satisfies
+    "byte-mismatch",  # matched pair disagreeing on payload size
+    "lost-wait",  # an IRECV request that is never waited
+    "reordered-collectives",  # one rank swaps two collective calls
+    "root-divergence",  # one rank disagrees on a collective's arguments
+    "time-travel",  # a measured timestamp goes backwards
+)
+
+#: Tag space for injected p2p traffic (above generator tags, below the
+#: collective-expansion tag base of ``1 << 20``).
+_DEFECT_TAG_BASE = 1 << 19
+
+
+def _clone_trace(trace: TraceSet) -> TraceSet:
+    """Deep copy: fresh Op objects so injection never mutates the input."""
+    ranks = [
+        [
+            Op(
+                op.kind,
+                peer=op.peer,
+                nbytes=op.nbytes,
+                tag=op.tag,
+                comm=op.comm,
+                req=op.req,
+                duration=op.duration,
+                t_entry=op.t_entry,
+                t_exit=op.t_exit,
+            )
+            for op in stream
+        ]
+        for stream in trace.ranks
+    ]
+    return TraceSet(
+        name=trace.name,
+        app=trace.app,
+        ranks=ranks,
+        machine=trace.machine,
+        ranks_per_node=trace.ranks_per_node,
+        comms=dict(trace.comms),
+        uses_comm_split=trace.uses_comm_split,
+        uses_threads=trace.uses_threads,
+        metadata=dict(trace.metadata),
+    )
+
+
+def inject_defect(trace: TraceSet, kind: str, seed: int = 0) -> TraceSet:
+    """Return a copy of ``trace`` with one known structural defect.
+
+    ``kind`` is one of :data:`DEFECT_KINDS`.  The defect site is chosen
+    deterministically from ``seed``, and the copy's metadata records the
+    injection (``injected_defect``) so downstream tooling can assert a
+    linter flags exactly what was planted.  Structural kinds add
+    *unstamped* ops, so injecting into a stamped trace additionally
+    trips the timestamp-consistency rule; inject before ground-truth
+    synthesis when that matters.  ``time-travel`` requires a stamped
+    trace.  Used by the tracelint test-suite and intended for future
+    fault-injection studies.
+    """
+    if kind not in DEFECT_KINDS:
+        known = ", ".join(DEFECT_KINDS)
+        raise ValueError(f"unknown defect kind {kind!r} (known: {known})")
+    if trace.nranks < 2:
+        raise ValueError("defect injection needs at least two ranks")
+    out = _clone_trace(trace)
+    rng = substream(seed, "defect", kind, trace.name)
+    a, b = (int(r) for r in rng.choice(out.nranks, size=2, replace=False))
+    tag = _DEFECT_TAG_BASE + int(rng.integers(0, 1024))
+    if kind == "deadlock":
+        # Both ranks first receive from each other, and only send after:
+        # counts match on every channel, yet neither recv can ever be
+        # satisfied — a two-rank wait-for cycle.
+        out.ranks[a].insert(0, Op(OpKind.RECV, peer=b, nbytes=64, tag=tag))
+        out.ranks[b].insert(0, Op(OpKind.RECV, peer=a, nbytes=64, tag=tag + 1))
+        out.ranks[a].append(Op(OpKind.SEND, peer=b, nbytes=64, tag=tag + 1))
+        out.ranks[b].append(Op(OpKind.SEND, peer=a, nbytes=64, tag=tag))
+    elif kind == "unmatched-send":
+        out.ranks[a].append(Op(OpKind.SEND, peer=b, nbytes=256, tag=tag))
+    elif kind == "unmatched-recv":
+        out.ranks[a].append(Op(OpKind.RECV, peer=b, nbytes=256, tag=tag))
+    elif kind == "byte-mismatch":
+        out.ranks[a].append(Op(OpKind.SEND, peer=b, nbytes=1024, tag=tag))
+        out.ranks[b].append(Op(OpKind.RECV, peer=a, nbytes=512, tag=tag))
+    elif kind == "lost-wait":
+        req = 1 + max(
+            (op.req for op in out.ranks[b] if op.req >= 0), default=0
+        )
+        out.ranks[b].append(Op(OpKind.IRECV, peer=a, nbytes=128, tag=tag, req=req))
+        out.ranks[a].append(Op(OpKind.SEND, peer=b, nbytes=128, tag=tag))
+    elif kind == "reordered-collectives":
+        idx = [i for i, op in enumerate(out.ranks[a]) if op.is_collective]
+        swap = None
+        for i in idx:
+            for j in idx:
+                if j <= i:
+                    continue
+                x, y = out.ranks[a][i], out.ranks[a][j]
+                if (x.kind, x.peer, x.nbytes) != (y.kind, y.peer, y.nbytes):
+                    swap = (i, j)
+                    break
+            if swap:
+                break
+        if swap is None:
+            raise ValueError(
+                f"trace {trace.name!r} has no two distinct collectives to reorder"
+            )
+        i, j = swap
+        out.ranks[a][i], out.ranks[a][j] = out.ranks[a][j], out.ranks[a][i]
+    elif kind == "root-divergence":
+        for op in out.ranks[a]:
+            if op.is_collective and len(out.comms.get(op.comm, ())) > 1:
+                op.nbytes += 8  # one rank now disagrees on the payload
+                break
+        else:
+            raise ValueError(f"trace {trace.name!r} has no collective to perturb")
+    elif kind == "time-travel":
+        if not trace.has_timestamps():
+            raise ValueError("time-travel injection needs a stamped trace")
+        stream = out.ranks[a]
+        i = int(rng.integers(0, len(stream)))
+        op = stream[i]
+        op.t_entry, op.t_exit = op.t_exit, op.t_entry - 1.0
+    out.metadata["injected_defect"] = kind
+    out.metadata["defect_seed"] = int(seed)
+    return out

@@ -86,7 +86,8 @@ class TestCLIErrorPaths:
     def test_validate_reports_invalid(self, tmp_path, capsys):
         bad = TraceSet("bad", "B", [[Op(OpKind.SEND, peer=1, nbytes=4, tag=1)], []])
         path = write_trace(bad, tmp_path / "bad.dmp")
-        assert trace_cli(["validate", str(path)]) == 1
+        # error-level findings exit 2 (shared severity convention)
+        assert trace_cli(["validate", str(path)]) == 2
         assert "INVALID" in capsys.readouterr().out
 
     def test_info_on_unstamped(self, tmp_path, capsys):

@@ -1,0 +1,138 @@
+"""Source-level invariant linting, run as a tier-1 check.
+
+The repo-wide test makes ``python -m pytest`` enforce the invariants on
+every commit; the unit tests pin each rule's behavior on synthetic
+sources.  Standalone use: ``python -m repro.analysis.srclint``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.srclint import lint_paths, lint_source, main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRepoIsClean:
+    def test_whole_package_passes_srclint(self):
+        report = lint_paths([SRC_ROOT])
+        assert report.diagnostics == [], report.render()
+
+
+class TestUnseededRngRule:
+    def test_stdlib_random_call_flagged(self):
+        diags = lint_source("import random\nx = random.random()\n", "m.py")
+        assert [d.rule for d in diags] == ["src/unseeded-rng"]
+        assert diags[0].location == "m.py:2"
+
+    def test_stdlib_random_alias_flagged(self):
+        diags = lint_source("import random as rnd\nx = rnd.choice([1])\n", "m.py")
+        assert [d.rule for d in diags] == ["src/unseeded-rng"]
+
+    def test_from_random_import_flagged(self):
+        diags = lint_source("from random import shuffle\n", "m.py")
+        assert [d.rule for d in diags] == ["src/unseeded-rng"]
+
+    def test_np_random_call_flagged(self):
+        diags = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n", "m.py"
+        )
+        assert [d.rule for d in diags] == ["src/unseeded-rng"]
+
+    def test_generator_annotation_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> None:\n"
+            "    rng.normal()\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint_source(src, "src/repro/util/rng.py") == []
+        assert lint_source(src, "other.py") != []
+
+
+class TestFloatTimeEqRule:
+    def test_time_attribute_equality_flagged(self):
+        diags = lint_source("def f(op, t):\n    return op.t_exit == t\n", "m.py")
+        assert [d.rule for d in diags] == ["src/float-time-eq"]
+
+    def test_total_time_name_flagged(self):
+        diags = lint_source("def f(total_time):\n    return total_time != 1.0\n", "m.py")
+        assert [d.rule for d in diags] == ["src/float-time-eq"]
+
+    def test_nan_idiom_exempt(self):
+        assert lint_source("def f(t_exit):\n    return t_exit != t_exit\n", "m.py") == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert lint_source("def f(t_exit, t):\n    return t_exit <= t\n", "m.py") == []
+
+    def test_non_time_names_allowed(self):
+        assert lint_source("def f(count):\n    return count == 3\n", "m.py") == []
+
+
+class TestOpKindTableRule:
+    def test_partial_collective_table_flagged(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "TABLE = {\n"
+            "    OpKind.BARRIER: 1,\n"
+            "    OpKind.BCAST: 2,\n"
+            "    OpKind.ALLREDUCE: 3,\n"
+            "}\n"
+        )
+        diags = lint_source(src, "m.py")
+        assert [d.rule for d in diags] == ["src/opkind-exhaustive"]
+        assert "REDUCE_SCATTER" in diags[0].message
+
+    def test_full_p2p_table_allowed(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "TABLE = {\n"
+            "    OpKind.SEND: 1,\n"
+            "    OpKind.ISEND: 2,\n"
+            "    OpKind.RECV: 3,\n"
+            "    OpKind.IRECV: 4,\n"
+            "}\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_small_or_non_opkind_dicts_ignored(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "A = {OpKind.SEND: 1, OpKind.RECV: 2}\n"  # < 3 keys: intent unclear
+            "B = {'MPI_Send': OpKind.SEND, 'MPI_Recv': OpKind.RECV, 'x': 1}\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+
+class TestSyntaxAndEntryPoint:
+    def test_syntax_error_becomes_diagnostic(self):
+        diags = lint_source("def broken(:\n", "m.py")
+        assert [d.rule for d in diags] == ["src/syntax"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_main_clean_run_exits_zero(self, capsys):
+        assert main([str(SRC_ROOT / "util" / "rng.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_json_on_dirty_file(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("import random\nrandom.seed(1)\n")
+        assert main([str(path), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["ERROR"] == 1
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.srclint"],
+            capture_output=True,
+            text=True,
+            cwd=str(SRC_ROOT.parent.parent),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
