@@ -1,0 +1,21 @@
+# Developer entry points.  `make check` is the single gate CI runs:
+# source lint plus the tier-1 test suite.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check lint test bench clean-cache
+
+check: lint test
+
+lint:
+	$(PYTHON) -m repro.analysis.srclint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+clean-cache:
+	rm -rf .cache

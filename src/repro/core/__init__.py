@@ -1,4 +1,5 @@
-"""The paper's contribution: DIFFtotal, the study pipeline, enhanced MFACT."""
+"""The paper's contribution: DIFFtotal, the study pipeline (with its
+parallel executor and per-record cache), enhanced MFACT."""
 
 from repro.core.difftotal import DIFF_THRESHOLD, diff_total, requires_simulation
 from repro.core.enhanced_mfact import (
@@ -7,6 +8,13 @@ from repro.core.enhanced_mfact import (
     design_matrix,
     labels,
     naive_heuristic_success,
+)
+from repro.core.executor import (
+    RecordCache,
+    StudyRun,
+    execute_study,
+    execute_traces,
+    trace_cache_key,
 )
 from repro.core.pipeline import (
     StudyRecord,
@@ -18,6 +26,11 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "RecordCache",
+    "StudyRun",
+    "execute_study",
+    "execute_traces",
+    "trace_cache_key",
     "DIFF_THRESHOLD",
     "diff_total",
     "requires_simulation",

@@ -1,0 +1,505 @@
+"""Parallel study execution with a per-record result cache.
+
+The paper's campaign replays every corpus trace through four tools.
+Each (trace, machine, engine-suite, code-version) measurement is
+independent, so the study is embarrassingly parallel: this module fans
+:func:`repro.core.pipeline.measure_trace` out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and memoizes every
+finished :class:`~repro.core.pipeline.StudyRecord` in a
+content-addressed cache under ``.cache/records/``.
+
+Properties the executor guarantees:
+
+* **Determinism** — a parallel run (``jobs > 1``) produces records
+  identical to the serial run; results are reassembled in corpus
+  order regardless of completion order.
+* **Incrementality** — each record is cached the moment it finishes,
+  keyed by :func:`repro.util.fingerprint.record_cache_key`.  Editing a
+  workload generator changes only its traces' fingerprints, so a
+  re-run recomputes only the affected records; editing any engine
+  changes the code version and recomputes everything.
+* **Resumability** — interrupting a run (Ctrl-C) loses only records
+  that were in flight; completed records are already on disk and a
+  re-run turns them into cache hits.
+* **Failure isolation** — one crashing replay becomes a ``failed``
+  manifest entry carrying the exception, while the remaining records
+  complete.
+* **Observability** — every run emits a
+  :class:`~repro.util.manifest.RunManifest` with per-record timing,
+  cache hit/miss, worker pid and failure diagnostics.
+
+``jobs=1`` runs entirely in-process (no pool, no pickling), preserving
+the pipeline's historical serial path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import SIM_MODELS, StudyRecord, measure_trace
+from repro.machines.presets import get_machine
+from repro.trace.trace import TraceSet
+from repro.util.fingerprint import (
+    code_version,
+    machine_config_hash,
+    record_cache_key,
+    trace_fingerprint,
+    workloads_code_version,
+)
+from repro.util.manifest import ManifestEntry, RunManifest
+
+__all__ = [
+    "DEFAULT_RECORD_CACHE",
+    "MANIFEST_NAME",
+    "RecordCache",
+    "RecordOutcome",
+    "StudyRun",
+    "execute_study",
+    "execute_traces",
+    "spec_cache_key",
+    "trace_cache_key",
+]
+
+#: Default location of the per-record cache.
+DEFAULT_RECORD_CACHE = Path(".cache") / "records"
+
+#: Manifest filename written inside the record cache after each run.
+MANIFEST_NAME = "last_run_manifest.json"
+
+
+def trace_cache_key(trace: TraceSet, engines: Sequence[str] = SIM_MODELS) -> str:
+    """Cache key for measuring ``trace`` on its own machine preset."""
+    machine = get_machine(trace.machine)
+    return record_cache_key(
+        trace_fingerprint(trace),
+        machine_config_hash(machine),
+        tuple(engines),
+        code_version(),
+    )
+
+
+def spec_cache_key(spec, engines: Sequence[str] = SIM_MODELS) -> str:
+    """Spec-index key: identifies a record *without building the trace*.
+
+    Combines the spec's fields with the workload-generation code hash
+    (what the spec would build), the machine config hash, the engine
+    suite and the measurement code version.  A warm run with unchanged
+    code resolves records straight from this index; editing any
+    generator invalidates it, and the run falls back to
+    build-and-fingerprint where the per-record layer still answers for
+    traces that came out unchanged.
+    """
+    image = json.dumps(dataclasses.asdict(spec), sort_keys=True)
+    digest = hashlib.sha256()
+    for part in (
+        image,
+        workloads_code_version(),
+        machine_config_hash(get_machine(spec.machine)),
+        "+".join(engines),
+        code_version(),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class RecordCache:
+    """Content-addressed store of finished study records.
+
+    One JSON file per record, named by its cache key; writes go through
+    a temporary file plus :func:`os.replace` so an interrupted run never
+    leaves a torn entry behind.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RECORD_CACHE):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Cache file backing ``key``."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[StudyRecord]:
+        """The cached record for ``key``, or None (corrupt files miss)."""
+        path = self.path(key)
+        try:
+            return StudyRecord.from_json(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, record: StudyRecord) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record.to_json()))
+        os.replace(tmp, path)
+
+    # The spec index: ``<spec_key>.key`` files mapping a spec-level key
+    # to the record key it resolved to, letting warm runs skip trace
+    # construction entirely.
+
+    def alias_path(self, spec_key: str) -> Path:
+        return self.root / f"{spec_key}.key"
+
+    def get_alias(self, spec_key: str) -> Optional[str]:
+        """Record key the spec index maps ``spec_key`` to, or None."""
+        try:
+            return self.alias_path(spec_key).read_text().strip() or None
+        except OSError:
+            return None
+
+    def put_alias(self, spec_key: str, record_key: str) -> None:
+        """Atomically point the spec index at ``record_key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.alias_path(spec_key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(record_key)
+        os.replace(tmp, path)
+
+    def keys(self) -> List[str]:
+        """Keys of every complete entry on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json") if p.name != MANIFEST_NAME)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete all entries and spec-index links; returns the entry count."""
+        keys = self.keys()
+        for key in keys:
+            self.path(key).unlink(missing_ok=True)
+        if self.root.is_dir():
+            for alias in self.root.glob("*.key"):
+                alias.unlink(missing_ok=True)
+        return len(keys)
+
+
+@dataclass
+class RecordOutcome:
+    """What happened to one work item (returned by workers)."""
+
+    index: int
+    name: str
+    key: str
+    record: Optional[StudyRecord]
+    cache_hit: bool
+    walltime: float
+    worker: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+    def manifest_entry(self) -> ManifestEntry:
+        return ManifestEntry(
+            name=self.name,
+            spec_index=self.index,
+            key=self.key,
+            status="ok" if self.ok else "failed",
+            cache_hit=self.cache_hit,
+            walltime=self.walltime,
+            worker=self.worker,
+            error=self.error,
+        )
+
+
+@dataclass
+class StudyRun:
+    """Executor output: surviving records plus the full manifest."""
+
+    records: List[StudyRecord] = field(default_factory=list)
+    manifest: RunManifest = field(default_factory=RunManifest)
+
+    @property
+    def failures(self) -> List[ManifestEntry]:
+        return self.manifest.failures
+
+
+# -- worker-side measurement --------------------------------------------------
+#
+# Work items must cross a process boundary, so everything a worker needs
+# is a plain picklable tuple: (index, spec-or-path, options dict).
+
+
+def _measure_built_trace(
+    index: int,
+    name: str,
+    trace: TraceSet,
+    suite: str,
+    cache_root: Optional[str],
+    lint_gate: bool,
+    engines: Tuple[str, ...],
+) -> RecordOutcome:
+    """Fingerprint, cache-check, and (on a miss) measure one trace."""
+    t0 = time.perf_counter()
+    key = trace_cache_key(trace, engines)
+    cache = RecordCache(cache_root) if cache_root else None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return RecordOutcome(
+                index=index,
+                name=name,
+                key=key,
+                record=hit,
+                cache_hit=True,
+                walltime=time.perf_counter() - t0,
+                worker=os.getpid(),
+            )
+    record = measure_trace(trace, spec_index=index, suite=suite, lint_gate=lint_gate)
+    if cache is not None:
+        cache.put(key, record)
+    return RecordOutcome(
+        index=index,
+        name=name,
+        key=key,
+        record=record,
+        cache_hit=False,
+        walltime=time.perf_counter() - t0,
+        worker=os.getpid(),
+    )
+
+
+def _run_spec_task(task: Tuple[int, object, dict]) -> RecordOutcome:
+    """Build one corpus spec's trace and measure it (picklable).
+
+    Consults the spec index first: on a warm cache with unchanged code
+    the record resolves without building the trace at all.
+    """
+    from repro.workloads.suite import build_trace
+
+    index, spec, options = task
+    t0 = time.perf_counter()
+    cache_root = options.get("cache_root")
+    engines = tuple(options.get("engines", SIM_MODELS))
+    clean = not options.get("defects", {}).get(spec.index)
+    try:
+        if cache_root and clean:
+            cache = RecordCache(cache_root)
+            spec_key = spec_cache_key(spec, engines)
+            record_key = cache.get_alias(spec_key)
+            if record_key:
+                record = cache.get(record_key)
+                if record is not None:
+                    return RecordOutcome(
+                        index=spec.index,
+                        name=spec.name,
+                        key=record_key,
+                        record=record,
+                        cache_hit=True,
+                        walltime=time.perf_counter() - t0,
+                        worker=os.getpid(),
+                    )
+        trace = build_trace(spec)
+        defect = options.get("defects", {}).get(spec.index)
+        if defect:
+            from repro.workloads.synthesis import inject_defect
+
+            trace = inject_defect(trace, defect, seed=spec.seed)
+        outcome = _measure_built_trace(
+            index=spec.index,
+            name=spec.name,
+            trace=trace,
+            suite=spec.suite,
+            cache_root=cache_root,
+            lint_gate=options.get("lint_gate", False),
+            engines=engines,
+        )
+        if cache_root and clean and outcome.ok:
+            RecordCache(cache_root).put_alias(spec_cache_key(spec, engines), outcome.key)
+        return outcome
+    except Exception as exc:
+        return RecordOutcome(
+            index=spec.index,
+            name=spec.name,
+            key="",
+            record=None,
+            cache_hit=False,
+            walltime=time.perf_counter() - t0,
+            worker=os.getpid(),
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+        )
+
+
+def _run_path_task(task: Tuple[int, object, dict]) -> RecordOutcome:
+    """Load one trace file and measure it (picklable)."""
+    from repro.trace.binary import read_trace_binary
+    from repro.trace.dumpi import read_trace
+
+    index, path, options = task
+    path = str(path)
+    t0 = time.perf_counter()
+    try:
+        trace = read_trace_binary(path) if path.endswith(".bin") else read_trace(path)
+        return _measure_built_trace(
+            index=index,
+            name=trace.name,
+            trace=trace,
+            suite=trace.metadata.get("suite", ""),
+            cache_root=options.get("cache_root"),
+            lint_gate=options.get("lint_gate", False),
+            engines=tuple(options.get("engines", SIM_MODELS)),
+        )
+    except Exception as exc:
+        return RecordOutcome(
+            index=index,
+            name=path,
+            key="",
+            record=None,
+            cache_hit=False,
+            walltime=time.perf_counter() - t0,
+            worker=os.getpid(),
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+        )
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _drive(
+    tasks: List[Tuple[int, object, dict]],
+    worker: Callable[[Tuple[int, object, dict]], RecordOutcome],
+    jobs: int,
+    manifest: RunManifest,
+    progress: Optional[Callable[[int, RecordOutcome], None]],
+) -> Dict[int, RecordOutcome]:
+    """Run ``worker`` over ``tasks``, serially or via a process pool.
+
+    On :class:`KeyboardInterrupt` the partial outcome map is preserved
+    on ``manifest`` (marked ``interrupted``) before the exception
+    propagates — together with the per-record cache this is what makes
+    interrupted studies resumable.
+    """
+    outcomes: Dict[int, RecordOutcome] = {}
+
+    def note(outcome: RecordOutcome) -> None:
+        outcomes[outcome.index] = outcome
+        manifest.entries.append(outcome.manifest_entry())
+        if progress:
+            progress(outcome.index, outcome)
+
+    try:
+        if jobs <= 1:
+            for task in tasks:
+                note(worker(task))
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                pending = {pool.submit(worker, task) for task in tasks}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        note(future.result())
+    except KeyboardInterrupt:
+        manifest.interrupted = True
+        raise
+    finally:
+        manifest.entries.sort(key=lambda e: e.spec_index)
+    return outcomes
+
+
+def _finish(
+    outcomes: Dict[int, RecordOutcome],
+    manifest: RunManifest,
+    cache_root: Optional[Path],
+    manifest_path: Optional[Union[str, Path]],
+) -> StudyRun:
+    if manifest_path is None and cache_root is not None:
+        manifest_path = Path(cache_root) / MANIFEST_NAME
+    if manifest_path is not None:
+        manifest.write(manifest_path)
+    records = [
+        outcomes[i].record for i in sorted(outcomes) if outcomes[i].record is not None
+    ]
+    return StudyRun(records=records, manifest=manifest)
+
+
+def execute_study(
+    specs: Sequence,
+    jobs: int = 1,
+    cache_root: Optional[Union[str, Path]] = DEFAULT_RECORD_CACHE,
+    lint_gate: bool = False,
+    engines: Sequence[str] = SIM_MODELS,
+    defects: Optional[Dict[int, str]] = None,
+    progress: Optional[Callable[[int, RecordOutcome], None]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
+    seed: Optional[int] = None,
+) -> StudyRun:
+    """Measure every :class:`~repro.workloads.suite.TraceSpec` in ``specs``.
+
+    ``jobs`` processes build and measure the traces concurrently
+    (``jobs=1`` stays in-process).  ``cache_root=None`` disables the
+    record cache entirely.  ``defects`` maps spec indices to
+    :func:`~repro.workloads.synthesis.inject_defect` kinds and exists
+    for fault-injection testing of the failure-isolation path.
+    ``progress`` is called with ``(spec_index, outcome)`` as records
+    finish (completion order under ``jobs > 1``).
+
+    Returns a :class:`StudyRun`; failed records appear only in its
+    manifest.  The manifest is also written to ``manifest_path``
+    (default: ``<cache_root>/last_run_manifest.json`` when caching).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    options = {
+        "cache_root": str(cache_root) if cache_root is not None else None,
+        "lint_gate": lint_gate,
+        "engines": tuple(engines),
+        "defects": dict(defects or {}),
+    }
+    manifest = RunManifest(
+        seed=seed,
+        jobs=jobs,
+        engines=list(engines),
+        code_version=code_version(),
+    )
+    tasks = [(spec.index, spec, options) for spec in specs]
+    try:
+        outcomes = _drive(tasks, _run_spec_task, jobs, manifest, progress)
+    except KeyboardInterrupt:
+        _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
+        raise
+    return _finish(outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path)
+
+
+def execute_traces(
+    paths: Sequence[Union[str, Path]],
+    jobs: int = 1,
+    cache_root: Optional[Union[str, Path]] = DEFAULT_RECORD_CACHE,
+    lint_gate: bool = False,
+    engines: Sequence[str] = SIM_MODELS,
+    progress: Optional[Callable[[int, RecordOutcome], None]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
+) -> StudyRun:
+    """Measure already-serialized trace files (``.dmp`` ASCII or ``.bin``).
+
+    Same parallelism, caching, isolation and manifest semantics as
+    :func:`execute_study`, but the work items are file paths — the CLI
+    entry point ``python -m repro.trace.cli measure``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    options = {
+        "cache_root": str(cache_root) if cache_root is not None else None,
+        "lint_gate": lint_gate,
+        "engines": tuple(engines),
+    }
+    manifest = RunManifest(jobs=jobs, engines=list(engines), code_version=code_version())
+    tasks = [(i, str(p), options) for i, p in enumerate(paths)]
+    try:
+        outcomes = _drive(tasks, _run_path_task, jobs, manifest, progress)
+    except KeyboardInterrupt:
+        _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
+        raise
+    return _finish(outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path)

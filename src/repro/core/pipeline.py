@@ -2,10 +2,17 @@
 
 Runs the paper's full measurement campaign over the corpus: for every
 trace, MFACT modeling plus packet, flow and packet-flow simulations,
-Table III feature extraction, and the DIFFtotal label.  One
-:class:`StudyRecord` per trace is produced and cached as JSON so the
-experiment and benchmark modules can re-read results without re-running
-hours of simulation.
+Table III feature extraction, and the DIFFtotal label, producing one
+:class:`StudyRecord` per trace.
+
+Execution and caching are delegated to :mod:`repro.core.executor`:
+``jobs > 1`` fans the per-trace measurements out over a process pool,
+and every finished record is stored in a content-addressed cache under
+``.cache/records/`` keyed by (trace fingerprint, machine config hash,
+engine suite, code version) — so interrupted studies resume, and
+editing one workload generator only recomputes its own traces.  A full
+study additionally writes the aggregate ``.cache/study_seed<seed>.json``
+snapshot that the experiment and benchmark modules load in one read.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.sim.network import UnsupportedTraceError
 from repro.trace.features import extract_features
 from repro.trace.trace import TraceSet
 from repro.util.rng import DEFAULT_SEED
-from repro.workloads.suite import build_trace, corpus_specs
+from repro.workloads.suite import corpus_specs
 
 __all__ = ["ToolRun", "StudyRecord", "run_study", "load_or_run_study", "study_cache_path"]
 
@@ -77,8 +84,19 @@ class StudyRecord:
         diff = self.diff_total()
         return None if diff is None else diff > threshold
 
-    def to_json(self) -> dict:
+    def to_json(self, canonical: bool = False) -> dict:
+        """JSON image of the record.
+
+        ``canonical=True`` drops every tool's ``walltime`` — the only
+        nondeterministic field (it times the *meter*, not the modeled
+        application), so canonical payloads are bitwise-identical across
+        serial/parallel runs and repeated runs with the same seed.
+        """
         out = asdict(self)
+        if canonical:
+            out["mfact"].pop("walltime", None)
+            for sim in out["sims"].values():
+                sim.pop("walltime", None)
         return out
 
     @classmethod
@@ -147,27 +165,41 @@ def run_study(
     limit: Optional[int] = None,
     progress: Optional[Callable[[int, StudyRecord], None]] = None,
     lint_gate: bool = False,
+    jobs: int = 1,
+    cache_root: Optional[Path] = None,
+    manifest_path: Optional[Path] = None,
 ) -> List[StudyRecord]:
     """Build the corpus and measure every trace with all four tools.
 
-    ``lint_gate=True`` statically vets each trace before replay and
-    raises :class:`~repro.analysis.lint.LintGateError` on the first
-    structurally broken one (opt-in: the synthetic corpus is clean by
-    construction, but imported or hand-edited traces may not be).
+    ``jobs`` measurement processes run concurrently (``jobs=1`` keeps
+    the historical in-process path); results are identical either way.
+    ``cache_root`` enables the per-record cache at that directory
+    (``None`` recomputes everything).  Failures are isolated: a record
+    whose replay raises — including a lint rejection under
+    ``lint_gate=True`` — is dropped from the returned list and reported
+    in the run manifest (written to ``manifest_path`` when given)
+    instead of killing the study.
     """
+    from repro.core.executor import execute_study
+
     specs = corpus_specs(seed)
     if limit is not None:
         specs = specs[:limit]
-    records: List[StudyRecord] = []
-    for spec in specs:
-        trace = build_trace(spec)
-        record = measure_trace(
-            trace, spec_index=spec.index, suite=spec.suite, lint_gate=lint_gate
-        )
-        records.append(record)
-        if progress:
-            progress(spec.index, record)
-    return records
+
+    def forward(index: int, outcome) -> None:
+        if progress and outcome.ok:
+            progress(index, outcome.record)
+
+    run = execute_study(
+        specs,
+        jobs=jobs,
+        cache_root=cache_root,
+        lint_gate=lint_gate,
+        progress=forward if progress else None,
+        manifest_path=manifest_path,
+        seed=seed,
+    )
+    return run.records
 
 
 def study_cache_path(seed: int = DEFAULT_SEED, root: Optional[Path] = None) -> Path:
@@ -181,15 +213,22 @@ def load_or_run_study(
     limit: Optional[int] = None,
     cache_root: Optional[Path] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[StudyRecord]:
     """Load cached study records, or run the study and cache it.
 
-    The cache is keyed by seed; a ``limit`` smaller than the cached
-    record count slices the cached list (the corpus order is
-    deterministic).
+    Two cache layers live under ``cache_root`` (default ``.cache/``):
+    the aggregate per-seed snapshot ``study_seed<seed>.json`` (one read
+    for the common load path) and the per-record content-addressed
+    store ``records/`` that the executor maintains — the layer that
+    makes interrupted or partially invalidated studies incremental.
+    ``use_cache=False`` bypasses both and recomputes from scratch.
+    ``jobs`` controls how many measurement processes run a cold study.
     """
-    path = study_cache_path(seed, cache_root)
-    if path.exists():
+    root = Path(cache_root) if cache_root is not None else Path(".cache")
+    path = study_cache_path(seed, root)
+    if use_cache and path.exists():
         data = json.loads(path.read_text())
         records = [StudyRecord.from_json(r) for r in data["records"]]
         if limit is None or limit <= len(records):
@@ -206,8 +245,14 @@ def load_or_run_study(
                 flush=True,
             )
 
-    records = run_study(seed, limit=limit, progress=progress)
-    if limit is None:
+    records = run_study(
+        seed,
+        limit=limit,
+        progress=progress,
+        jobs=jobs,
+        cache_root=(root / "records") if use_cache else None,
+    )
+    if use_cache and limit is None:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps({"seed": seed, "records": [r.to_json() for r in records]}))
     return records

@@ -33,6 +33,19 @@ def study_records(
     limit: Optional[int] = None,
     cache_root: Optional[Path] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[StudyRecord]:
-    """Study records (from cache when available)."""
-    return load_or_run_study(seed=seed, limit=limit, cache_root=cache_root, verbose=verbose)
+    """Study records (from cache when available).
+
+    ``jobs`` parallelizes a cold run across processes; ``use_cache=False``
+    skips both the aggregate snapshot and the per-record cache.
+    """
+    return load_or_run_study(
+        seed=seed,
+        limit=limit,
+        cache_root=cache_root,
+        verbose=verbose,
+        jobs=jobs,
+        use_cache=use_cache,
+    )

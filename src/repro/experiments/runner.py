@@ -2,10 +2,21 @@
 
 Run ``repro-experiments all`` (or ``python -m repro.experiments.runner``)
 to regenerate every table and figure of the paper.  Individual targets:
-``table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 section6``.
+``table1 table3 table4 fig1 fig2 fig3 fig4 fig5 section5b section6``
+plus the special targets ``table2`` (times the tools live), ``report``
+and ``audit``.
 
 The first run builds the 235-trace corpus and simulates it with all
-four tools (several minutes); results are cached under ``.cache/``.
+four tools; ``--jobs/-j N`` spreads that work over N processes
+(``-j 1``, the default, stays in-process).  Results are cached under
+``.cache/`` at two granularities: a per-record content-addressed store
+``.cache/records/`` keyed by (trace fingerprint, machine config hash,
+engine suite, code version) — which makes interrupted runs resumable
+and partial invalidation cheap — and the aggregate per-seed snapshot
+``.cache/study_seed<seed>.json`` read back by later runs.  Each run
+writes ``.cache/records/last_run_manifest.json`` describing per-record
+timing, cache hits and failures.  ``--no-cache`` bypasses every cache
+layer and recomputes from scratch.
 """
 
 from __future__ import annotations
@@ -63,7 +74,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--limit", type=int, default=None, help="only first N corpus traces")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="measurement processes for a cold study run (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the study snapshot and per-record caches; recompute everything",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     targets = args.targets
     if targets == ["all"] or "all" in targets:
         targets = list(EXPERIMENTS) + ["table2"]
@@ -76,7 +97,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     records = None
     if needs_records:
-        records = study_records(seed=args.seed, limit=args.limit, verbose=not args.quiet)
+        records = study_records(
+            seed=args.seed,
+            limit=args.limit,
+            verbose=not args.quiet,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
     table2_result = None
     for target in targets:
         print()

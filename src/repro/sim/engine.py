@@ -15,13 +15,27 @@ __all__ = ["EventEngine"]
 
 
 class EventEngine:
-    """Time-ordered callback executor."""
+    """Time-ordered callback executor.
+
+    Engines are process-local: the queue holds live closures, so an
+    engine can never cross a process boundary.  Parallel study workers
+    must return plain value objects (:class:`~repro.sim.results.SimResult`,
+    :class:`~repro.core.pipeline.StudyRecord`) instead — pickling an
+    engine raises immediately with a clear message rather than failing
+    deep inside :mod:`multiprocessing` with an opaque closure error.
+    """
 
     def __init__(self):
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0.0
         self.events_processed = 0
+
+    def __getstate__(self):
+        raise TypeError(
+            "EventEngine is not picklable (its queue holds live callbacks); "
+            "return SimResult/StudyRecord values from worker processes instead"
+        )
 
     @property
     def now(self) -> float:

@@ -8,11 +8,20 @@ Usage::
     python -m repro.trace.cli features trace.dmp
     python -m repro.trace.cli compress-stats trace.dmp
     python -m repro.trace.cli convert trace.dmp trace.bin   # ascii <-> binary
+    python -m repro.trace.cli measure a.dmp b.bin -j 4      # replay with all tools
+
+``measure`` runs the full four-tool measurement (MFACT plus the three
+simulation engines) on each given trace file, fanning out over
+``--jobs/-j`` worker processes (``-j 1``, the default, stays
+in-process) and memoizing results in the per-record cache under
+``.cache/records/`` (``--no-cache`` disables it).  One crashing replay
+is reported per-file and does not stop the others.
 
 Every subcommand returns a conventional exit code: ``0`` on success,
 ``1`` on a warning-level or usage failure, ``2`` on an error-level
 finding.  ``lint`` maps its exit code directly from the worst
-diagnostic severity (0 clean / 1 warnings / 2 errors).
+diagnostic severity (0 clean / 1 warnings / 2 errors); ``measure``
+returns ``2`` if any file failed to measure.
 """
 
 from __future__ import annotations
@@ -111,6 +120,38 @@ def _cmd_convert(trace, args) -> int:
     return EXIT_OK
 
 
+def _cmd_measure(args) -> int:
+    """Measure one or more trace files with all four tools."""
+    from repro.core.executor import DEFAULT_RECORD_CACHE, execute_traces
+
+    run = execute_traces(
+        args.paths,
+        jobs=args.jobs,
+        cache_root=None if args.no_cache else DEFAULT_RECORD_CACHE,
+    )
+    if args.as_json:
+        print(json.dumps(
+            {
+                "records": [r.to_json() for r in run.records],
+                "manifest": run.manifest.to_json(),
+            },
+            indent=2,
+        ))
+    else:
+        for entry, record in zip(
+            [e for e in run.manifest.entries if e.status == "ok"], run.records
+        ):
+            diff = record.diff_total()
+            diff_text = f"{100 * diff:6.2f}%" if diff is not None else "   n/a"
+            source = "cache" if entry.cache_hit else f"{entry.walltime:.2f}s"
+            print(f"{record.name:34s} DIFF={diff_text} class={record.mfact_class:22s} "
+                  f"[{source}]")
+        for failure in run.manifest.failures:
+            first_line = failure.error.splitlines()[0] if failure.error else "unknown error"
+            print(f"{failure.name}: FAILED: {first_line}", file=sys.stderr)
+    return EXIT_ERROR if run.manifest.failures else EXIT_OK
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
@@ -123,22 +164,42 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.trace.cli", description=__doc__)
-    parser.add_argument("command", choices=sorted(_COMMANDS))
-    parser.add_argument("path", help="trace file (.dmp ascii or .bin binary)")
-    parser.add_argument("output", nargs="?", default=None,
-                        help="output path for the convert command")
+    parser.add_argument("command", choices=sorted(_COMMANDS) + ["measure"])
+    parser.add_argument("paths", nargs="+", metavar="path",
+                        help="trace file(s) (.dmp ascii or .bin binary); convert "
+                             "takes input then output, measure accepts several")
     parser.add_argument("--max-block", type=int, default=128,
                         help="compression search window (compress-stats)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit machine-readable output (lint)")
+                        help="emit machine-readable output (lint, measure)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for measure (default 1: in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the per-record result cache (measure)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return EXIT_WARN
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "convert":
+        if len(args.paths) != 2:
+            print("convert needs an input and an output path", file=sys.stderr)
+            return EXIT_WARN
+        args.output = args.paths[1]
+    else:
+        args.output = None
+        if len(args.paths) != 1:
+            print(f"{args.command} takes exactly one trace file", file=sys.stderr)
+            return EXIT_WARN
+    path = args.paths[0]
     try:
-        if args.path.endswith(".bin"):
-            trace = read_trace_binary(args.path)
+        if path.endswith(".bin"):
+            trace = read_trace_binary(path)
         else:
-            trace = read_trace(args.path)
+            trace = read_trace(path)
     except OSError as exc:
-        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
         return EXIT_WARN
     return _COMMANDS[args.command](trace, args)
 

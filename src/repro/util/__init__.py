@@ -1,5 +1,13 @@
-"""Shared utilities: units, deterministic RNG streams, statistics, validation."""
+"""Shared utilities: units, RNG streams, statistics, validation,
+content hashing and the executor run-manifest schema."""
 
+from repro.util.fingerprint import (
+    code_version,
+    machine_config_hash,
+    record_cache_key,
+    trace_fingerprint,
+)
+from repro.util.manifest import MANIFEST_VERSION, ManifestEntry, RunManifest
 from repro.util.rng import DEFAULT_SEED, substream
 from repro.util.stats import ecdf, fraction_within, percentile_of, trimmed_mean
 from repro.util.units import (
@@ -20,6 +28,13 @@ from repro.util.validation import check_nonnegative, check_positive, check_rank,
 __all__ = [
     "DEFAULT_SEED",
     "substream",
+    "code_version",
+    "machine_config_hash",
+    "record_cache_key",
+    "trace_fingerprint",
+    "MANIFEST_VERSION",
+    "ManifestEntry",
+    "RunManifest",
     "ecdf",
     "fraction_within",
     "percentile_of",

@@ -1,0 +1,130 @@
+"""Run-manifest schema for the parallel study executor.
+
+Every executor run emits one :class:`RunManifest`: a JSON document with
+one :class:`ManifestEntry` per attempted record, capturing what the run
+actually did — cache hit or miss, wall-clock cost, which worker
+processed it, and a diagnostic for every failure.  The manifest is the
+observability surface of the study pipeline: a warm-cache re-run shows
+100% hits, a crashed replay shows up as a ``failed`` entry instead of
+killing the study, and an interrupted run's manifest lists exactly the
+records that still completed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["MANIFEST_VERSION", "ManifestEntry", "RunManifest"]
+
+#: Schema version stamped into every manifest file.
+MANIFEST_VERSION = 1
+
+#: Allowed per-record statuses.
+_STATUSES = ("ok", "failed")
+
+
+@dataclass
+class ManifestEntry:
+    """Outcome of one record's measurement attempt.
+
+    ``status`` is ``"ok"`` (a record was produced, freshly computed or
+    from cache) or ``"failed"`` (the replay raised; ``error`` holds the
+    diagnostic).  ``cache_hit`` distinguishes the two ``ok`` paths.
+    ``worker`` is the operating-system pid of the process that handled
+    the record (the parent pid on the serial path).
+    """
+
+    name: str
+    spec_index: int
+    key: str
+    status: str
+    cache_hit: bool
+    walltime: float
+    worker: int
+    error: str = ""
+
+    def __post_init__(self):
+        if self.status not in _STATUSES:
+            raise ValueError(f"status must be one of {_STATUSES}, got {self.status!r}")
+
+
+@dataclass
+class RunManifest:
+    """Everything one executor run did, record by record."""
+
+    seed: Optional[int] = None
+    jobs: int = 1
+    engines: List[str] = field(default_factory=list)
+    code_version: str = ""
+    interrupted: bool = False
+    entries: List[ManifestEntry] = field(default_factory=list)
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Records served from the cache."""
+        return sum(1 for e in self.entries if e.status == "ok" and e.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        """Records computed fresh."""
+        return sum(1 for e in self.entries if e.status == "ok" and not e.cache_hit)
+
+    @property
+    def failures(self) -> List[ManifestEntry]:
+        """Entries whose measurement raised."""
+        return [e for e in self.entries if e.status == "failed"]
+
+    @property
+    def total_walltime(self) -> float:
+        """Summed per-record wall-clock time (CPU-seconds across workers)."""
+        return sum(e.walltime for e in self.entries)
+
+    def hit_rate(self) -> float:
+        """Fraction of successful records served from cache (0 when empty)."""
+        ok = self.hits + self.misses
+        return self.hits / ok if ok else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["version"] = MANIFEST_VERSION
+        out["summary"] = {
+            "records": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "failed": len(self.failures),
+            "total_walltime": self.total_walltime,
+        }
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunManifest":
+        version = data.get("version", MANIFEST_VERSION)
+        if version != MANIFEST_VERSION:
+            raise ValueError(f"unsupported manifest version {version}")
+        return cls(
+            seed=data.get("seed"),
+            jobs=data.get("jobs", 1),
+            engines=list(data.get("engines", [])),
+            code_version=data.get("code_version", ""),
+            interrupted=bool(data.get("interrupted", False)),
+            entries=[ManifestEntry(**e) for e in data.get("entries", [])],
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        """Load a manifest written by :meth:`write`."""
+        return cls.from_json(json.loads(Path(path).read_text()))

@@ -31,7 +31,14 @@ from repro.workloads.doe import DOE_APPS, generate_doe
 from repro.workloads.npb import NPB_APPS, generate_npb
 from repro.workloads.synthesis import synthesize_ground_truth
 
-__all__ = ["TraceSpec", "corpus_specs", "build_trace", "build_corpus", "CORPUS_SIZE"]
+__all__ = [
+    "TraceSpec",
+    "corpus_specs",
+    "mini_corpus_specs",
+    "build_trace",
+    "build_corpus",
+    "CORPUS_SIZE",
+]
 
 CORPUS_SIZE = 235
 
@@ -248,6 +255,49 @@ def corpus_specs(seed: int = DEFAULT_SEED) -> List[TraceSpec]:
     assert sum(pool.values()) == 0, f"rank pool not exhausted: {dict(pool)}"
     assert sum(s.use_threads for s in specs) == 19
     assert sum(s.use_comm_split for s in specs) == 54
+    return specs
+
+
+#: Apps cycled by :func:`mini_corpus_specs` (a mix of both suites and
+#: communication profiles, all cheap at single-digit rank counts).
+_MINI_APPS: Tuple[Tuple[str, str, float], ...] = (
+    ("CG", "NPB", 0.30),
+    ("EP", "NPB", 0.02),
+    ("IS", "NPB", 0.45),
+    ("MG", "NPB", 0.20),
+    ("LULESH", "DOE", 0.08),
+    ("CR", "DOE", 0.50),
+    ("MINIFE", "DOE", 0.10),
+    ("NEKBONE", "DOE", 0.35),
+)
+
+
+def mini_corpus_specs(
+    count: int = 12, seed: int = DEFAULT_SEED, nranks: int = 8
+) -> List[TraceSpec]:
+    """A scaled-down corpus: ``count`` cheap traces at ``nranks`` ranks.
+
+    Same spec/build machinery as the real corpus but sized for executor
+    scaling experiments and fast tests — each trace builds and measures
+    in well under a second.
+    """
+    specs = []
+    for i in range(count):
+        app, suite, comm_target = _MINI_APPS[i % len(_MINI_APPS)]
+        specs.append(
+            TraceSpec(
+                index=i,
+                app=app,
+                suite=suite,
+                nranks=nranks,
+                machine=_MACHINE_CYCLE[i % len(_MACHINE_CYCLE)],
+                seed=seed + i,
+                scale=0.05,
+                comm_target=comm_target,
+                imbalance=0.05,
+                ranks_per_node=max(1, nranks // 2),
+            )
+        )
     return specs
 
 

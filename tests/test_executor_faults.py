@@ -1,0 +1,109 @@
+"""Fault-injection tests for the executor's failure isolation.
+
+A poisoned trace (via :func:`repro.workloads.synthesis.inject_defect`)
+must degrade to a ``failed`` manifest entry carrying the diagnostic
+while every healthy record completes, and an interrupt mid-study must
+leave a cache that the next run resumes from.
+"""
+
+import pytest
+
+from repro.core.executor import MANIFEST_NAME, RecordCache, execute_study
+from repro.util.manifest import RunManifest
+from repro.workloads.suite import mini_corpus_specs
+
+SEED = 23
+N = 6
+
+
+@pytest.fixture()
+def specs():
+    return mini_corpus_specs(N, seed=SEED)
+
+
+class TestFailureIsolation:
+    def test_poisoned_trace_fails_alone(self, specs, tmp_path):
+        root = tmp_path / "records"
+        run = execute_study(
+            specs,
+            jobs=1,
+            cache_root=root,
+            lint_gate=True,
+            defects={2: "deadlock"},
+            seed=SEED,
+        )
+        assert len(run.records) == N - 1
+        assert [r.spec_index for r in run.records] == [0, 1, 3, 4, 5]
+        assert len(run.failures) == 1
+        failure = run.failures[0]
+        assert failure.spec_index == 2
+        assert failure.status == "failed"
+        assert "LintGateError" in failure.error
+        # The failure is a diagnostic, not a cached result.
+        assert len(RecordCache(root)) == N - 1
+
+    def test_poisoned_trace_fails_alone_in_parallel(self, specs):
+        run = execute_study(
+            specs,
+            jobs=2,
+            cache_root=None,
+            lint_gate=True,
+            defects={0: "unmatched-send", 4: "byte-mismatch"},
+            seed=SEED,
+        )
+        assert [r.spec_index for r in run.records] == [1, 2, 3, 5]
+        assert {f.spec_index for f in run.failures} == {0, 4}
+        for failure in run.failures:
+            assert failure.error, "failed entries must carry a diagnostic"
+
+    def test_manifest_records_failures(self, specs, tmp_path):
+        root = tmp_path / "records"
+        execute_study(
+            specs, jobs=1, cache_root=root, lint_gate=True,
+            defects={1: "deadlock"}, seed=SEED,
+        )
+        manifest = RunManifest.read(root / MANIFEST_NAME)
+        statuses = {e.spec_index: e.status for e in manifest.entries}
+        assert statuses[1] == "failed"
+        assert sum(1 for s in statuses.values() if s == "ok") == N - 1
+        assert manifest.to_json()["summary"]["failed"] == 1
+
+    def test_healthy_rerun_after_failure_only_recomputes_the_failure(self, specs, tmp_path):
+        root = tmp_path / "records"
+        execute_study(
+            specs, jobs=1, cache_root=root, lint_gate=True,
+            defects={3: "deadlock"}, seed=SEED,
+        )
+        healthy = execute_study(specs, jobs=1, cache_root=root, lint_gate=True, seed=SEED)
+        assert not healthy.failures
+        assert healthy.manifest.hits == N - 1
+        assert healthy.manifest.misses == 1
+        assert len(healthy.records) == N
+
+
+class TestInterruptResumability:
+    def test_ctrl_c_mid_study_leaves_a_resumable_cache(self, specs, tmp_path):
+        root = tmp_path / "records"
+        done = []
+
+        def interrupt_after_three(index, outcome):
+            done.append(index)
+            if len(done) == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            execute_study(
+                specs, jobs=1, cache_root=root,
+                progress=interrupt_after_three, seed=SEED,
+            )
+        # Completed records are already on disk; the manifest says so.
+        assert len(RecordCache(root)) == 3
+        manifest = RunManifest.read(root / MANIFEST_NAME)
+        assert manifest.interrupted
+        assert len(manifest.entries) == 3
+
+        resumed = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        assert resumed.manifest.hits == 3
+        assert resumed.manifest.misses == N - 3
+        assert len(resumed.records) == N
+        assert not resumed.manifest.interrupted
