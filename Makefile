@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test bench clean-cache
+.PHONY: check lint test chaos bench clean-cache
 
 check: lint test
 
@@ -13,6 +13,11 @@ lint:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Deterministic fault-injection suite: hung/crashed workers, flaky
+# records, cache corruption, quarantine, serial==parallel equivalence.
+chaos:
+	$(PYTHON) -m pytest tests/test_resilience.py tests/test_executor_faults.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -20,6 +20,14 @@ produces and consumes it.  Three repository invariants are enforced:
     kinds must cover all of ``COLLECTIVE_KINDS``, a table of p2p kinds
     all of ``P2P_KINDS``, and a mixed table every ``OpKind`` member.
     A partially filled table silently drops ops at runtime.
+``src/error-swallow``
+    In the measurement-critical packages (``repro/core/``,
+    ``repro/sim/``) a broad handler — ``except Exception``,
+    ``except BaseException`` or a bare ``except:`` — must either
+    re-raise or turn the failure into a structured record (a
+    ``Diagnostic``, ``ManifestEntry``, ``RecordOutcome`` or
+    ``PoolWorkerError``).  A broad handler that does neither silently
+    converts a measurement failure into wrong study data.
 
 Run standalone with ``python -m repro.analysis.srclint [path ...]`` or
 via the pytest wrapper in ``tests/test_srclint.py`` (tier-1).
@@ -184,7 +192,76 @@ def _check_opkind_tables(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
             )
 
 
-_SRC_CHECKS = (_check_unseeded_rng, _check_float_time_eq, _check_opkind_tables)
+#: Packages where swallowing an exception corrupts study results.
+_SWALLOW_SCOPE = re.compile(r"(^|/)repro/(core|sim)/")
+
+#: Identifiers that count as "recording the failure": constructing any
+#: of these (or calling a helper named after one) turns the exception
+#: into structured data instead of losing it.
+_RECORDER_TOKENS = ("diagnostic", "manifestentry", "outcome", "workererror")
+
+
+def _broad_handler_type(handler: ast.ExceptHandler) -> Optional[str]:
+    """The broad exception name a handler catches, or None if it's narrow."""
+    if handler.type is None:
+        return "bare except"
+    names = []
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = _dotted(node)
+        if name in ("Exception", "BaseException"):
+            names.append(name)
+    return names[0] if names else None
+
+
+def _handler_records_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or builds a structured record."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        ident = None
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        if ident is not None:
+            flat = ident.lower().replace("_", "")
+            if any(token in flat for token in _RECORDER_TOKENS):
+                return True
+    return False
+
+
+def _check_error_swallow(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
+    if not _SWALLOW_SCOPE.search(rel):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            caught = _broad_handler_type(handler)
+            if caught is None:
+                continue
+            if _handler_records_failure(handler):
+                continue
+            yield Diagnostic(
+                "src/error-swallow",
+                Severity.ERROR,
+                f"broad handler ({caught}) neither re-raises nor records "
+                "the failure",
+                location=f"{rel}:{handler.lineno}",
+                hint="re-raise, or capture the exception in a Diagnostic/"
+                "ManifestEntry/RecordOutcome so it reaches the manifest",
+            )
+
+
+_SRC_CHECKS = (
+    _check_unseeded_rng,
+    _check_float_time_eq,
+    _check_opkind_tables,
+    _check_error_swallow,
+)
 
 
 def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:

@@ -3,33 +3,41 @@
 The paper's campaign replays every corpus trace through four tools.
 Each (trace, machine, engine-suite, code-version) measurement is
 independent, so the study is embarrassingly parallel: this module fans
-:func:`repro.core.pipeline.measure_trace` out over a
-:class:`concurrent.futures.ProcessPoolExecutor` and memoizes every
-finished :class:`~repro.core.pipeline.StudyRecord` in a
+:func:`repro.core.pipeline.measure_trace` out over a watchdog-supervised
+worker pool (:class:`repro.core.resilience.WorkerPool`) and memoizes
+every finished :class:`~repro.core.pipeline.StudyRecord` in a
 content-addressed cache under ``.cache/records/``.
 
 Properties the executor guarantees:
 
 * **Determinism** — a parallel run (``jobs > 1``) produces records
   identical to the serial run; results are reassembled in corpus
-  order regardless of completion order.
+  order regardless of completion order.  This holds even under a
+  seeded fault plan (:mod:`repro.util.faults`): retries, backoff
+  delays and ladder steps depend only on (record, attempt), never on
+  scheduling.
 * **Incrementality** — each record is cached the moment it finishes,
-  keyed by :func:`repro.util.fingerprint.record_cache_key`.  Editing a
-  workload generator changes only its traces' fingerprints, so a
-  re-run recomputes only the affected records; editing any engine
-  changes the code version and recomputes everything.
-* **Resumability** — interrupting a run (Ctrl-C) loses only records
-  that were in flight; completed records are already on disk and a
-  re-run turns them into cache hits.
-* **Failure isolation** — one crashing replay becomes a ``failed``
-  manifest entry carrying the exception, while the remaining records
-  complete.
+  keyed by :func:`repro.util.fingerprint.record_cache_key`; cached
+  files carry a checksum, so corruption is detected on read (counted
+  as ``cache_corrupt``, the bad file deleted, the record recomputed).
+* **Resumability** — interrupting a run (Ctrl-C, including during a
+  retry backoff wait) loses only records that were in flight.
+* **Bounded failure** — a crashing replay retries with exponential
+  backoff (:class:`~repro.core.resilience.RetryPolicy`); a replay that
+  blows its wall/event budget — or a worker the parent watchdog had to
+  kill — falls down the engine-degradation ladder
+  (packet → packet-flow → flow → mfact-only) with the loss annotated
+  on the record; a trace that fails every attempt at every step lands
+  in the quarantine registry and is skipped (with reason) next run.
 * **Observability** — every run emits a
-  :class:`~repro.util.manifest.RunManifest` with per-record timing,
-  cache hit/miss, worker pid and failure diagnostics.
+  :class:`~repro.util.manifest.RunManifest` (schema v2) with per-record
+  timing, cache hit/miss/corrupt, attempts, backoffs, ladder state,
+  worker pid and failure diagnostics.
 
 ``jobs=1`` runs entirely in-process (no pool, no pickling), preserving
-the pipeline's historical serial path.
+the pipeline's historical serial path; hard worker hangs can only be
+watchdog-killed under ``jobs > 1``, but cooperative in-engine budgets
+protect both paths.
 """
 
 from __future__ import annotations
@@ -40,14 +48,26 @@ import json
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import SIM_MODELS, StudyRecord, measure_trace
+from repro.core.resilience import (
+    LADDER,
+    MFACT_ONLY_STEP,
+    PoolWorkerError,
+    QuarantineEntry,
+    QuarantineRegistry,
+    RetryPolicy,
+    WorkerPool,
+    classify_failure,
+    step_engines,
+)
 from repro.machines.presets import get_machine
 from repro.trace.trace import TraceSet
+from repro.util.budget import Budget
+from repro.util.faults import maybe_inject
 from repro.util.fingerprint import (
     code_version,
     machine_config_hash,
@@ -59,6 +79,7 @@ from repro.util.manifest import ManifestEntry, RunManifest
 
 __all__ = [
     "DEFAULT_RECORD_CACHE",
+    "DEFAULT_RETRY_POLICY",
     "MANIFEST_NAME",
     "RecordCache",
     "RecordOutcome",
@@ -74,6 +95,25 @@ DEFAULT_RECORD_CACHE = Path(".cache") / "records"
 
 #: Manifest filename written inside the record cache after each run.
 MANIFEST_NAME = "last_run_manifest.json"
+
+#: Retry policy applied when the caller does not pass one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: The parent watchdog allows this much of the cooperative budget
+#: (plus a constant) before concluding a worker is hung and killing it.
+_WATCHDOG_FACTOR = 1.5
+_WATCHDOG_SLACK = 1.0
+
+#: Interruptible sleep used for retry backoff (module-level so tests
+#: can stub it to simulate Ctrl-C during a backoff wait).
+_sleep = time.sleep
+
+
+def _watchdog_deadline(record_timeout: Optional[float]) -> Optional[float]:
+    """Parent-side kill deadline for one attempt (None = no watchdog)."""
+    if record_timeout is None:
+        return None
+    return record_timeout * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
 
 
 def trace_cache_key(trace: TraceSet, engines: Sequence[str] = SIM_MODELS) -> str:
@@ -117,7 +157,11 @@ class RecordCache:
 
     One JSON file per record, named by its cache key; writes go through
     a temporary file plus :func:`os.replace` so an interrupted run never
-    leaves a torn entry behind.
+    leaves a torn entry behind.  Each file is a verified envelope
+    ``{"key", "checksum", "record"}``: reads check the stored key
+    against the requested one and the payload against its checksum, so
+    a corrupted or misfiled entry is *detected* (and deleted) rather
+    than silently treated as a miss or — worse — returned as data.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_RECORD_CACHE):
@@ -127,20 +171,56 @@ class RecordCache:
         """Cache file backing ``key``."""
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> Optional[StudyRecord]:
-        """The cached record for ``key``, or None (corrupt files miss)."""
+    @staticmethod
+    def _checksum(payload_text: str) -> str:
+        return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+
+    def get_checked(self, key: str) -> Tuple[Optional[StudyRecord], str]:
+        """The record for ``key`` plus a status: ``hit``/``miss``/``corrupt``.
+
+        A ``corrupt`` entry (unparseable file, missing envelope, key or
+        checksum mismatch) is deleted so the slot recomputes cleanly.
+        """
         path = self.path(key)
         try:
-            return StudyRecord.from_json(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
+            raw = path.read_bytes()
+        except OSError:
+            return None, "miss"
+        try:
+            # json.loads decodes the bytes itself; undecodable garbage
+            # raises UnicodeDecodeError, a ValueError — i.e. "corrupt".
+            envelope = json.loads(raw)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("key") != key
+                or "record" not in envelope
+            ):
+                raise ValueError("missing or mismatched cache envelope")
+            payload_text = json.dumps(envelope["record"], sort_keys=True)
+            if self._checksum(payload_text) != envelope.get("checksum"):
+                raise ValueError("cache checksum mismatch")
+            return StudyRecord.from_json(envelope["record"]), "hit"
+        except (ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None, "corrupt"
+
+    def get(self, key: str) -> Optional[StudyRecord]:
+        """The cached record for ``key``, or None (corrupt entries deleted)."""
+        record, _ = self.get_checked(key)
+        return record
 
     def put(self, key: str, record: StudyRecord) -> None:
-        """Atomically persist ``record`` under ``key``."""
+        """Atomically persist ``record`` under ``key`` (with checksum)."""
         self.root.mkdir(parents=True, exist_ok=True)
+        payload_text = json.dumps(record.to_json(), sort_keys=True)
+        envelope = {
+            "key": key,
+            "checksum": self._checksum(payload_text),
+            "record": record.to_json(),
+        }
         path = self.path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record.to_json()))
+        tmp.write_text(json.dumps(envelope))
         os.replace(tmp, path)
 
     # The spec index: ``<spec_key>.key`` files mapping a spec-level key
@@ -187,7 +267,7 @@ class RecordCache:
 
 @dataclass
 class RecordOutcome:
-    """What happened to one work item (returned by workers)."""
+    """What happened to one measurement *attempt* (returned by workers)."""
 
     index: int
     name: str
@@ -197,22 +277,12 @@ class RecordOutcome:
     walltime: float
     worker: int
     error: str = ""
+    failure_kind: str = ""
+    cache_corrupt: bool = False
 
     @property
     def ok(self) -> bool:
         return self.record is not None
-
-    def manifest_entry(self) -> ManifestEntry:
-        return ManifestEntry(
-            name=self.name,
-            spec_index=self.index,
-            key=self.key,
-            status="ok" if self.ok else "failed",
-            cache_hit=self.cache_hit,
-            walltime=self.walltime,
-            worker=self.worker,
-            error=self.error,
-        )
 
 
 @dataclass
@@ -230,7 +300,18 @@ class StudyRun:
 # -- worker-side measurement --------------------------------------------------
 #
 # Work items must cross a process boundary, so everything a worker needs
-# is a plain picklable tuple: (index, spec-or-path, options dict).
+# is a plain picklable tuple: (index, spec-or-path, options dict).  The
+# options carry the attempt's resilience state (attempt number, ladder
+# step, engine set, budgets) so faults, budgets and cache keys depend
+# only on values, never on which process runs the attempt.
+
+
+def _attempt_budget(options: dict) -> Optional[Budget]:
+    timeout = options.get("record_timeout")
+    events = options.get("event_budget")
+    if timeout is None and events is None:
+        return None
+    return Budget(wall_seconds=timeout, events=events)
 
 
 def _measure_built_trace(
@@ -238,16 +319,22 @@ def _measure_built_trace(
     name: str,
     trace: TraceSet,
     suite: str,
-    cache_root: Optional[str],
-    lint_gate: bool,
-    engines: Tuple[str, ...],
+    options: dict,
+    corrupt_seen: bool = False,
 ) -> RecordOutcome:
     """Fingerprint, cache-check, and (on a miss) measure one trace."""
     t0 = time.perf_counter()
+    attempt = options.get("attempt", 0)
+    engines = tuple(options.get("engines", SIM_MODELS))
     key = trace_cache_key(trace, engines)
+    cache_root = options.get("cache_root")
     cache = RecordCache(cache_root) if cache_root else None
+    corrupt = corrupt_seen
     if cache is not None:
-        hit = cache.get(key)
+        maybe_inject("cache", index=index, attempt=attempt, cache_path=cache.path(key))
+        hit, status = cache.get_checked(key)
+        if status == "corrupt":
+            corrupt = True
         if hit is not None:
             return RecordOutcome(
                 index=index,
@@ -257,8 +344,19 @@ def _measure_built_trace(
                 cache_hit=True,
                 walltime=time.perf_counter() - t0,
                 worker=os.getpid(),
+                cache_corrupt=corrupt,
             )
-    record = measure_trace(trace, spec_index=index, suite=suite, lint_gate=lint_gate)
+    record = measure_trace(
+        trace,
+        spec_index=index,
+        suite=suite,
+        lint_gate=options.get("lint_gate", False),
+        engines=engines,
+        budget=_attempt_budget(options),
+        ladder_step=options.get("ladder_step", 0),
+        degraded_from=options.get("degraded_from", ""),
+        attempt=attempt,
+    )
     if cache is not None:
         cache.put(key, record)
     return RecordOutcome(
@@ -269,6 +367,23 @@ def _measure_built_trace(
         cache_hit=False,
         walltime=time.perf_counter() - t0,
         worker=os.getpid(),
+        cache_corrupt=corrupt,
+    )
+
+
+def _failure_outcome(
+    index: int, name: str, exc: Exception, t0: float
+) -> RecordOutcome:
+    return RecordOutcome(
+        index=index,
+        name=name,
+        key="",
+        record=None,
+        cache_hit=False,
+        walltime=time.perf_counter() - t0,
+        worker=os.getpid(),
+        error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+        failure_kind=classify_failure(exc),
     )
 
 
@@ -282,16 +397,27 @@ def _run_spec_task(task: Tuple[int, object, dict]) -> RecordOutcome:
 
     index, spec, options = task
     t0 = time.perf_counter()
-    cache_root = options.get("cache_root")
+    attempt = options.get("attempt", 0)
     engines = tuple(options.get("engines", SIM_MODELS))
+    cache_root = options.get("cache_root")
     clean = not options.get("defects", {}).get(spec.index)
     try:
+        maybe_inject("record", index=spec.index, attempt=attempt, engines=engines)
+        corrupt = False
         if cache_root and clean:
             cache = RecordCache(cache_root)
             spec_key = spec_cache_key(spec, engines)
             record_key = cache.get_alias(spec_key)
             if record_key:
-                record = cache.get(record_key)
+                maybe_inject(
+                    "cache",
+                    index=spec.index,
+                    attempt=attempt,
+                    cache_path=cache.path(record_key),
+                )
+                record, status = cache.get_checked(record_key)
+                if status == "corrupt":
+                    corrupt = True
                 if record is not None:
                     return RecordOutcome(
                         index=spec.index,
@@ -313,24 +439,14 @@ def _run_spec_task(task: Tuple[int, object, dict]) -> RecordOutcome:
             name=spec.name,
             trace=trace,
             suite=spec.suite,
-            cache_root=cache_root,
-            lint_gate=options.get("lint_gate", False),
-            engines=engines,
+            options=options,
+            corrupt_seen=corrupt,
         )
         if cache_root and clean and outcome.ok:
             RecordCache(cache_root).put_alias(spec_cache_key(spec, engines), outcome.key)
         return outcome
     except Exception as exc:
-        return RecordOutcome(
-            index=spec.index,
-            name=spec.name,
-            key="",
-            record=None,
-            cache_hit=False,
-            walltime=time.perf_counter() - t0,
-            worker=os.getpid(),
-            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
-        )
+        return _failure_outcome(spec.index, spec.name, exc, t0)
 
 
 def _run_path_task(task: Tuple[int, object, dict]) -> RecordOutcome:
@@ -342,71 +458,333 @@ def _run_path_task(task: Tuple[int, object, dict]) -> RecordOutcome:
     path = str(path)
     t0 = time.perf_counter()
     try:
+        maybe_inject(
+            "record",
+            index=index,
+            attempt=options.get("attempt", 0),
+            engines=tuple(options.get("engines", SIM_MODELS)),
+        )
         trace = read_trace_binary(path) if path.endswith(".bin") else read_trace(path)
         return _measure_built_trace(
             index=index,
             name=trace.name,
             trace=trace,
             suite=trace.metadata.get("suite", ""),
-            cache_root=options.get("cache_root"),
-            lint_gate=options.get("lint_gate", False),
-            engines=tuple(options.get("engines", SIM_MODELS)),
+            options=options,
         )
     except Exception as exc:
-        return RecordOutcome(
-            index=index,
-            name=path,
-            key="",
-            record=None,
-            cache_hit=False,
-            walltime=time.perf_counter() - t0,
-            worker=os.getpid(),
-            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
-        )
+        return _failure_outcome(index, path, exc, t0)
 
 
 # -- driver -------------------------------------------------------------------
 
 
+@dataclass
+class _TaskState:
+    """Parent-side resilience state of one record across its attempts."""
+
+    index: int
+    name: str
+    payload: object
+    quarantine_key: str = ""
+    attempt: int = 0  # attempt within the current ladder step
+    step: int = 0
+    total_attempts: int = 0
+    backoffs: List[float] = field(default_factory=list)
+    degraded_from: str = ""
+    walltime: float = 0.0
+    cache_corrupt: bool = False
+    last_error: str = ""
+    last_kind: str = ""
+    last_worker: int = 0
+
+
+class _Driver:
+    """Shared retry/degrade/quarantine resolution for both drive paths."""
+
+    def __init__(
+        self,
+        worker: Callable[[Tuple[int, object, dict]], RecordOutcome],
+        options: dict,
+        manifest: RunManifest,
+        policy: RetryPolicy,
+        quarantine: Optional[QuarantineRegistry],
+        progress: Optional[Callable[[int, RecordOutcome], None]],
+    ):
+        self.worker = worker
+        self.options = options
+        self.manifest = manifest
+        self.policy = policy
+        self.quarantine = quarantine
+        self.progress = progress
+        self.base_engines: Tuple[str, ...] = tuple(options.get("engines", SIM_MODELS))
+        self.outcomes: Dict[int, RecordOutcome] = {}
+
+    # -- task construction -------------------------------------------------
+
+    def task_for(self, state: _TaskState) -> Tuple[int, object, dict]:
+        options = dict(self.options)
+        options["attempt"] = state.attempt
+        options["ladder_step"] = state.step
+        options["degraded_from"] = state.degraded_from
+        options["engines"] = step_engines(state.step, self.base_engines)
+        return (state.index, state.payload, options)
+
+    # -- pre-dispatch quarantine check -------------------------------------
+
+    def quarantined_entry(self, state: _TaskState) -> Optional[ManifestEntry]:
+        """Skip entry when a previous run quarantined this record."""
+        if self.quarantine is None or not state.quarantine_key:
+            return None
+        hit = self.quarantine.get(state.quarantine_key)
+        if hit is None:
+            return None
+        return ManifestEntry(
+            name=state.name,
+            spec_index=state.index,
+            key="",
+            status="quarantined",
+            cache_hit=False,
+            walltime=0.0,
+            worker=os.getpid(),
+            error=f"quarantined: {hit.reason}",
+            attempts=0,
+            quarantined=True,
+        )
+
+    # -- outcome resolution ------------------------------------------------
+
+    def resolve(self, state: _TaskState, outcome: RecordOutcome):
+        """Returns ``("done"|"fail"|"quarantine", None)`` or ``("retry", delay)``
+        or ``("degrade", None)`` after updating ``state``."""
+        state.total_attempts += 1
+        state.walltime += outcome.walltime
+        state.cache_corrupt = state.cache_corrupt or outcome.cache_corrupt
+        state.last_worker = outcome.worker
+        if outcome.ok:
+            return "done", None
+        kind = outcome.failure_kind or "permanent"
+        state.last_error = outcome.error
+        state.last_kind = kind
+        if kind == "permanent":
+            return "fail", None
+        if kind == "transient" and state.attempt + 1 < self.policy.max_attempts:
+            delay = self.policy.delay(
+                self.manifest.seed, state.name, state.total_attempts - 1
+            )
+            state.backoffs.append(delay)
+            state.attempt += 1
+            return "retry", delay
+        # Budget/timeout (retrying would blow the same budget) or a
+        # transient failure that exhausted its attempts: step down the
+        # engine-degradation ladder, skipping steps whose engine set is
+        # unchanged for this run's suite.
+        current = step_engines(state.step, self.base_engines)
+        step = state.step
+        while step < MFACT_ONLY_STEP:
+            step += 1
+            if step_engines(step, self.base_engines) != current:
+                break
+        if step == state.step:  # already at mfact-only: nowhere left to fall
+            return "quarantine", None
+        if not state.degraded_from:
+            state.degraded_from = next(
+                (m for m in LADDER if m in current), current[0] if current else ""
+            )
+        state.step = step
+        state.attempt = 0
+        return "degrade", None
+
+    # -- manifest/bookkeeping ----------------------------------------------
+
+    def finish(self, state: _TaskState, outcome: RecordOutcome, action: str) -> None:
+        """Record the final entry for ``state`` and fire progress."""
+        if action == "done":
+            record = outcome.record
+            entry = ManifestEntry(
+                name=state.name,
+                spec_index=state.index,
+                key=outcome.key,
+                status="ok",
+                cache_hit=outcome.cache_hit,
+                walltime=state.walltime,
+                worker=outcome.worker,
+                attempts=state.total_attempts,
+                backoffs=list(state.backoffs),
+                ladder_step=record.ladder_step,
+                degraded_from=record.degraded_from,
+                cache_corrupt=state.cache_corrupt,
+            )
+        else:
+            # "quarantine" means every recovery path was exhausted; the
+            # entry is only *marked* quarantined when a registry exists
+            # to actually enforce the skip on the next run.
+            quarantined = (
+                action == "quarantine"
+                and self.quarantine is not None
+                and bool(state.quarantine_key)
+            )
+            reason = ""
+            if quarantined:
+                reason = (
+                    f"failed {state.total_attempts} attempts across "
+                    f"ladder steps 0..{state.step}"
+                )
+                self.quarantine.add(
+                    QuarantineEntry(
+                        key=state.quarantine_key,
+                        name=state.name,
+                        reason=reason,
+                        attempts=state.total_attempts,
+                        ladder_step=state.step,
+                        error=state.last_error.splitlines()[0]
+                        if state.last_error
+                        else "",
+                    )
+                )
+            entry = ManifestEntry(
+                name=state.name,
+                spec_index=state.index,
+                key="",
+                status="failed",
+                cache_hit=False,
+                walltime=state.walltime,
+                worker=state.last_worker,
+                error=(f"quarantined: {reason}\n" if quarantined else "")
+                + state.last_error,
+                attempts=state.total_attempts,
+                backoffs=list(state.backoffs),
+                ladder_step=state.step,
+                degraded_from=state.degraded_from,
+                failure_kind=state.last_kind,
+                cache_corrupt=state.cache_corrupt,
+                quarantined=quarantined,
+            )
+        self.outcomes[state.index] = outcome
+        self.manifest.entries.append(entry)
+        if self.progress:
+            self.progress(state.index, outcome)
+
+    def synthetic_failure(self, state: _TaskState, kind: str, detail) -> RecordOutcome:
+        """Outcome standing in for a worker the pool killed or lost."""
+        if kind == "timeout":
+            error = f"watchdog killed hung worker after {detail:.2f}s"
+            walltime = float(detail)
+        else:
+            error = str(detail)
+            walltime = 0.0
+        return RecordOutcome(
+            index=state.index,
+            name=state.name,
+            key="",
+            record=None,
+            cache_hit=False,
+            walltime=walltime,
+            worker=state.last_worker,
+            error=error,
+            failure_kind="timeout" if kind == "timeout" else "transient",
+        )
+
+
+def _drive_serial(driver: _Driver, states: List[_TaskState]) -> None:
+    for state in states:
+        skip = driver.quarantined_entry(state)
+        if skip is not None:
+            driver.manifest.entries.append(skip)
+            continue
+        while True:
+            outcome = driver.worker(driver.task_for(state))
+            if isinstance(outcome, PoolWorkerError):  # pragma: no cover - pool only
+                outcome = driver.synthetic_failure(state, "crashed", outcome.error)
+            action, delay = driver.resolve(state, outcome)
+            if action == "retry":
+                _sleep(delay)
+                continue
+            if action == "degrade":
+                continue
+            driver.finish(state, outcome, action)
+            break
+
+
+def _drive_parallel(
+    driver: _Driver, states: List[_TaskState], jobs: int, record_timeout: Optional[float]
+) -> None:
+    deadline = _watchdog_deadline(record_timeout)
+    pool = WorkerPool(driver.worker, jobs)
+    ready: List[_TaskState] = []
+    for state in states:
+        skip = driver.quarantined_entry(state)
+        if skip is not None:
+            driver.manifest.entries.append(skip)
+        else:
+            ready.append(state)
+    waiting: List[Tuple[float, _TaskState]] = []  # (due monotonic, state)
+    active: Dict[int, _TaskState] = {}
+    try:
+        while ready or waiting or active:
+            now = time.monotonic()
+            due = [w for w in waiting if w[0] <= now]
+            if due:
+                waiting = [w for w in waiting if w[0] > now]
+                ready.extend(state for _, state in due)
+            while ready and pool.idle_count() > 0:
+                state = ready.pop(0)
+                pool.dispatch(state.index, driver.task_for(state), deadline=deadline)
+                active[state.index] = state
+            if not active:
+                if waiting:
+                    _sleep(max(0.0, min(0.05, waiting[0][0] - time.monotonic())))
+                continue
+            for kind, task_id, detail in pool.poll(timeout=0.05):
+                state = active.pop(task_id)
+                if kind == "done" and not isinstance(detail, PoolWorkerError):
+                    outcome = detail
+                elif kind == "done":
+                    outcome = driver.synthetic_failure(state, "crashed", detail.error)
+                else:
+                    outcome = driver.synthetic_failure(state, kind, detail)
+                action, delay = driver.resolve(state, outcome)
+                if action == "retry":
+                    waiting.append((time.monotonic() + delay, state))
+                    waiting.sort(key=lambda w: w[0])
+                elif action == "degrade":
+                    ready.append(state)
+                else:
+                    driver.finish(state, outcome, action)
+    finally:
+        pool.shutdown()
+
+
 def _drive(
-    tasks: List[Tuple[int, object, dict]],
+    states: List[_TaskState],
     worker: Callable[[Tuple[int, object, dict]], RecordOutcome],
     jobs: int,
     manifest: RunManifest,
+    options: dict,
+    policy: RetryPolicy,
+    quarantine: Optional[QuarantineRegistry],
     progress: Optional[Callable[[int, RecordOutcome], None]],
 ) -> Dict[int, RecordOutcome]:
-    """Run ``worker`` over ``tasks``, serially or via a process pool.
+    """Run the resilient measurement loop, serially or via the pool.
 
-    On :class:`KeyboardInterrupt` the partial outcome map is preserved
-    on ``manifest`` (marked ``interrupted``) before the exception
-    propagates — together with the per-record cache this is what makes
+    On :class:`KeyboardInterrupt` — including one delivered during a
+    retry backoff wait — the partial outcome map is preserved on
+    ``manifest`` (marked ``interrupted``) before the exception
+    propagates; together with the per-record cache this is what makes
     interrupted studies resumable.
     """
-    outcomes: Dict[int, RecordOutcome] = {}
-
-    def note(outcome: RecordOutcome) -> None:
-        outcomes[outcome.index] = outcome
-        manifest.entries.append(outcome.manifest_entry())
-        if progress:
-            progress(outcome.index, outcome)
-
+    driver = _Driver(worker, options, manifest, policy, quarantine, progress)
     try:
         if jobs <= 1:
-            for task in tasks:
-                note(worker(task))
+            _drive_serial(driver, states)
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                pending = {pool.submit(worker, task) for task in tasks}
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        note(future.result())
+            _drive_parallel(driver, states, jobs, options.get("record_timeout"))
     except KeyboardInterrupt:
         manifest.interrupted = True
         raise
     finally:
         manifest.entries.sort(key=lambda e: e.spec_index)
-    return outcomes
+    return driver.outcomes
 
 
 def _finish(
@@ -425,6 +803,20 @@ def _finish(
     return StudyRun(records=records, manifest=manifest)
 
 
+def _quarantine_registry(
+    quarantine_root: Optional[Union[str, Path]],
+    cache_root: Optional[Union[str, Path]],
+) -> Optional[QuarantineRegistry]:
+    """Registry under ``quarantine_root``; derived from the cache layout
+    (``<cache parent>/quarantine``) when caching is on and no explicit
+    root is given; None (disabled) for cacheless runs."""
+    if quarantine_root is not None:
+        return QuarantineRegistry(quarantine_root)
+    if cache_root is not None:
+        return QuarantineRegistry(Path(cache_root).parent / "quarantine")
+    return None
+
+
 def execute_study(
     specs: Sequence,
     jobs: int = 1,
@@ -435,6 +827,10 @@ def execute_study(
     progress: Optional[Callable[[int, RecordOutcome], None]] = None,
     manifest_path: Optional[Union[str, Path]] = None,
     seed: Optional[int] = None,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine_root: Optional[Union[str, Path]] = None,
 ) -> StudyRun:
     """Measure every :class:`~repro.workloads.suite.TraceSpec` in ``specs``.
 
@@ -446,27 +842,54 @@ def execute_study(
     ``progress`` is called with ``(spec_index, outcome)`` as records
     finish (completion order under ``jobs > 1``).
 
+    Resilience: ``record_timeout`` (wall seconds) and ``event_budget``
+    bound every attempt — enforced cooperatively in-engine and, under
+    ``jobs > 1``, by a watchdog that kills hung workers; over-budget
+    records fall down the engine-degradation ladder instead of
+    failing.  Transient failures retry under ``retry`` (default
+    :data:`DEFAULT_RETRY_POLICY`) with deterministic backoff.  Records
+    that exhaust every attempt at every ladder step are quarantined
+    under ``quarantine_root`` (default: ``quarantine/`` beside the
+    record cache) and skipped on later runs.
+
     Returns a :class:`StudyRun`; failed records appear only in its
     manifest.  The manifest is also written to ``manifest_path``
     (default: ``<cache_root>/last_run_manifest.json`` when caching).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     options = {
         "cache_root": str(cache_root) if cache_root is not None else None,
         "lint_gate": lint_gate,
         "engines": tuple(engines),
         "defects": dict(defects or {}),
+        "record_timeout": record_timeout,
+        "event_budget": event_budget,
     }
     manifest = RunManifest(
         seed=seed,
         jobs=jobs,
         engines=list(engines),
         code_version=code_version(),
+        retry_policy=policy.to_json(),
+        record_timeout=record_timeout,
+        event_budget=event_budget,
     )
-    tasks = [(spec.index, spec, options) for spec in specs]
+    quarantine = _quarantine_registry(quarantine_root, cache_root)
+    states = [
+        _TaskState(
+            index=spec.index,
+            name=spec.name,
+            payload=spec,
+            quarantine_key=spec_cache_key(spec, tuple(engines)),
+        )
+        for spec in specs
+    ]
     try:
-        outcomes = _drive(tasks, _run_spec_task, jobs, manifest, progress)
+        outcomes = _drive(
+            states, _run_spec_task, jobs, manifest, options, policy, quarantine, progress
+        )
     except KeyboardInterrupt:
         _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
         raise
@@ -481,24 +904,53 @@ def execute_traces(
     engines: Sequence[str] = SIM_MODELS,
     progress: Optional[Callable[[int, RecordOutcome], None]] = None,
     manifest_path: Optional[Union[str, Path]] = None,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine_root: Optional[Union[str, Path]] = None,
 ) -> StudyRun:
     """Measure already-serialized trace files (``.dmp`` ASCII or ``.bin``).
 
-    Same parallelism, caching, isolation and manifest semantics as
-    :func:`execute_study`, but the work items are file paths — the CLI
-    entry point ``python -m repro.trace.cli measure``.
+    Same parallelism, caching, isolation, budget/retry/ladder/quarantine
+    and manifest semantics as :func:`execute_study`, but the work items
+    are file paths — the CLI entry point
+    ``python -m repro.trace.cli measure``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     options = {
         "cache_root": str(cache_root) if cache_root is not None else None,
         "lint_gate": lint_gate,
         "engines": tuple(engines),
+        "record_timeout": record_timeout,
+        "event_budget": event_budget,
     }
-    manifest = RunManifest(jobs=jobs, engines=list(engines), code_version=code_version())
-    tasks = [(i, str(p), options) for i, p in enumerate(paths)]
+    manifest = RunManifest(
+        jobs=jobs,
+        engines=list(engines),
+        code_version=code_version(),
+        retry_policy=policy.to_json(),
+        record_timeout=record_timeout,
+        event_budget=event_budget,
+    )
+    quarantine = _quarantine_registry(quarantine_root, cache_root)
+    states = []
+    for i, p in enumerate(paths):
+        digest = hashlib.sha256(str(Path(p).resolve()).encode("utf-8"))
+        digest.update(code_version().encode("utf-8"))
+        states.append(
+            _TaskState(
+                index=i,
+                name=str(p),
+                payload=str(p),
+                quarantine_key=f"path-{digest.hexdigest()}",
+            )
+        )
     try:
-        outcomes = _drive(tasks, _run_path_task, jobs, manifest, progress)
+        outcomes = _drive(
+            states, _run_path_task, jobs, manifest, options, policy, quarantine, progress
+        )
     except KeyboardInterrupt:
         _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
         raise

@@ -21,16 +21,19 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.lint import LintGateError, lint_trace
 from repro.core.difftotal import DIFF_THRESHOLD, diff_total
+from repro.core.resilience import LADDER, band_for_step
 from repro.machines.presets import get_machine
 from repro.mfact.logical_clock import model_trace
 from repro.sim.mpi_replay import simulate_trace
 from repro.sim.network import UnsupportedTraceError
 from repro.trace.features import extract_features
 from repro.trace.trace import TraceSet
+from repro.util.budget import Budget, BudgetExceeded, WallClockExceeded
+from repro.util.faults import maybe_inject
 from repro.util.rng import DEFAULT_SEED
 from repro.workloads.suite import corpus_specs
 
@@ -69,6 +72,14 @@ class StudyRecord:
     mfact_cs: bool = False
     sims: Dict[str, ToolRun] = field(default_factory=dict)
     features: Dict[str, float] = field(default_factory=dict)
+    # Engine-degradation annotations (empty/zero when measured at full
+    # detail): the most detailed engine given up on, the ladder step
+    # the record was finally measured at, and the expected |DIFFtotal|
+    # accuracy band at that step — so downstream tables and figures can
+    # flag degraded cells instead of silently mixing or dropping them.
+    degraded_from: str = ""
+    ladder_step: int = 0
+    expected_diff_band: str = ""
 
     # -- derived -----------------------------------------------------------
 
@@ -108,7 +119,15 @@ class StudyRecord:
 
 
 def measure_trace(
-    trace: TraceSet, spec_index: int = -1, suite: str = "", lint_gate: bool = False
+    trace: TraceSet,
+    spec_index: int = -1,
+    suite: str = "",
+    lint_gate: bool = False,
+    engines: Sequence[str] = SIM_MODELS,
+    budget: Optional[Budget] = None,
+    ladder_step: int = 0,
+    degraded_from: str = "",
+    attempt: int = 0,
 ) -> StudyRecord:
     """Run all four tools and feature extraction on one stamped trace.
 
@@ -117,6 +136,17 @@ def measure_trace(
     diagnostic raises :class:`~repro.analysis.lint.LintGateError`
     *before* any replay engine spends time on a trace that would fail
     or produce meaningless results mid-flight.
+
+    ``engines`` restricts which simulation models run (the executor's
+    degradation ladder passes the reduced suite; MFACT always runs).
+    ``budget`` bounds the whole record: each engine gets the wall time
+    remaining, and an engine exceeding it is marked failed while the
+    *cheaper* engines still run — an in-record step down the ladder,
+    annotated on the returned record.  ``ladder_step``/``degraded_from``
+    carry executor-level degradation into the record's annotations;
+    ``attempt`` is forwarded to the chaos harness
+    (:func:`repro.util.faults.maybe_inject`) so fault plans can scope
+    faults per attempt.
     """
     if lint_gate:
         report = lint_trace(trace)
@@ -145,9 +175,41 @@ def measure_trace(
     )
     record.mfact_class = report.classification.value
     record.mfact_cs = bool(report.communication_sensitive)
-    for model in SIM_MODELS:
+    wall_deadline = None
+    if budget is not None and budget.wall_seconds is not None:
+        wall_deadline = time.perf_counter() + budget.wall_seconds
+    step = ladder_step
+    degraded = degraded_from
+    for model in (m for m in SIM_MODELS if m in engines):
+        remaining = None
+        if wall_deadline is not None:
+            remaining = wall_deadline - time.perf_counter()
+            if remaining <= 0.0:
+                # The record budget is gone before this (cheaper) engine
+                # even started: give it up too and let MFACT stand.
+                record.sims[model] = ToolRun(
+                    completed=False, error="WallClockExceeded: record budget exhausted"
+                )
+                degraded = degraded or model
+                step = max(step, LADDER.index(model) + 1 if model in LADDER else step)
+                continue
         try:
-            result = simulate_trace(trace, machine, model)
+            maybe_inject(
+                "engine",
+                index=spec_index,
+                attempt=attempt,
+                engine=model,
+                wall_remaining=remaining,
+            )
+            result = simulate_trace(
+                trace,
+                machine,
+                model,
+                budget=Budget(
+                    wall_seconds=remaining,
+                    events=budget.events if budget is not None else None,
+                ),
+            )
             record.sims[model] = ToolRun(
                 completed=True,
                 total_time=result.total_time,
@@ -157,6 +219,29 @@ def measure_trace(
             )
         except UnsupportedTraceError as exc:
             record.sims[model] = ToolRun(completed=False, error=str(exc))
+        except BudgetExceeded as exc:
+            # Step down the ladder *inside* the attempt: mark this
+            # engine failed with the structured diagnostic and keep
+            # measuring with the cheaper engines.  Wall-clock messages
+            # embed elapsed seconds, which vary run to run; records must
+            # stay canonical across serial/parallel runs, so store a
+            # fixed text for those (event budgets are deterministic).
+            detail = (
+                "wall-clock record budget exceeded"
+                if isinstance(exc, WallClockExceeded)
+                else str(exc)
+            )
+            record.sims[model] = ToolRun(
+                completed=False,
+                error=f"{type(exc).__name__}: {detail}",
+                events=getattr(exc, "events_executed", 0),
+            )
+            degraded = degraded or model
+            if model in LADDER:
+                step = max(step, LADDER.index(model) + 1)
+    record.degraded_from = degraded
+    record.ladder_step = step
+    record.expected_diff_band = band_for_step(step) if degraded else ""
     return record
 
 
@@ -168,6 +253,9 @@ def run_study(
     jobs: int = 1,
     cache_root: Optional[Path] = None,
     manifest_path: Optional[Path] = None,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
+    retry=None,
 ) -> List[StudyRecord]:
     """Build the corpus and measure every trace with all four tools.
 
@@ -178,7 +266,11 @@ def run_study(
     whose replay raises — including a lint rejection under
     ``lint_gate=True`` — is dropped from the returned list and reported
     in the run manifest (written to ``manifest_path`` when given)
-    instead of killing the study.
+    instead of killing the study.  ``record_timeout`` (wall seconds)
+    and ``event_budget`` bound each record, with over-budget records
+    degrading down the engine ladder rather than failing; ``retry`` is
+    a :class:`~repro.core.resilience.RetryPolicy` for transient
+    failures (default: the executor's standard policy).
     """
     from repro.core.executor import execute_study
 
@@ -198,6 +290,9 @@ def run_study(
         progress=forward if progress else None,
         manifest_path=manifest_path,
         seed=seed,
+        record_timeout=record_timeout,
+        event_budget=event_budget,
+        retry=retry,
     )
     return run.records
 
@@ -215,6 +310,8 @@ def load_or_run_study(
     verbose: bool = False,
     jobs: int = 1,
     use_cache: bool = True,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
 ) -> List[StudyRecord]:
     """Load cached study records, or run the study and cache it.
 
@@ -251,6 +348,8 @@ def load_or_run_study(
         progress=progress,
         jobs=jobs,
         cache_root=(root / "records") if use_cache else None,
+        record_timeout=record_timeout,
+        event_budget=event_budget,
     )
     if use_cache and limit is None:
         path.parent.mkdir(parents=True, exist_ok=True)

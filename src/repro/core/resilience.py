@@ -1,0 +1,459 @@
+"""Resilient study execution: budgets, retries, degradation, quarantine.
+
+The paper's central trade-off — detailed simulation is accurate but can
+be orders of magnitude more expensive than MFACT modeling — becomes an
+operational policy here.  When a detailed replay blows its budget or
+keeps failing, the executor walks the **engine-degradation ladder**
+
+    packet  →  packet-flow  →  flow  →  mfact-only
+
+recording which engine was given up (``degraded_from``), the ladder
+step reached and the expected DIFFtotal accuracy band, so downstream
+tables can flag degraded cells instead of silently mixing or dropping
+them.  Four cooperating mechanisms:
+
+* :class:`~repro.util.budget.Budget` deadlines enforced in-engine
+  (cooperative checks raising :class:`BudgetExceeded` subclasses) and
+  by the parent-side watchdog in :class:`WorkerPool`, which kills and
+  replaces a hung worker process;
+* :class:`RetryPolicy` — exponential backoff with deterministic,
+  seed-derived jitter for transient failures (worker crash, ``OSError``,
+  cache races);
+* the degradation ladder (:data:`LADDER`, :func:`ladder_engines`);
+* a :class:`QuarantineRegistry` under ``.cache/quarantine/`` so a trace
+  that fails all attempts across all ladder steps is skipped (with its
+  reason) on subsequent runs rather than re-burning its budget.
+
+SST/Macro and CODES apply the same discipline to long simulations with
+event budgets and component-level fault models; this module brings it
+to the replay stack (see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.util.budget import (
+    Budget,
+    BudgetExceeded,
+    EventBudgetExceeded,
+    WallClockExceeded,
+)
+from repro.util.rng import substream
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "EventBudgetExceeded",
+    "WallClockExceeded",
+    "LADDER",
+    "MFACT_ONLY_STEP",
+    "EXPECTED_DIFF_BANDS",
+    "ladder_engines",
+    "step_engines",
+    "band_for_step",
+    "RetryPolicy",
+    "classify_failure",
+    "QuarantineEntry",
+    "QuarantineRegistry",
+    "DEFAULT_QUARANTINE",
+    "PoolWorkerError",
+    "WorkerPool",
+]
+
+# -- engine-degradation ladder ------------------------------------------------
+
+#: Simulation engines in decreasing detail (and cost) order.  Ladder
+#: step ``s`` keeps ``LADDER[s:]``; the step past the end is mfact-only.
+LADDER: Tuple[str, ...] = ("packet", "packet-flow", "flow")
+
+#: Ladder step at which no simulation engine runs at all.
+MFACT_ONLY_STEP = len(LADDER)
+
+#: Expected |DIFFtotal| accuracy band once the most detailed available
+#: engine is the one at that ladder step (paper Sections IV-V: the
+#: packet-flow engine stays within ~10% of the detailed packet replay,
+#: the flow model within ~20%, and MFACT alone is unbounded — that gap
+#: is exactly what DIFFtotal measures).
+EXPECTED_DIFF_BANDS: Tuple[str, ...] = ("reference", "<=10%", "<=20%", "unbounded")
+
+
+def ladder_engines(step: int) -> Tuple[str, ...]:
+    """Engines still allowed at ``step`` (most detailed first)."""
+    if step < 0:
+        raise ValueError(f"ladder step must be >= 0, got {step}")
+    return LADDER[step:]
+
+
+def step_engines(step: int, base: Sequence[str]) -> Tuple[str, ...]:
+    """``base`` engines surviving at ladder ``step``, in ``base`` order.
+
+    Preserving the caller's engine ordering keeps cache keys stable:
+    the suite component of a record key is the ordered engine tuple.
+    """
+    allowed = set(ladder_engines(step))
+    return tuple(m for m in base if m in allowed)
+
+
+def band_for_step(step: int) -> str:
+    """Expected DIFFtotal band label for ``step`` (clamped at mfact-only)."""
+    return EXPECTED_DIFF_BANDS[min(max(step, 0), MFACT_ONLY_STEP)]
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter for transient failures.
+
+    ``max_attempts`` caps attempts *per ladder step*; the delay before
+    attempt ``k`` (0-based count of completed attempts) is
+    ``min(max_delay, base_delay * multiplier**k)`` shrunk by up to
+    ``jitter`` of itself.  The jitter draw comes from a
+    :func:`repro.util.rng.substream` keyed by (seed, record name,
+    attempt), so serial and parallel runs — and re-runs — back off
+    identically; the policy is serialized into the run manifest.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, seed: Optional[int], name: str, attempt: int) -> float:
+        """Deterministic backoff before retrying ``name`` after ``attempt``."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = substream(seed or 0, "retry-backoff", name, attempt)
+        return raw * (1.0 - self.jitter * float(rng.random()))
+
+    def to_json(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_json(cls, data: Optional[dict]) -> "RetryPolicy":
+        return cls(**(data or {}))
+
+
+# -- failure classification ---------------------------------------------------
+
+#: Exception types worth retrying: environmental, usually self-healing.
+_TRANSIENT_TYPES = (OSError, EOFError, ConnectionError, InterruptedError)
+
+#: OSError subclasses that re-running cannot fix (a missing trace file
+#: will still be missing on attempt three).
+_PERMANENT_OS_TYPES = (
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Sort an exception into ``"budget"``, ``"transient"`` or ``"permanent"``.
+
+    Budget exceedances trigger the degradation ladder (retrying the
+    same engine would blow the same budget); transient failures retry
+    with backoff; everything else — lint rejections, malformed traces,
+    missing files, code bugs — fails immediately, because re-running
+    deterministic code on the same input cannot help.
+    """
+    from repro.util.faults import FaultInjected
+
+    if isinstance(exc, BudgetExceeded):
+        return "budget"
+    if isinstance(exc, FaultInjected):
+        return "transient" if exc.transient else "permanent"
+    if isinstance(exc, _PERMANENT_OS_TYPES):
+        return "permanent"
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return "transient"
+    return "permanent"
+
+
+# -- quarantine registry ------------------------------------------------------
+
+#: Default location of the quarantine registry.
+DEFAULT_QUARANTINE = Path(".cache") / "quarantine"
+
+
+@dataclass
+class QuarantineEntry:
+    """Why one trace is excluded from further study runs."""
+
+    key: str
+    name: str
+    reason: str
+    attempts: int = 0
+    ladder_step: int = 0
+    error: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "ladder_step": self.ladder_step,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "QuarantineEntry":
+        return cls(**data)
+
+
+class QuarantineRegistry:
+    """On-disk set of traces that exhausted every recovery path.
+
+    One JSON file per quarantined trace under ``root``, named by the
+    trace's stable identity key (the spec-level cache key for corpus
+    specs, a path digest for trace files).  Because the key includes
+    the measurement code version, editing the code naturally releases
+    old quarantine entries.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_QUARANTINE):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[QuarantineEntry]:
+        """The entry quarantining ``key``, or None (corrupt files ignored)."""
+        try:
+            return QuarantineEntry.from_json(json.loads(self.path(key).read_text()))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def add(self, entry: QuarantineEntry) -> None:
+        """Atomically persist ``entry``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(entry.key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry.to_json(), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    def discard(self, key: str) -> None:
+        self.path(key).unlink(missing_ok=True)
+
+    def entries(self) -> List[QuarantineEntry]:
+        """All quarantine entries, sorted by trace name."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            entry = self.get(path.stem)
+            if entry is not None:
+                out.append(entry)
+        return sorted(out, key=lambda e: e.name)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        count = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                count += 1
+        return count
+
+
+# -- watchdog worker pool -----------------------------------------------------
+
+
+@dataclass
+class PoolWorkerError:
+    """Structured record of a worker-side failure the pool itself caught."""
+
+    task_id: int
+    error: str
+
+
+def _pool_worker_main(worker_fn: Callable, conn) -> None:
+    """Child process loop: receive a task, run it, send the result back.
+
+    Each worker owns one duplex pipe — no locks are shared between
+    workers, so the parent can ``terminate()`` a hung sibling without
+    wedging anyone else's queue.
+    """
+    os.environ["REPRO_IN_WORKER"] = "1"
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if item is None:
+            return
+        task_id, payload = item
+        try:
+            result = worker_fn(payload)
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:
+            result = PoolWorkerError(task_id=task_id, error=f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send((task_id, result))
+        except (BrokenPipeError, OSError):
+            return
+
+
+@dataclass
+class _PoolSeat:
+    """One worker process and its private pipe."""
+
+    proc: multiprocessing.Process
+    conn: object
+    task_id: Optional[int] = None
+    started: float = 0.0
+    deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+
+class WorkerPool:
+    """Process pool with per-task deadlines and kill-and-replace recovery.
+
+    Unlike :class:`concurrent.futures.ProcessPoolExecutor`, every worker
+    gets its own pipe, so the parent can watchdog-kill a hung worker
+    (``terminate`` + replacement spawn) without poisoning shared queue
+    locks, and a worker that dies mid-task surfaces as a per-task
+    ``crashed`` event instead of a pool-wide ``BrokenProcessPool``.
+
+    :meth:`poll` yields ``(kind, task_id, detail)`` events where kind is
+    ``"done"`` (detail: the worker's return value or a
+    :class:`PoolWorkerError`), ``"crashed"`` (worker process died;
+    detail: description) or ``"timeout"`` (watchdog killed it; detail:
+    elapsed seconds).
+    """
+
+    def __init__(self, worker_fn: Callable, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._worker_fn = worker_fn
+        self._ctx = multiprocessing.get_context()
+        self._seats: List[_PoolSeat] = [self._spawn() for _ in range(jobs)]
+        self.kills = 0
+
+    def _spawn(self) -> _PoolSeat:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(self._worker_fn, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _PoolSeat(proc=proc, conn=parent_conn)
+
+    def idle_count(self) -> int:
+        return sum(1 for seat in self._seats if not seat.busy)
+
+    def active_count(self) -> int:
+        return sum(1 for seat in self._seats if seat.busy)
+
+    def dispatch(self, task_id: int, payload, deadline: Optional[float] = None) -> None:
+        """Hand ``payload`` to an idle worker (``deadline`` in seconds)."""
+        for seat in self._seats:
+            if not seat.busy:
+                seat.conn.send((task_id, payload))
+                seat.task_id = task_id
+                seat.started = time.monotonic()
+                seat.deadline = deadline
+                return
+        raise RuntimeError("dispatch called with no idle worker")
+
+    def _replace(self, seat: _PoolSeat) -> None:
+        """Kill ``seat``'s process and put a fresh worker in its place."""
+        seat.proc.terminate()
+        seat.proc.join(timeout=2.0)
+        if seat.proc.is_alive():  # pragma: no cover - terminate sufficed so far
+            seat.proc.kill()
+            seat.proc.join(timeout=2.0)
+        try:
+            seat.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._seats[self._seats.index(seat)] = self._spawn()
+        self.kills += 1
+
+    def poll(self, timeout: float = 0.05) -> List[Tuple[str, int, object]]:
+        """Collect finished/crashed/timed-out tasks (waits up to ``timeout``)."""
+        events: List[Tuple[str, int, object]] = []
+        busy = [seat for seat in self._seats if seat.busy]
+        conns = [seat.conn for seat in busy]
+        ready = multiprocessing.connection.wait(conns, timeout) if conns else []
+        for seat in busy:
+            if seat.conn not in ready:
+                continue
+            task_id = seat.task_id
+            try:
+                received_id, result = seat.conn.recv()
+            except (EOFError, OSError):
+                # The worker died mid-task (crash fault, OOM kill, ...).
+                code = seat.proc.exitcode
+                seat.task_id = None
+                self._replace(seat)
+                events.append(
+                    ("crashed", task_id, f"worker process died (exit code {code})")
+                )
+                continue
+            seat.task_id = None
+            seat.deadline = None
+            events.append(("done", received_id, result))
+        # Watchdog scan: kill and replace workers past their deadline.
+        now = time.monotonic()
+        for seat in list(self._seats):
+            if seat.busy and seat.deadline is not None:
+                elapsed = now - seat.started
+                if elapsed > seat.deadline:
+                    task_id = seat.task_id
+                    seat.task_id = None
+                    self._replace(seat)
+                    events.append(("timeout", task_id, elapsed))
+        return events
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful for idle seats, kill for busy ones)."""
+        for seat in self._seats:
+            try:
+                if seat.busy:
+                    seat.proc.terminate()
+                else:
+                    seat.conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for seat in self._seats:
+            seat.proc.join(timeout=2.0)
+            if seat.proc.is_alive():
+                seat.proc.kill()
+                seat.proc.join(timeout=2.0)
+            try:
+                seat.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._seats = []

@@ -35,11 +35,16 @@ def study_records(
     verbose: bool = False,
     jobs: int = 1,
     use_cache: bool = True,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
 ) -> List[StudyRecord]:
     """Study records (from cache when available).
 
     ``jobs`` parallelizes a cold run across processes; ``use_cache=False``
     skips both the aggregate snapshot and the per-record cache.
+    ``record_timeout`` (wall seconds) and ``event_budget`` bound every
+    record of a cold run; over-budget replays degrade down the engine
+    ladder with the loss annotated on the record (``degraded_from``).
     """
     return load_or_run_study(
         seed=seed,
@@ -48,4 +53,6 @@ def study_records(
         verbose=verbose,
         jobs=jobs,
         use_cache=use_cache,
+        record_timeout=record_timeout,
+        event_budget=event_budget,
     )

@@ -82,6 +82,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache", action="store_true",
         help="bypass the study snapshot and per-record caches; recompute everything",
     )
+    parser.add_argument(
+        "--record-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock budget per record on a cold run; over-budget replays "
+             "degrade down the engine ladder (annotated, never silently mixed)",
+    )
+    parser.add_argument(
+        "--event-budget", type=int, default=None, metavar="N",
+        help="engine event budget per record on a cold run",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -103,6 +112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             verbose=not args.quiet,
             jobs=args.jobs,
             use_cache=not args.no_cache,
+            record_timeout=args.record_timeout,
+            event_budget=args.event_budget,
         )
     table2_result = None
     for target in targets:

@@ -4,14 +4,32 @@ A minimal PDES-style engine: a time-ordered event queue with stable FIFO
 ordering for simultaneous events.  Network models and the MPI replay
 layer schedule callbacks; the engine guarantees callbacks run in
 non-decreasing virtual time.
+
+Budget enforcement is cooperative: :meth:`EventEngine.run` checks the
+event count on every event and the wall clock every ``check_every``
+events, raising :class:`~repro.util.budget.EventBudgetExceeded` or
+:class:`~repro.util.budget.WallClockExceeded` so a runaway or hung
+replay surfaces as a structured, recoverable failure instead of
+stalling a study worker forever.  Network models with long scheduling
+loops outside the event loop call :meth:`EventEngine.check_budget` at
+checkpoints so the deadline also covers time spent *between* events.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+import time
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["EventEngine"]
+from repro.util.budget import EventBudgetExceeded, WallClockExceeded
+
+__all__ = ["EventEngine", "DEFAULT_MAX_EVENTS"]
+
+#: Runaway-replay backstop when no explicit event budget is given.
+DEFAULT_MAX_EVENTS = 200_000_000
+
+#: Events between wall-clock checks inside the run loop.
+_WALL_CHECK_EVERY = 1024
 
 
 class EventEngine:
@@ -29,6 +47,9 @@ class EventEngine:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0.0
+        self._wall_deadline: Optional[float] = None
+        self._wall_budget = 0.0
+        self._wall_start = 0.0
         self.events_processed = 0
 
     def __getstate__(self):
@@ -42,6 +63,32 @@ class EventEngine:
         """Current virtual time (time of the event being processed)."""
         return self._now
 
+    def set_wall_deadline(self, wall_seconds: Optional[float]) -> None:
+        """Arm (or disarm with ``None``) the cooperative wall-clock budget.
+
+        The deadline starts counting immediately; both the run loop and
+        :meth:`check_budget` enforce it.
+        """
+        if wall_seconds is None:
+            self._wall_deadline = None
+            return
+        self._wall_budget = float(wall_seconds)
+        self._wall_start = time.perf_counter()
+        self._wall_deadline = self._wall_start + self._wall_budget
+
+    def check_budget(self) -> None:
+        """Raise :class:`WallClockExceeded` if the armed deadline passed.
+
+        Network models call this from long scheduling loops (per-packet
+        fan-out) that spend wall time outside the event loop proper.
+        """
+        if self._wall_deadline is not None and time.perf_counter() > self._wall_deadline:
+            raise WallClockExceeded(
+                elapsed=time.perf_counter() - self._wall_start,
+                budget=self._wall_budget,
+                sim_time_reached=self._now,
+            )
+
     def schedule(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at virtual time ``when``.
 
@@ -53,15 +100,29 @@ class EventEngine:
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, callback))
 
-    def run(self, max_events: int = 200_000_000) -> None:
-        """Drain the queue; raises if ``max_events`` is exceeded (runaway)."""
+    def run(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        """Drain the queue, enforcing the event and wall-clock budgets.
+
+        Raises :class:`EventBudgetExceeded` when more than ``max_events``
+        events are processed and :class:`WallClockExceeded` when an
+        armed wall deadline (see :meth:`set_wall_deadline`) passes —
+        the wall check runs every ``_WALL_CHECK_EVERY`` events so its
+        cost is amortized away.
+        """
         queue = self._queue
         processed = 0
-        while queue:
-            when, _, callback = heapq.heappop(queue)
-            self._now = when
-            callback()
-            processed += 1
-            if processed > max_events:
-                raise RuntimeError(f"event budget of {max_events} exceeded at t={when}")
-        self.events_processed += processed
+        check_wall = self._wall_deadline is not None
+        try:
+            while queue:
+                when, _, callback = heapq.heappop(queue)
+                self._now = when
+                callback()
+                processed += 1
+                if processed > max_events:
+                    raise EventBudgetExceeded(
+                        events_executed=processed, sim_time_reached=when, budget=max_events
+                    )
+                if check_wall and processed % _WALL_CHECK_EVERY == 0:
+                    self.check_budget()
+        finally:
+            self.events_processed += processed

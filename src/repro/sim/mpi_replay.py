@@ -20,7 +20,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple, Type
 
 from repro.collectives.algorithms import schedule_collective
 from repro.machines.config import MachineConfig
-from repro.sim.engine import EventEngine
+from repro.sim.engine import DEFAULT_MAX_EVENTS, EventEngine
+from repro.util.budget import Budget
 from repro.sim.flow import FlowModel
 from repro.sim.network import Fabric, NetworkModel, UnsupportedTraceError
 from repro.sim.packet import PacketModel
@@ -266,12 +267,22 @@ class SimReplay:
             self._ip[rank] += 1
         self._done[rank] = True
 
-    def run(self) -> SimResult:
-        """Simulate the whole trace and report times and tool cost."""
+    def run(self, budget: Optional[Budget] = None) -> SimResult:
+        """Simulate the whole trace and report times and tool cost.
+
+        ``budget`` caps the attempt: its wall deadline is armed before
+        the initial rank advance (so model scheduling loops are covered
+        too) and its event cap bounds the engine run; exceeding either
+        raises a :class:`~repro.util.budget.BudgetExceeded` subclass.
+        """
         wall_start = time.perf_counter()
+        budget = budget if budget is not None else Budget()
+        self.engine.set_wall_deadline(budget.wall_seconds)
         for rank in range(self.original.nranks):
             self._advance(rank)
-        self.engine.run()
+        self.engine.run(
+            max_events=budget.events if budget.events is not None else DEFAULT_MAX_EVENTS
+        )
         if not all(self._done):
             stuck = [r for r, d in enumerate(self._done) if not d]
             raise RuntimeError(
@@ -295,7 +306,15 @@ class SimReplay:
 
 
 def simulate_trace(
-    trace: TraceSet, machine: MachineConfig, model: str = "packet-flow", **model_kwargs
+    trace: TraceSet,
+    machine: MachineConfig,
+    model: str = "packet-flow",
+    budget: Optional[Budget] = None,
+    **model_kwargs,
 ) -> SimResult:
-    """Convenience wrapper: simulate ``trace`` on ``machine`` with ``model``."""
-    return SimReplay(trace, machine, model, **model_kwargs).run()
+    """Convenience wrapper: simulate ``trace`` on ``machine`` with ``model``.
+
+    ``budget`` (wall seconds / event cap) bounds the attempt; see
+    :meth:`SimReplay.run`.
+    """
+    return SimReplay(trace, machine, model, **model_kwargs).run(budget=budget)

@@ -28,6 +28,11 @@ DEFAULT_PACKET_SIZE = 1 * KIB
 #: Intra-node transfers move at this multiple of the NIC bandwidth.
 LOCAL_BANDWIDTH_FACTOR = 4.0
 
+#: Packets scheduled between cooperative wall-budget checks.  A huge
+#: message fans out one event per packet *before* the engine loop runs,
+#: so the per-event deadline check alone cannot bound that loop.
+BUDGET_CHECKPOINT_PACKETS = 4096
+
 
 class PacketModel(NetworkModel):
     """Store-and-forward packet simulation with exclusive channels."""
@@ -63,12 +68,15 @@ class PacketModel(NetworkModel):
             done = start + self.fabric.machine.software_overhead + nbytes / self._local_rate
             self.engine.schedule(done, lambda: deliver(done))
             return
+        self.engine.check_budget()
         npackets = max(1, -(-nbytes // self.packet_size))
         state = {"remaining": npackets, "last": start}
         inj = route[0]
         inj_serial = self._inj_serial
         last_packet = npackets - 1
         for idx in range(npackets):
+            if idx and idx % BUDGET_CHECKPOINT_PACKETS == 0:
+                self.engine.check_budget()
             size = (
                 self.packet_size
                 if idx < last_packet or nbytes % self.packet_size == 0

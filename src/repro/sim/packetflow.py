@@ -64,6 +64,7 @@ class PacketFlowModel(NetworkModel):
 
     def _launch(self, route, nbytes, deliver):
         """One event per message; per-chunk congestion sampling inside."""
+        self.engine.check_budget()
         now = self.engine.now
         nchunks = max(1, -(-nbytes // self.chunk_size))
         self.packets_sent += nchunks

@@ -15,13 +15,20 @@ simulation engines) on each given trace file, fanning out over
 ``--jobs/-j`` worker processes (``-j 1``, the default, stays
 in-process) and memoizing results in the per-record cache under
 ``.cache/records/`` (``--no-cache`` disables it).  One crashing replay
-is reported per-file and does not stop the others.
+is reported per-file and does not stop the others.  Each record can be
+budget-bounded: ``--record-timeout`` caps one record's wall seconds and
+``--event-budget`` its engine events — over-budget replays step down
+the engine-degradation ladder rather than failing — while
+``--max-attempts`` caps the retries a transient failure gets per
+ladder step.
 
 Every subcommand returns a conventional exit code: ``0`` on success,
 ``1`` on a warning-level or usage failure, ``2`` on an error-level
-finding.  ``lint`` maps its exit code directly from the worst
-diagnostic severity (0 clean / 1 warnings / 2 errors); ``measure``
-returns ``2`` if any file failed to measure.
+finding, ``3`` when a budget or deadline was the cause.  ``lint`` maps
+its exit code directly from the worst diagnostic severity (0 clean /
+1 warnings / 2 errors); ``measure`` returns ``2`` if any file failed
+to measure, or ``3`` if every failure was a budget/timeout exhaustion
+(the study is fine, the budget was not).
 """
 
 from __future__ import annotations
@@ -44,6 +51,9 @@ __all__ = ["main"]
 EXIT_OK = 0
 EXIT_WARN = 1
 EXIT_ERROR = 2
+#: Every failure was a budget/deadline exhaustion (typed
+#: :class:`~repro.util.budget.BudgetExceeded` or a watchdog kill).
+EXIT_BUDGET = 3
 
 
 def _cmd_info(trace, args) -> int:
@@ -123,11 +133,18 @@ def _cmd_convert(trace, args) -> int:
 def _cmd_measure(args) -> int:
     """Measure one or more trace files with all four tools."""
     from repro.core.executor import DEFAULT_RECORD_CACHE, execute_traces
+    from repro.core.resilience import RetryPolicy
 
+    retry = None
+    if args.max_attempts is not None:
+        retry = RetryPolicy(max_attempts=args.max_attempts)
     run = execute_traces(
         args.paths,
         jobs=args.jobs,
         cache_root=None if args.no_cache else DEFAULT_RECORD_CACHE,
+        record_timeout=args.record_timeout,
+        event_budget=args.event_budget,
+        retry=retry,
     )
     if args.as_json:
         print(json.dumps(
@@ -149,7 +166,12 @@ def _cmd_measure(args) -> int:
         for failure in run.manifest.failures:
             first_line = failure.error.splitlines()[0] if failure.error else "unknown error"
             print(f"{failure.name}: FAILED: {first_line}", file=sys.stderr)
-    return EXIT_ERROR if run.manifest.failures else EXIT_OK
+    failures = run.manifest.failures
+    if not failures:
+        return EXIT_OK
+    if all(f.failure_kind in ("budget", "timeout") for f in failures):
+        return EXIT_BUDGET
+    return EXIT_ERROR
 
 
 _COMMANDS = {
@@ -176,6 +198,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes for measure (default 1: in-process)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the per-record result cache (measure)")
+    parser.add_argument("--record-timeout", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget per record; over-budget replays "
+                             "degrade down the engine ladder (measure)")
+    parser.add_argument("--event-budget", type=int, default=None, metavar="N",
+                        help="engine event budget per record (measure)")
+    parser.add_argument("--max-attempts", type=int, default=None, metavar="K",
+                        help="retry attempts per ladder step for transient "
+                             "failures (measure; default 3)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)

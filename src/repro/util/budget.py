@@ -1,0 +1,94 @@
+"""Resource budgets for bounded record measurement.
+
+A :class:`Budget` caps what one measurement attempt may consume: wall
+clock seconds and simulator events.  The discrete-event engine enforces
+both cooperatively (:meth:`repro.sim.engine.EventEngine.run` checks the
+event count on every event and the wall clock periodically), raising a
+structured :class:`BudgetExceeded` subclass that the study executor
+turns into an engine-degradation step instead of a lost record.
+
+These types live in :mod:`repro.util` (not :mod:`repro.core.resilience`,
+which re-exports them) so the simulation layer can raise them without
+importing the study pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "EventBudgetExceeded",
+    "WallClockExceeded",
+]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-attempt resource caps (``None`` means unbounded).
+
+    ``wall_seconds`` bounds one measurement attempt's wall-clock time;
+    ``events`` bounds the number of simulator events a single engine run
+    may process.
+    """
+
+    wall_seconds: Optional[float] = None
+    events: Optional[int] = None
+
+    def bounded(self) -> bool:
+        """Whether any cap is active."""
+        return self.wall_seconds is not None or self.events is not None
+
+    def to_json(self) -> dict:
+        return {"wall_seconds": self.wall_seconds, "events": self.events}
+
+    @classmethod
+    def from_json(cls, data: Optional[dict]) -> "Budget":
+        data = data or {}
+        return cls(wall_seconds=data.get("wall_seconds"), events=data.get("events"))
+
+
+class BudgetExceeded(RuntimeError):
+    """A measurement attempt blew one of its resource budgets.
+
+    Subclasses carry which budget tripped; remains a ``RuntimeError``
+    so pre-budget callers catching runaway replays keep working.
+    """
+
+
+class EventBudgetExceeded(BudgetExceeded):
+    """The engine processed more events than the budget allows.
+
+    Carries the number of events executed and the virtual time reached
+    when the budget tripped, so diagnostics (and the degradation ladder)
+    can tell a runaway replay from one that was merely close to done.
+    """
+
+    def __init__(self, events_executed: int, sim_time_reached: float, budget: int):
+        super().__init__(
+            f"event budget of {budget} exceeded at t={sim_time_reached} "
+            f"({events_executed} events executed)"
+        )
+        self.events_executed = events_executed
+        self.sim_time_reached = sim_time_reached
+        self.budget = budget
+
+
+class WallClockExceeded(BudgetExceeded):
+    """The engine ran past its wall-clock deadline.
+
+    Raised by the engine's periodic cooperative check (and by model
+    checkpoints inside long scheduling loops), carrying the elapsed
+    seconds and the deadline that was missed.
+    """
+
+    def __init__(self, elapsed: float, budget: float, sim_time_reached: float = 0.0):
+        super().__init__(
+            f"wall-clock budget of {budget:.3f}s exceeded after {elapsed:.3f}s "
+            f"(virtual time {sim_time_reached})"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+        self.sim_time_reached = sim_time_reached

@@ -1,0 +1,263 @@
+"""Deterministic chaos harness for the resilient study executor.
+
+A :class:`FaultPlan` is a seeded, serializable list of faults keyed by
+record index; the executor's worker entrypoints call
+:func:`maybe_inject` at fixed hook points (record start, per-engine,
+cache read), and the plan decides — purely from ``(index, attempt,
+engine)`` — whether a fault fires.  Because nothing is sampled at
+injection time, the same plan produces the same failures in serial and
+parallel runs, which is what lets ``tests/test_resilience.py`` prove
+every recovery path deterministically.
+
+Fault kinds
+-----------
+
+``crash``
+    Simulated worker crash.  Inside a pool worker process the process
+    exits hard (the parent sees the pipe close and retries the record
+    on a replacement worker); in-process it raises a *transient*
+    :class:`FaultInjected`.  Fires while ``attempt < fail_attempts``.
+``flaky``
+    Transient in-process failure while ``attempt < fail_attempts`` —
+    the flaky-then-ok pattern for exercising retry with backoff.
+``slow``
+    Sleeps ``delay`` seconds, then proceeds normally (latency, not
+    failure — the record must still complete within its budget).
+``hang``
+    Hard worker hang: sleeps until the parent watchdog kills the
+    process (capped at ``HANG_CAP`` seconds as a CI backstop).  Scope
+    it with ``engine`` so the degraded retry no longer hangs.
+``engine-hang``
+    Cooperative engine hang: spins inside the named engine until the
+    record's wall budget is exhausted, then raises
+    :class:`~repro.util.budget.WallClockExceeded` — exactly what the
+    engine's own deadline check produces for a genuinely stuck replay.
+``corrupt-cache``
+    Scribbles garbage over the record's cache file (if present) before
+    the cache read, exercising corruption detection and recompute.
+
+Activation: point the ``REPRO_FAULT_PLAN`` environment variable at a
+plan JSON file (worker processes inherit it), or use the
+:func:`fault_plan_env` context manager in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from repro.util.budget import WallClockExceeded
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjected",
+    "active_plan",
+    "maybe_inject",
+    "fault_plan_env",
+]
+
+#: Environment variable naming the active fault-plan file.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("crash", "flaky", "slow", "hang", "engine-hang", "corrupt-cache")
+
+#: Hard cap on how long a ``hang`` fault sleeps before giving up and
+#: raising, so a missing watchdog cannot deadlock a test run.
+HANG_CAP = 60.0
+
+#: Cap on how long an ``engine-hang`` fault spins past its wall budget.
+_ENGINE_HANG_CAP = 5.0
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (``transient`` steers the retry policy)."""
+
+    def __init__(self, message: str, transient: bool = True, kind: str = ""):
+        super().__init__(message)
+        self.transient = transient
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``index`` selects the record; ``engine`` (optional) scopes the
+    fault — record-level faults fire only while that engine is still in
+    the attempt's engine set (so the degradation ladder escapes them),
+    and ``engine-hang`` fires only in that engine.  ``fail_attempts``
+    is how many attempts *at each ladder step* the fault survives
+    (a large value makes the fault permanent-until-quarantine).
+    """
+
+    index: int
+    kind: str
+    engine: str = ""
+    fail_attempts: int = 1
+    delay: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})")
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "engine": self.engine,
+            "fail_attempts": self.fail_attempts,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of planned faults."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def for_index(self, index: int) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.index == index)
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_json() for f in self.faults]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_json(f) for f in data.get("faults", [])),
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or None.
+
+    Read on every call (plans are tiny) so worker processes and tests
+    never see a stale cache.
+    """
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    return FaultPlan.read(path)
+
+
+def _in_worker_process() -> bool:
+    return os.environ.get("REPRO_IN_WORKER") == "1"
+
+
+def maybe_inject(
+    stage: str,
+    index: int,
+    attempt: int = 0,
+    engine: str = "",
+    engines: Sequence[str] = (),
+    wall_remaining: Optional[float] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+) -> None:
+    """Fire any planned fault matching this hook point.
+
+    ``stage`` is ``"record"`` (worker entry, with the attempt's engine
+    set), ``"engine"`` (inside the measurement loop, per engine) or
+    ``"cache"`` (just before a cache read, with the file path).  Does
+    nothing when no plan is active.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.for_index(index):
+        _fire(fault, stage, attempt, engine, engines, wall_remaining, cache_path)
+
+
+def _fire(
+    fault: FaultSpec,
+    stage: str,
+    attempt: int,
+    engine: str,
+    engines: Sequence[str],
+    wall_remaining: Optional[float],
+    cache_path: Optional[Union[str, Path]],
+) -> None:
+    armed = attempt < fault.fail_attempts
+    if stage == "record":
+        if fault.engine and fault.engine not in engines:
+            return  # the ladder degraded past this fault's engine
+        if fault.kind == "crash" and armed:
+            if _in_worker_process():
+                os._exit(43)
+            raise FaultInjected(
+                f"injected worker crash (attempt {attempt})", transient=True, kind="crash"
+            )
+        if fault.kind == "flaky" and armed:
+            raise FaultInjected(
+                f"injected flaky failure (attempt {attempt})", transient=True, kind="flaky"
+            )
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+        if fault.kind == "hang" and armed:
+            deadline = time.monotonic() + HANG_CAP
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+            raise RuntimeError(
+                f"hang fault survived {HANG_CAP}s without a watchdog kill"
+            )  # pragma: no cover - only reached if the watchdog is broken
+    elif stage == "engine":
+        if fault.kind == "engine-hang" and armed and fault.engine == engine:
+            budget = wall_remaining if wall_remaining is not None else 0.0
+            spin_until = time.monotonic() + min(max(budget, 0.0), _ENGINE_HANG_CAP)
+            while time.monotonic() < spin_until:
+                time.sleep(0.01)
+            raise WallClockExceeded(
+                elapsed=max(budget, 0.0), budget=max(budget, 0.0), sim_time_reached=0.0
+            )
+    elif stage == "cache":
+        if fault.kind == "corrupt-cache" and armed and cache_path is not None:
+            path = Path(cache_path)
+            if path.is_file():
+                payload = bytearray(path.read_bytes())
+                # Deterministic scribble: truncate and flip the tail.
+                garbage = bytes(b ^ 0xFF for b in payload[: max(8, len(payload) // 2)])
+                path.write_bytes(garbage)
+
+
+@contextmanager
+def fault_plan_env(plan: FaultPlan, directory: Union[str, Path]) -> Iterator[Path]:
+    """Write ``plan`` under ``directory`` and activate it via the env var.
+
+    Worker processes started inside the ``with`` block inherit the
+    variable; the previous value is restored on exit.
+    """
+    path = plan.write(Path(directory) / "fault_plan.json")
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(path)
+    try:
+        yield path
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous

@@ -8,6 +8,14 @@ observability surface of the study pipeline: a warm-cache re-run shows
 100% hits, a crashed replay shows up as a ``failed`` entry instead of
 killing the study, and an interrupted run's manifest lists exactly the
 records that still completed.
+
+Schema v2 adds the resilience surface: per-entry attempt counts, the
+backoff delays actually waited, the engine-degradation ladder step and
+``degraded_from`` annotation, corrupt-cache detection
+(``cache_corrupt``), quarantine status, and — at the run level — the
+serialized :class:`~repro.core.resilience.RetryPolicy` plus the record
+wall/event budgets the run enforced.  v1 manifests still load (the new
+fields default).
 """
 
 from __future__ import annotations
@@ -20,21 +28,34 @@ from typing import List, Optional, Union
 __all__ = ["MANIFEST_VERSION", "ManifestEntry", "RunManifest"]
 
 #: Schema version stamped into every manifest file.
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+
+#: Versions :meth:`RunManifest.from_json` accepts (older fields default).
+_READABLE_VERSIONS = (1, 2)
 
 #: Allowed per-record statuses.
-_STATUSES = ("ok", "failed")
+_STATUSES = ("ok", "failed", "quarantined")
 
 
 @dataclass
 class ManifestEntry:
-    """Outcome of one record's measurement attempt.
+    """Outcome of one record's measurement, across all its attempts.
 
     ``status`` is ``"ok"`` (a record was produced, freshly computed or
-    from cache) or ``"failed"`` (the replay raised; ``error`` holds the
-    diagnostic).  ``cache_hit`` distinguishes the two ``ok`` paths.
-    ``worker`` is the operating-system pid of the process that handled
-    the record (the parent pid on the serial path).
+    from cache), ``"failed"`` (every recovery path was exhausted or the
+    failure was permanent; ``error`` holds the diagnostic) or
+    ``"quarantined"`` (skipped because a previous run quarantined the
+    trace; ``error`` holds the reason).  ``cache_hit`` distinguishes
+    the two ``ok`` paths and ``cache_corrupt`` marks entries whose
+    cached file failed checksum verification and was recomputed.
+    ``attempts`` counts measurement attempts (1 = first try succeeded),
+    ``backoffs`` the retry delays waited, ``ladder_step``/
+    ``degraded_from`` the engine-degradation state of the final
+    attempt, and ``failure_kind`` the classification of the last
+    failure (``"transient"``, ``"budget"``, ``"timeout"`` or
+    ``"permanent"``).  ``worker`` is the operating-system pid of the
+    process that handled the record (the parent pid on the serial
+    path); ``walltime`` sums all attempts.
     """
 
     name: str
@@ -45,6 +66,13 @@ class ManifestEntry:
     walltime: float
     worker: int
     error: str = ""
+    attempts: int = 1
+    backoffs: List[float] = field(default_factory=list)
+    ladder_step: int = 0
+    degraded_from: str = ""
+    failure_kind: str = ""
+    cache_corrupt: bool = False
+    quarantined: bool = False
 
     def __post_init__(self):
         if self.status not in _STATUSES:
@@ -60,6 +88,9 @@ class RunManifest:
     engines: List[str] = field(default_factory=list)
     code_version: str = ""
     interrupted: bool = False
+    retry_policy: Optional[dict] = None
+    record_timeout: Optional[float] = None
+    event_budget: Optional[int] = None
     entries: List[ManifestEntry] = field(default_factory=list)
 
     # -- aggregates --------------------------------------------------------
@@ -76,8 +107,28 @@ class RunManifest:
 
     @property
     def failures(self) -> List[ManifestEntry]:
-        """Entries whose measurement raised."""
+        """Entries whose measurement failed past every recovery path."""
         return [e for e in self.entries if e.status == "failed"]
+
+    @property
+    def quarantined(self) -> List[ManifestEntry]:
+        """Entries skipped (or newly excluded) by the quarantine registry."""
+        return [e for e in self.entries if e.quarantined]
+
+    @property
+    def degraded(self) -> List[ManifestEntry]:
+        """Successful entries measured below ladder step 0."""
+        return [e for e in self.entries if e.status == "ok" and e.degraded_from]
+
+    @property
+    def cache_corrupt(self) -> int:
+        """Cache entries that failed verification and were recomputed."""
+        return sum(1 for e in self.entries if e.cache_corrupt)
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts beyond each record's first."""
+        return sum(max(0, e.attempts - 1) for e in self.entries)
 
     @property
     def total_walltime(self) -> float:
@@ -99,6 +150,10 @@ class RunManifest:
             "hits": self.hits,
             "misses": self.misses,
             "failed": len(self.failures),
+            "quarantined": len(self.quarantined),
+            "degraded": len(self.degraded),
+            "cache_corrupt": self.cache_corrupt,
+            "retries": self.retries,
             "total_walltime": self.total_walltime,
         }
         return out
@@ -106,7 +161,7 @@ class RunManifest:
     @classmethod
     def from_json(cls, data: dict) -> "RunManifest":
         version = data.get("version", MANIFEST_VERSION)
-        if version != MANIFEST_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported manifest version {version}")
         return cls(
             seed=data.get("seed"),
@@ -114,6 +169,9 @@ class RunManifest:
             engines=list(data.get("engines", [])),
             code_version=data.get("code_version", ""),
             interrupted=bool(data.get("interrupted", False)),
+            retry_policy=data.get("retry_policy"),
+            record_timeout=data.get("record_timeout"),
+            event_budget=data.get("event_budget"),
             entries=[ManifestEntry(**e) for e in data.get("entries", [])],
         )
 

@@ -102,9 +102,31 @@ class TestRecordCache:
         cache = RecordCache(root)
         cache.path(key).write_text("{not json")
         assert cache.get(key) is None
+        # get() deletes the unparseable file rather than leave it rotting.
+        assert not cache.path(key).exists()
         rerun = execute_study(specs[:1], jobs=1, cache_root=root, seed=SEED)
         assert rerun.manifest.misses == 1
         assert cache.get(key) is not None
+
+    def test_corrupt_cache_entry_is_counted_in_manifest(self, specs, tmp_path):
+        root = tmp_path / "records"
+        run = execute_study(specs[:1], jobs=1, cache_root=root, seed=SEED)
+        key = run.manifest.entries[0].key
+        cache = RecordCache(root)
+        # Flip bytes inside the stored envelope so the checksum breaks.
+        blob = bytearray(cache.path(key).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        cache.path(key).write_bytes(bytes(blob))
+        rerun = execute_study(specs[:1], jobs=1, cache_root=root, seed=SEED)
+        assert rerun.manifest.misses == 1
+        assert rerun.manifest.cache_corrupt == 1
+        entry = rerun.manifest.entries[0]
+        assert entry.cache_corrupt and entry.status == "ok"
+        # The recomputed record is identical to the original.
+        assert (
+            rerun.records[0].to_json(canonical=True)
+            == run.records[0].to_json(canonical=True)
+        )
 
     def test_clear_empties_the_cache(self, specs, tmp_path):
         root = tmp_path / "records"

@@ -3,12 +3,17 @@
 A poisoned trace (via :func:`repro.workloads.synthesis.inject_defect`)
 must degrade to a ``failed`` manifest entry carrying the diagnostic
 while every healthy record completes, and an interrupt mid-study must
-leave a cache that the next run resumes from.
+leave a cache that the next run resumes from — including an interrupt
+delivered during a retry backoff wait.  Quarantine decisions must
+survive across executor invocations (they live on disk, not in the
+process).
 """
 
 import pytest
 
 from repro.core.executor import MANIFEST_NAME, RecordCache, execute_study
+from repro.core.resilience import QuarantineRegistry, RetryPolicy
+from repro.util.faults import FaultPlan, FaultSpec, fault_plan_env
 from repro.util.manifest import RunManifest
 from repro.workloads.suite import mini_corpus_specs
 
@@ -107,3 +112,60 @@ class TestInterruptResumability:
         assert resumed.manifest.misses == N - 3
         assert len(resumed.records) == N
         assert not resumed.manifest.interrupted
+
+    def test_ctrl_c_during_retry_backoff_wait(self, specs, tmp_path, monkeypatch):
+        """An interrupt delivered while the executor sleeps between
+        retry attempts must still write the (interrupted) manifest and
+        leave the completed records cached."""
+        root = tmp_path / "records"
+
+        def interrupted_sleep(_delay):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.core.executor._sleep", interrupted_sleep)
+        plan = FaultPlan(seed=SEED, faults=(FaultSpec(index=1, kind="flaky"),))
+        with fault_plan_env(plan, tmp_path):
+            with pytest.raises(KeyboardInterrupt):
+                execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        manifest = RunManifest.read(root / MANIFEST_NAME)
+        assert manifest.interrupted
+        # Spec 0 finished before the flaky record's backoff began.
+        assert [e.spec_index for e in manifest.entries] == [0]
+        assert len(RecordCache(root)) == 1
+        # The next run resumes: one hit, the rest recomputed.
+        monkeypatch.undo()
+        resumed = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        assert len(resumed.records) == N
+        assert resumed.manifest.hits == 1
+
+
+class TestQuarantinePersistence:
+    def test_quarantine_survives_across_invocations(self, specs, tmp_path):
+        """A record that exhausts every ladder step is quarantined on
+        disk; a later cold invocation (even parallel) skips it without
+        dispatching, and clearing the registry releases it."""
+        root = tmp_path / "records"
+        policy = RetryPolicy(max_attempts=1, base_delay=0.001, max_delay=0.002)
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=4, kind="flaky", fail_attempts=999),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            first = execute_study(
+                specs, jobs=1, cache_root=root, seed=SEED, retry=policy
+            )
+        assert {f.spec_index for f in first.failures} == {4}
+        assert first.failures[0].quarantined
+        registry = QuarantineRegistry(tmp_path / "quarantine")
+        entries = registry.entries()
+        assert len(entries) == 1 and entries[0].reason
+        # Second invocation: no fault plan, parallel — still skipped.
+        second = execute_study(specs, jobs=2, cache_root=root, seed=SEED, retry=policy)
+        skipped = [e for e in second.manifest.entries if e.status == "quarantined"]
+        assert [e.spec_index for e in skipped] == [4]
+        assert skipped[0].attempts == 0
+        assert entries[0].reason in skipped[0].error
+        assert len(second.records) == N - 1
+        # Clearing the registry restores the record on the third run.
+        registry.clear()
+        third = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        assert len(third.records) == N and not third.failures

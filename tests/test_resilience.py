@@ -1,0 +1,511 @@
+"""Resilience and chaos tests: budgets, retries, ladder, quarantine.
+
+Every recovery path of the resilient executor is proven under the
+deterministic chaos harness (:mod:`repro.util.faults`): a hung engine
+is killed at its deadline and the record completes degraded, a flaky
+replay succeeds on retry with its backoff recorded, a corrupted cache
+entry is detected and recomputed, an always-failing trace is
+quarantined and skipped next run, and serial and parallel runs under
+the same fault plan produce identical canonical records.
+"""
+
+import json
+import shutil
+import time
+
+import pytest
+
+from repro.core.executor import RecordCache, execute_study
+from repro.core.pipeline import StudyRecord, measure_trace
+from repro.core.resilience import (
+    EXPECTED_DIFF_BANDS,
+    LADDER,
+    MFACT_ONLY_STEP,
+    QuarantineEntry,
+    QuarantineRegistry,
+    RetryPolicy,
+    band_for_step,
+    classify_failure,
+    ladder_engines,
+    step_engines,
+)
+from repro.sim.engine import EventEngine
+from repro.trace.cli import EXIT_BUDGET
+from repro.trace.cli import main as cli_main
+from repro.trace.dumpi import write_trace
+from repro.util.budget import (
+    Budget,
+    BudgetExceeded,
+    EventBudgetExceeded,
+    WallClockExceeded,
+)
+from repro.util.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    fault_plan_env,
+)
+from repro.workloads.suite import build_trace, mini_corpus_specs
+
+SEED = 31
+N = 4
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return mini_corpus_specs(N, seed=SEED)
+
+
+def canonical(records):
+    return [r.to_json(canonical=True) for r in records]
+
+
+#: Fast retry policy for chaos tests (real backoff shape, tiny delays).
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.005, max_delay=0.02)
+
+
+# -- engine budget enforcement ------------------------------------------------
+
+
+class TestEngineBudgets:
+    @staticmethod
+    def _reschedule_forever(engine):
+        def tick():
+            engine.schedule(engine.now + 1.0, tick)
+
+        engine.schedule(0.0, tick)
+
+    def test_event_budget_raises_typed_exception(self):
+        engine = EventEngine()
+        self._reschedule_forever(engine)
+        with pytest.raises(EventBudgetExceeded) as info:
+            engine.run(max_events=50)
+        exc = info.value
+        assert exc.events_executed == 51
+        assert exc.budget == 50
+        assert exc.sim_time_reached == pytest.approx(50.0)
+        assert isinstance(exc, BudgetExceeded)
+        # Pre-budget callers catching runaway replays keep working.
+        assert isinstance(exc, RuntimeError)
+        assert engine.events_processed == 51
+
+    def test_wall_deadline_trips_inside_run_loop(self):
+        engine = EventEngine()
+        self._reschedule_forever(engine)
+        engine.set_wall_deadline(0.0)
+        with pytest.raises(WallClockExceeded) as info:
+            engine.run(max_events=10_000_000)
+        assert info.value.elapsed >= 0.0
+        assert info.value.budget == 0.0
+
+    def test_check_budget_covers_time_between_events(self):
+        engine = EventEngine()
+        engine.set_wall_deadline(0.0)
+        time.sleep(0.002)
+        with pytest.raises(WallClockExceeded):
+            engine.check_budget()
+
+    def test_disarmed_deadline_never_trips(self):
+        engine = EventEngine()
+        engine.set_wall_deadline(0.0)
+        engine.set_wall_deadline(None)
+        engine.check_budget()  # must not raise
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, max_delay=1.0, multiplier=2.0, jitter=0.5
+        )
+        delays = [policy.delay(7, "trace-a", k) for k in range(5)]
+        assert delays == [policy.delay(7, "trace-a", k) for k in range(5)]
+        for k, delay in enumerate(delays):
+            raw = min(1.0, 0.1 * 2.0 ** k)
+            assert raw * (1.0 - policy.jitter) <= delay <= raw
+        # Jitter decorrelates records and seeds.
+        assert policy.delay(7, "trace-b", 0) != delays[0]
+        assert policy.delay(8, "trace-a", 0) != delays[0]
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay=0.05, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert policy.delay(1, "x", 2) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_json_round_trip(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.2)
+        assert RetryPolicy.from_json(policy.to_json()) == policy
+        assert RetryPolicy.from_json(None) == RetryPolicy()
+
+
+# -- degradation ladder helpers -----------------------------------------------
+
+
+class TestLadder:
+    def test_ladder_orders_by_detail(self):
+        assert LADDER == ("packet", "packet-flow", "flow")
+        assert MFACT_ONLY_STEP == 3
+        assert ladder_engines(0) == LADDER
+        assert ladder_engines(1) == ("packet-flow", "flow")
+        assert ladder_engines(3) == ()
+        with pytest.raises(ValueError):
+            ladder_engines(-1)
+
+    def test_step_engines_preserves_caller_order(self):
+        base = ("packet", "flow", "packet-flow")
+        assert step_engines(0, base) == base
+        assert step_engines(1, base) == ("flow", "packet-flow")
+        assert step_engines(2, base) == ("flow",)
+        assert step_engines(3, base) == ()
+
+    def test_bands(self):
+        assert band_for_step(0) == "reference"
+        assert band_for_step(1) == "<=10%"
+        assert band_for_step(2) == "<=20%"
+        assert band_for_step(3) == "unbounded"
+        assert band_for_step(99) == "unbounded"  # clamped
+        assert len(EXPECTED_DIFF_BANDS) == MFACT_ONLY_STEP + 1
+
+
+# -- failure classification ---------------------------------------------------
+
+
+class TestClassifyFailure:
+    def test_mapping(self):
+        assert classify_failure(EventBudgetExceeded(1, 0.0, 1)) == "budget"
+        assert classify_failure(WallClockExceeded(1.0, 0.5)) == "budget"
+        assert classify_failure(ConnectionResetError("reset")) == "transient"
+        assert classify_failure(EOFError()) == "transient"
+        assert classify_failure(FileNotFoundError("gone")) == "permanent"
+        assert classify_failure(ValueError("bad")) == "permanent"
+        assert classify_failure(FaultInjected("f", transient=True)) == "transient"
+        assert classify_failure(FaultInjected("f", transient=False)) == "permanent"
+
+
+# -- quarantine registry ------------------------------------------------------
+
+
+class TestQuarantineRegistry:
+    def test_add_get_discard(self, tmp_path):
+        registry = QuarantineRegistry(tmp_path / "q")
+        entry = QuarantineEntry(
+            key="k1", name="trace-a", reason="failed everything", attempts=12
+        )
+        assert "k1" not in registry
+        registry.add(entry)
+        assert "k1" in registry
+        hit = registry.get("k1")
+        assert hit.name == "trace-a" and hit.attempts == 12
+        registry.discard("k1")
+        assert registry.get("k1") is None
+
+    def test_entries_sorted_and_corrupt_ignored(self, tmp_path):
+        registry = QuarantineRegistry(tmp_path / "q")
+        registry.add(QuarantineEntry(key="kb", name="b", reason="r"))
+        registry.add(QuarantineEntry(key="ka", name="a", reason="r"))
+        registry.path("kc").write_text("{not json")
+        assert [e.name for e in registry.entries()] == ["a", "b"]
+        assert registry.clear() == 3  # the corrupt file is deleted too
+        assert registry.entries() == []
+
+
+# -- fault plan ---------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=5,
+            faults=(
+                FaultSpec(index=0, kind="flaky", fail_attempts=2),
+                FaultSpec(index=3, kind="hang", engine="packet"),
+            ),
+        )
+        path = plan.write(tmp_path / "plan.json")
+        assert FaultPlan.read(path) == plan
+        assert plan.for_index(3) == (plan.faults[1],)
+        assert plan.for_index(9) == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(index=0, kind="meteor")
+
+
+# -- cache integrity ----------------------------------------------------------
+
+
+def _tiny_record(name="t0"):
+    return StudyRecord(
+        name=name,
+        app="synthetic",
+        suite="mini",
+        machine="cielito",
+        nranks=4,
+        spec_index=0,
+        measured_total=1.0,
+        measured_comm=0.4,
+        comm_fraction=0.4,
+    )
+
+
+class TestRecordCacheIntegrity:
+    def test_round_trip_through_envelope(self, tmp_path):
+        cache = RecordCache(tmp_path)
+        record = _tiny_record()
+        cache.put("abc", record)
+        hit, status = cache.get_checked("abc")
+        assert status == "hit"
+        assert hit.to_json() == record.to_json()
+        envelope = json.loads(cache.path("abc").read_text())
+        assert set(envelope) == {"key", "checksum", "record"}
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        assert RecordCache(tmp_path).get_checked("nope") == (None, "miss")
+
+    def test_tampered_payload_detected_and_deleted(self, tmp_path):
+        cache = RecordCache(tmp_path)
+        cache.put("abc", _tiny_record())
+        envelope = json.loads(cache.path("abc").read_text())
+        envelope["record"]["measured_total"] = 99.0  # checksum now stale
+        cache.path("abc").write_text(json.dumps(envelope))
+        assert cache.get_checked("abc") == (None, "corrupt")
+        assert not cache.path("abc").exists()
+
+    def test_misfiled_entry_detected(self, tmp_path):
+        cache = RecordCache(tmp_path)
+        cache.put("abc", _tiny_record())
+        shutil.copy(cache.path("abc"), cache.path("xyz"))
+        record, status = cache.get_checked("xyz")
+        assert record is None and status == "corrupt"
+        # The rightful entry is untouched.
+        assert cache.get_checked("abc")[1] == "hit"
+
+
+# -- in-record degradation (cooperative event budget) -------------------------
+
+
+class TestInRecordDegradation:
+    def test_event_budget_fails_packet_but_cheaper_engines_survive(self, specs):
+        spec = specs[0]
+        full = measure_trace(build_trace(spec), spec_index=spec.index, suite=spec.suite)
+        packet_events = full.sims["packet"].events
+        cheaper = max(full.sims["flow"].events, full.sims["packet-flow"].events)
+        assert packet_events > cheaper, "packet must be the most event-hungry engine"
+        budget = Budget(events=(packet_events + cheaper) // 2)
+        record = measure_trace(
+            build_trace(spec), spec_index=spec.index, suite=spec.suite, budget=budget
+        )
+        assert not record.sims["packet"].completed
+        assert "EventBudgetExceeded" in record.sims["packet"].error
+        assert record.sims["flow"].completed
+        assert record.sims["packet-flow"].completed
+        assert record.degraded_from == "packet"
+        assert record.ladder_step == 1
+        assert record.expected_diff_band == "<=10%"
+        # The full-detail record carries no degradation annotations.
+        assert full.degraded_from == "" and full.expected_diff_band == ""
+
+
+# -- chaos acceptance: the five recovery paths --------------------------------
+
+
+class TestChaosRecovery:
+    def test_hung_worker_is_watchdog_killed_and_record_degrades(self, specs, tmp_path):
+        """(a) A hard engine hang is killed at the deadline; the record
+        completes one ladder step down with ``degraded_from`` set."""
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=0, kind="hang", engine="packet"),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            run = execute_study(
+                specs[:2],
+                jobs=2,
+                cache_root=None,
+                seed=SEED,
+                record_timeout=0.3,
+                retry=FAST_RETRY,
+            )
+        assert len(run.records) == 2 and not run.failures
+        degraded = run.records[0]
+        assert degraded.degraded_from == "packet"
+        assert degraded.ladder_step >= 1
+        assert degraded.expected_diff_band in EXPECTED_DIFF_BANDS[1:]
+        assert "packet" not in degraded.sims  # the hung engine never completed
+        entry = run.manifest.entries[0]
+        assert entry.status == "ok"
+        assert entry.attempts >= 2  # the killed attempt plus the degraded one
+        assert entry.failure_kind == ""  # the record ultimately succeeded
+        assert run.manifest.degraded and run.manifest.degraded[0].spec_index == 0
+        # The healthy sibling record is untouched.
+        assert run.records[1].degraded_from == ""
+
+    def test_flaky_then_ok_succeeds_on_retry_with_backoff_recorded(self, specs, tmp_path):
+        """(b) A transient double-failure retries with exponential
+        backoff and the waits land in the manifest."""
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=1, kind="flaky", fail_attempts=2),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            run = execute_study(
+                specs[:2], jobs=1, cache_root=None, seed=SEED, retry=FAST_RETRY
+            )
+        assert len(run.records) == 2 and not run.failures
+        entry = run.manifest.entries[1]
+        assert entry.status == "ok"
+        assert entry.attempts == 3
+        assert entry.ladder_step == 0  # retries sufficed; no degradation
+        expected = [FAST_RETRY.delay(SEED, entry.name, k) for k in range(2)]
+        assert entry.backoffs == pytest.approx(expected)
+        assert expected[0] < expected[1]  # backoff grows
+        assert run.manifest.retries == 2
+        assert run.manifest.retry_policy == FAST_RETRY.to_json()
+
+    def test_corrupt_cache_entry_detected_counted_and_recomputed(self, specs, tmp_path):
+        """(c) A corrupted cache file is detected by checksum, counted
+        as ``cache_corrupt`` and transparently recomputed."""
+        root = tmp_path / "records"
+        cold = execute_study(specs[:3], jobs=1, cache_root=root, seed=SEED)
+        plan = FaultPlan(seed=SEED, faults=(FaultSpec(index=0, kind="corrupt-cache"),))
+        with fault_plan_env(plan, tmp_path):
+            warm = execute_study(specs[:3], jobs=1, cache_root=root, seed=SEED)
+        assert warm.manifest.cache_corrupt == 1
+        entry = warm.manifest.entries[0]
+        assert entry.status == "ok"
+        assert entry.cache_corrupt and not entry.cache_hit  # recomputed, not served
+        assert warm.manifest.hits == 2 and warm.manifest.misses == 1
+        assert canonical(warm.records) == canonical(cold.records)
+
+    def test_always_failing_trace_is_quarantined_then_skipped(self, specs, tmp_path):
+        """(d) A trace failing every attempt at every ladder step lands
+        in quarantine and the next run skips it with the reason."""
+        root = tmp_path / "records"
+        policy = RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.002)
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=2, kind="flaky", fail_attempts=999),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            first = execute_study(
+                specs[:3], jobs=1, cache_root=root, seed=SEED, retry=policy
+            )
+        assert len(first.records) == 2
+        failed = first.failures[0]
+        assert failed.spec_index == 2
+        assert failed.quarantined
+        assert failed.ladder_step == MFACT_ONLY_STEP  # fell the whole ladder
+        assert failed.attempts == 2 * (MFACT_ONLY_STEP + 1)  # 2 tries per step
+        registry = QuarantineRegistry(tmp_path / "quarantine")  # beside the cache
+        assert len(registry.entries()) == 1
+        # Next run — faults gone — still skips it, with the reason.
+        second = execute_study(specs[:3], jobs=1, cache_root=root, seed=SEED)
+        entry = [e for e in second.manifest.entries if e.spec_index == 2][0]
+        assert entry.status == "quarantined"
+        assert entry.attempts == 0  # never dispatched
+        assert "quarantined:" in entry.error
+        assert len(second.records) == 2 and second.manifest.hits == 2
+        # Releasing the quarantine restores the record.
+        registry.clear()
+        third = execute_study(specs[:3], jobs=1, cache_root=root, seed=SEED)
+        assert len(third.records) == 3
+
+    def test_serial_and_parallel_identical_under_same_fault_plan(self, specs, tmp_path):
+        """(e) The same fault plan yields bitwise-identical canonical
+        records and identical resilience bookkeeping at -j 1 and -j 3."""
+        plan = FaultPlan(
+            seed=SEED,
+            faults=(
+                FaultSpec(index=0, kind="flaky"),
+                FaultSpec(index=1, kind="slow", delay=0.02),
+                FaultSpec(index=2, kind="engine-hang", engine="packet"),
+                FaultSpec(index=3, kind="crash"),
+            ),
+        )
+        with fault_plan_env(plan, tmp_path):
+            serial = execute_study(
+                specs,
+                jobs=1,
+                cache_root=None,
+                seed=SEED,
+                record_timeout=0.25,
+                retry=FAST_RETRY,
+            )
+            parallel = execute_study(
+                specs,
+                jobs=3,
+                cache_root=None,
+                seed=SEED,
+                record_timeout=0.25,
+                retry=FAST_RETRY,
+            )
+        assert len(serial.records) == len(parallel.records) == N
+        assert canonical(serial.records) == canonical(parallel.records)
+
+        def bookkeeping(run):
+            # Backoffs are computed, not measured — they must match to
+            # the last bit, not approximately.
+            return [
+                (
+                    e.spec_index,
+                    e.status,
+                    e.attempts,
+                    tuple(e.backoffs),
+                    e.ladder_step,
+                    e.degraded_from,
+                )
+                for e in run.manifest.entries
+            ]
+
+        assert bookkeeping(serial) == bookkeeping(parallel)
+        # The crash record retried once on both paths, despite the
+        # mechanism differing (in-process raise vs worker death).
+        crash_entry = serial.manifest.entries[3]
+        assert crash_entry.attempts == 2 and crash_entry.status == "ok"
+        # The engine-hang record degraded identically on both paths.
+        assert serial.records[2].degraded_from == "packet"
+        assert parallel.records[2].degraded_from == "packet"
+
+
+# -- CLI budget exit code -----------------------------------------------------
+
+
+class TestCliBudgetExit:
+    def _write_mini_trace(self, tmp_path):
+        trace = build_trace(mini_corpus_specs(1, seed=SEED)[0])
+        path = tmp_path / "mini.dmp"
+        write_trace(trace, path)
+        return path
+
+    def test_budget_flags_accepted_and_within_budget_exits_ok(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = self._write_mini_trace(tmp_path)
+        code = cli_main(
+            [
+                "measure",
+                str(path),
+                "--no-cache",
+                "--record-timeout", "30",
+                "--event-budget", "100000000",
+                "--max-attempts", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_unrecoverable_hang_maps_to_exit_budget(self, tmp_path, monkeypatch, capsys):
+        """A record the watchdog kills at every ladder step fails with
+        kind 'timeout' and the CLI reports exit code 3."""
+        monkeypatch.chdir(tmp_path)
+        path = self._write_mini_trace(tmp_path)
+        plan = FaultPlan(seed=SEED, faults=(FaultSpec(index=0, kind="hang"),))
+        with fault_plan_env(plan, tmp_path):
+            code = cli_main(
+                ["measure", str(path), "--no-cache", "-j", "2",
+                 "--record-timeout", "0.05"]
+            )
+        assert code == EXIT_BUDGET == 3
+        assert "FAILED" in capsys.readouterr().err

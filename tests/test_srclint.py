@@ -110,6 +110,76 @@ class TestOpKindTableRule:
         assert lint_source(src, "m.py") == []
 
 
+class TestErrorSwallowRule:
+    SCOPED = "src/repro/core/executor.py"
+
+    def test_silent_broad_handler_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        diags = lint_source(src, self.SCOPED)
+        assert [d.rule for d in diags] == ["src/error-swallow"]
+        assert diags[0].location == f"{self.SCOPED}:4"
+
+    def test_bare_except_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        log('oops')\n"
+        )
+        diags = lint_source(src, self.SCOPED)
+        assert [d.rule for d in diags] == ["src/error-swallow"]
+        assert "bare except" in diags[0].message
+
+    def test_reraise_allowed(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert lint_source(src, self.SCOPED) == []
+
+    def test_structured_record_allowed(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        return _failure_outcome(exc)\n"
+        )
+        assert lint_source(src, self.SCOPED) == []
+
+    def test_narrow_handler_allowed(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (OSError, ValueError):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, self.SCOPED) == []
+
+    def test_out_of_scope_packages_ignored(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert lint_source(src, "src/repro/analysis/tables.py") == []
+        assert lint_source(src, self.SCOPED) != []
+
+
 class TestSyntaxAndEntryPoint:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "m.py")
