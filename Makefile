@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test chaos bench clean-cache
+.PHONY: check lint test chaos obs-check bench clean-cache
 
 check: lint test
 
@@ -18,6 +18,12 @@ test:
 # records, cache corruption, quarantine, serial==parallel equivalence.
 chaos:
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_executor_faults.py -q
+
+# Telemetry gate: measure a seeded mini-corpus through the real CLI at
+# -j 1 and -j 4 with --metrics-out, validate the Prometheus output and
+# diff the deterministic (non-walltime) metric views.
+obs-check:
+	$(PYTHON) -m repro.obs.selfcheck
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

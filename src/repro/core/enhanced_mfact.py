@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.pipeline import StudyRecord
 from repro.machines.config import MachineConfig
 from repro.mfact.logical_clock import model_trace
@@ -94,14 +95,20 @@ class EnhancedMFACT:
         generalization rates; the deployed model is the stepwise fit on
         the full data set.
         """
-        X = design_matrix(records)
-        y = labels(records)
-        cv = (
-            monte_carlo_cv(X, y, CANDIDATE_NAMES, runs=runs, max_vars=max_vars, seed=seed)
-            if cross_validate
-            else None
-        )
-        final = stepwise_forward(X, y, CANDIDATE_NAMES, max_vars=max_vars)
+        with obs.span("enhanced"):
+            with obs.span("features"):
+                X = design_matrix(records)
+                y = labels(records)
+            with obs.span("mccv"):
+                cv = (
+                    monte_carlo_cv(
+                        X, y, CANDIDATE_NAMES, runs=runs, max_vars=max_vars, seed=seed
+                    )
+                    if cross_validate
+                    else None
+                )
+            with obs.span("fit"):
+                final = stepwise_forward(X, y, CANDIDATE_NAMES, max_vars=max_vars)
         return cls(model=final.model, selected=final.selected, cv=cv)
 
     # -- prediction ----------------------------------------------------------

@@ -30,9 +30,14 @@ Properties the executor guarantees:
   on the record; a trace that fails every attempt at every step lands
   in the quarantine registry and is skipped (with reason) next run.
 * **Observability** — every run emits a
-  :class:`~repro.util.manifest.RunManifest` (schema v2) with per-record
-  timing, cache hit/miss/corrupt, attempts, backoffs, ladder state,
-  worker pid and failure diagnostics.
+  :class:`~repro.util.manifest.RunManifest` (schema v3) with per-record
+  timing (total and compute-only walltime), cache hit/miss/corrupt,
+  attempts, backoffs, ladder state, worker pid and failure diagnostics.
+  With metrics collection on (``collect_metrics=True``, or a registry
+  enabled via :mod:`repro.obs`), every worker attempt captures a
+  task-local metrics snapshot that rides back on the result pipe; the
+  driver merges them with its own counters into the manifest's
+  ``metrics`` block, identically for serial and parallel runs.
 
 ``jobs=1`` runs entirely in-process (no pool, no pickling), preserving
 the pipeline's historical serial path; hard worker hangs can only be
@@ -52,6 +57,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.pipeline import SIM_MODELS, StudyRecord, measure_trace
 from repro.core.resilience import (
     LADDER,
@@ -185,6 +191,7 @@ class RecordCache:
         try:
             raw = path.read_bytes()
         except OSError:
+            obs.counter("repro_cache_reads_total", result="miss").inc()
             return None, "miss"
         try:
             # json.loads decodes the bytes itself; undecodable garbage
@@ -199,9 +206,13 @@ class RecordCache:
             payload_text = json.dumps(envelope["record"], sort_keys=True)
             if self._checksum(payload_text) != envelope.get("checksum"):
                 raise ValueError("cache checksum mismatch")
-            return StudyRecord.from_json(envelope["record"]), "hit"
+            record = StudyRecord.from_json(envelope["record"])
+            obs.counter("repro_cache_reads_total", result="hit").inc()
+            return record, "hit"
         except (ValueError, KeyError, TypeError):
             path.unlink(missing_ok=True)
+            obs.counter("repro_cache_reads_total", result="corrupt").inc()
+            obs.counter("repro_cache_evictions_total", reason="corrupt").inc()
             return None, "corrupt"
 
     def get(self, key: str) -> Optional[StudyRecord]:
@@ -222,6 +233,7 @@ class RecordCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(envelope))
         os.replace(tmp, path)
+        obs.counter("repro_cache_writes_total").inc()
 
     # The spec index: ``<spec_key>.key`` files mapping a spec-level key
     # to the record key it resolved to, letting warm runs skip trace
@@ -279,6 +291,10 @@ class RecordOutcome:
     error: str = ""
     failure_kind: str = ""
     cache_corrupt: bool = False
+    #: Task-local metrics snapshot (JSON image) captured around this
+    #: attempt when the run collects metrics; None otherwise.  Plain
+    #: dict so the outcome stays picklable across the result pipe.
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -346,17 +362,18 @@ def _measure_built_trace(
                 worker=os.getpid(),
                 cache_corrupt=corrupt,
             )
-    record = measure_trace(
-        trace,
-        spec_index=index,
-        suite=suite,
-        lint_gate=options.get("lint_gate", False),
-        engines=engines,
-        budget=_attempt_budget(options),
-        ladder_step=options.get("ladder_step", 0),
-        degraded_from=options.get("degraded_from", ""),
-        attempt=attempt,
-    )
+    with obs.span("record"):
+        record = measure_trace(
+            trace,
+            spec_index=index,
+            suite=suite,
+            lint_gate=options.get("lint_gate", False),
+            engines=engines,
+            budget=_attempt_budget(options),
+            ladder_step=options.get("ladder_step", 0),
+            degraded_from=options.get("degraded_from", ""),
+            attempt=attempt,
+        )
     if cache is not None:
         cache.put(key, record)
     return RecordOutcome(
@@ -387,12 +404,39 @@ def _failure_outcome(
     )
 
 
+def _capture_task_metrics(impl, task: Tuple[int, object, dict]) -> RecordOutcome:
+    """Run one task, collecting its metrics when the run asked for them.
+
+    The task-local registry isolates this attempt's instrumentation;
+    its snapshot travels home on the outcome (a plain dict over the
+    result pipe).  Both the serial path and pool workers funnel through
+    here, which is what makes serial and parallel aggregation identical.
+    """
+    if not task[2].get("metrics"):
+        return impl(task)
+    with obs.collect_task() as registry:
+        outcome = impl(task)
+    snap = registry.snapshot()
+    if not snap.is_empty():
+        outcome.metrics = snap.to_json()
+    return outcome
+
+
 def _run_spec_task(task: Tuple[int, object, dict]) -> RecordOutcome:
     """Build one corpus spec's trace and measure it (picklable).
 
     Consults the spec index first: on a warm cache with unchanged code
     the record resolves without building the trace at all.
     """
+    return _capture_task_metrics(_run_spec_task_impl, task)
+
+
+def _run_path_task(task: Tuple[int, object, dict]) -> RecordOutcome:
+    """Load one trace file and measure it (picklable)."""
+    return _capture_task_metrics(_run_path_task_impl, task)
+
+
+def _run_spec_task_impl(task: Tuple[int, object, dict]) -> RecordOutcome:
     from repro.workloads.suite import build_trace
 
     index, spec, options = task
@@ -449,8 +493,7 @@ def _run_spec_task(task: Tuple[int, object, dict]) -> RecordOutcome:
         return _failure_outcome(spec.index, spec.name, exc, t0)
 
 
-def _run_path_task(task: Tuple[int, object, dict]) -> RecordOutcome:
-    """Load one trace file and measure it (picklable)."""
+def _run_path_task_impl(task: Tuple[int, object, dict]) -> RecordOutcome:
     from repro.trace.binary import read_trace_binary
     from repro.trace.dumpi import read_trace
 
@@ -492,7 +535,13 @@ class _TaskState:
     total_attempts: int = 0
     backoffs: List[float] = field(default_factory=list)
     degraded_from: str = ""
+    #: Wall seconds across *all* attempts, cache lookups included.
     walltime: float = 0.0
+    #: Wall seconds spent actually measuring (cache-hit attempts
+    #: excluded) — the number warm-vs-cold speedup claims must use;
+    #: folding near-zero cache-hit times into one total under-reports
+    #: warm-run cost and over-reports speedup.
+    compute_walltime: float = 0.0
     cache_corrupt: bool = False
     last_error: str = ""
     last_kind: str = ""
@@ -510,6 +559,7 @@ class _Driver:
         policy: RetryPolicy,
         quarantine: Optional[QuarantineRegistry],
         progress: Optional[Callable[[int, RecordOutcome], None]],
+        metrics: Optional[obs.MetricsRegistry] = None,
     ):
         self.worker = worker
         self.options = options
@@ -517,6 +567,7 @@ class _Driver:
         self.policy = policy
         self.quarantine = quarantine
         self.progress = progress
+        self.metrics = metrics
         self.base_engines: Tuple[str, ...] = tuple(options.get("engines", SIM_MODELS))
         self.outcomes: Dict[int, RecordOutcome] = {}
 
@@ -539,6 +590,10 @@ class _Driver:
         hit = self.quarantine.get(state.quarantine_key)
         if hit is None:
             return None
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_executor_records_total", status="skipped"
+            ).inc()
         return ManifestEntry(
             name=state.name,
             spec_index=state.index,
@@ -559,8 +614,14 @@ class _Driver:
         or ``("degrade", None)`` after updating ``state``."""
         state.total_attempts += 1
         state.walltime += outcome.walltime
+        if not outcome.cache_hit:
+            state.compute_walltime += outcome.walltime
         state.cache_corrupt = state.cache_corrupt or outcome.cache_corrupt
         state.last_worker = outcome.worker
+        m = self.metrics
+        if m is not None:
+            m.merge_snapshot(outcome.metrics)
+            m.counter("repro_executor_attempts_total").inc()
         if outcome.ok:
             return "done", None
         kind = outcome.failure_kind or "permanent"
@@ -574,6 +635,13 @@ class _Driver:
             )
             state.backoffs.append(delay)
             state.attempt += 1
+            if m is not None:
+                m.counter("repro_executor_retries_total").inc()
+                m.counter("repro_executor_backoff_seconds_total").inc(delay)
+                # Delays come from the seeded backoff substream, so this
+                # histogram is deterministic — keep "seconds" out of its
+                # name so the serial-vs-parallel diff covers it.
+                m.histogram("repro_executor_backoff_delay").observe(delay)
             return "retry", delay
         # Budget/timeout (retrying would blow the same budget) or a
         # transient failure that exhausted its attempts: step down the
@@ -589,10 +657,13 @@ class _Driver:
             return "quarantine", None
         if not state.degraded_from:
             state.degraded_from = next(
-                (m for m in LADDER if m in current), current[0] if current else ""
+                (name for name in LADDER if name in current),
+                current[0] if current else "",
             )
         state.step = step
         state.attempt = 0
+        if m is not None:
+            m.counter("repro_executor_ladder_steps_total").inc()
         return "degrade", None
 
     # -- manifest/bookkeeping ----------------------------------------------
@@ -608,6 +679,7 @@ class _Driver:
                 status="ok",
                 cache_hit=outcome.cache_hit,
                 walltime=state.walltime,
+                compute_walltime=state.compute_walltime,
                 worker=outcome.worker,
                 attempts=state.total_attempts,
                 backoffs=list(state.backoffs),
@@ -649,6 +721,7 @@ class _Driver:
                 status="failed",
                 cache_hit=False,
                 walltime=state.walltime,
+                compute_walltime=state.compute_walltime,
                 worker=state.last_worker,
                 error=(f"quarantined: {reason}\n" if quarantined else "")
                 + state.last_error,
@@ -660,6 +733,15 @@ class _Driver:
                 cache_corrupt=state.cache_corrupt,
                 quarantined=quarantined,
             )
+        if self.metrics is not None:
+            status = {"done": "ok", "fail": "failed", "quarantine": "quarantined"}[action]
+            self.metrics.counter("repro_executor_records_total", status=status).inc()
+            self.metrics.counter(
+                "repro_executor_record_walltime_seconds_total"
+            ).inc(state.walltime)
+            self.metrics.counter(
+                "repro_executor_compute_walltime_seconds_total"
+            ).inc(state.compute_walltime)
         self.outcomes[state.index] = outcome
         self.manifest.entries.append(entry)
         if self.progress:
@@ -764,6 +846,7 @@ def _drive(
     policy: RetryPolicy,
     quarantine: Optional[QuarantineRegistry],
     progress: Optional[Callable[[int, RecordOutcome], None]],
+    metrics: Optional[obs.MetricsRegistry] = None,
 ) -> Dict[int, RecordOutcome]:
     """Run the resilient measurement loop, serially or via the pool.
 
@@ -773,7 +856,7 @@ def _drive(
     propagates; together with the per-record cache this is what makes
     interrupted studies resumable.
     """
-    driver = _Driver(worker, options, manifest, policy, quarantine, progress)
+    driver = _Driver(worker, options, manifest, policy, quarantine, progress, metrics)
     try:
         if jobs <= 1:
             _drive_serial(driver, states)
@@ -792,7 +875,16 @@ def _finish(
     manifest: RunManifest,
     cache_root: Optional[Path],
     manifest_path: Optional[Union[str, Path]],
+    metrics: Optional[obs.MetricsRegistry] = None,
 ) -> StudyRun:
+    if metrics is not None:
+        # Embed the run's merged snapshot in the manifest, and fold it
+        # into the globally-active registry (if any) so callers like
+        # repro-experiments aggregate across several runs.
+        manifest.metrics = metrics.snapshot().to_json()
+        active = obs.active_registry()
+        if active is not None and active is not metrics:
+            active.merge_snapshot(manifest.metrics)
     if manifest_path is None and cache_root is not None:
         manifest_path = Path(cache_root) / MANIFEST_NAME
     if manifest_path is not None:
@@ -831,6 +923,7 @@ def execute_study(
     event_budget: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     quarantine_root: Optional[Union[str, Path]] = None,
+    collect_metrics: Optional[bool] = None,
 ) -> StudyRun:
     """Measure every :class:`~repro.workloads.suite.TraceSpec` in ``specs``.
 
@@ -855,10 +948,17 @@ def execute_study(
     Returns a :class:`StudyRun`; failed records appear only in its
     manifest.  The manifest is also written to ``manifest_path``
     (default: ``<cache_root>/last_run_manifest.json`` when caching).
+
+    ``collect_metrics`` turns the :mod:`repro.obs` layer on for this
+    run (default: on iff a registry is already enabled); the merged
+    snapshot lands in ``manifest.metrics`` — identical for serial and
+    parallel runs on all non-walltime series.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
+    collect = obs.enabled() if collect_metrics is None else bool(collect_metrics)
+    run_metrics = obs.MetricsRegistry() if collect else None
     options = {
         "cache_root": str(cache_root) if cache_root is not None else None,
         "lint_gate": lint_gate,
@@ -866,6 +966,7 @@ def execute_study(
         "defects": dict(defects or {}),
         "record_timeout": record_timeout,
         "event_budget": event_budget,
+        "metrics": collect,
     }
     manifest = RunManifest(
         seed=seed,
@@ -888,12 +989,16 @@ def execute_study(
     ]
     try:
         outcomes = _drive(
-            states, _run_spec_task, jobs, manifest, options, policy, quarantine, progress
+            states, _run_spec_task, jobs, manifest, options, policy, quarantine,
+            progress, run_metrics,
         )
     except KeyboardInterrupt:
         _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
         raise
-    return _finish(outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path)
+    return _finish(
+        outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path,
+        run_metrics,
+    )
 
 
 def execute_traces(
@@ -908,23 +1013,27 @@ def execute_traces(
     event_budget: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     quarantine_root: Optional[Union[str, Path]] = None,
+    collect_metrics: Optional[bool] = None,
 ) -> StudyRun:
     """Measure already-serialized trace files (``.dmp`` ASCII or ``.bin``).
 
-    Same parallelism, caching, isolation, budget/retry/ladder/quarantine
-    and manifest semantics as :func:`execute_study`, but the work items
-    are file paths — the CLI entry point
+    Same parallelism, caching, isolation, budget/retry/ladder/quarantine,
+    metrics-collection and manifest semantics as :func:`execute_study`,
+    but the work items are file paths — the CLI entry point
     ``python -m repro.trace.cli measure``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
+    collect = obs.enabled() if collect_metrics is None else bool(collect_metrics)
+    run_metrics = obs.MetricsRegistry() if collect else None
     options = {
         "cache_root": str(cache_root) if cache_root is not None else None,
         "lint_gate": lint_gate,
         "engines": tuple(engines),
         "record_timeout": record_timeout,
         "event_budget": event_budget,
+        "metrics": collect,
     }
     manifest = RunManifest(
         jobs=jobs,
@@ -949,9 +1058,13 @@ def execute_traces(
         )
     try:
         outcomes = _drive(
-            states, _run_path_task, jobs, manifest, options, policy, quarantine, progress
+            states, _run_path_task, jobs, manifest, options, policy, quarantine,
+            progress, run_metrics,
         )
     except KeyboardInterrupt:
         _finish({}, manifest, Path(cache_root) if cache_root else None, manifest_path)
         raise
-    return _finish(outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path)
+    return _finish(
+        outcomes, manifest, Path(cache_root) if cache_root else None, manifest_path,
+        run_metrics,
+    )

@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.analysis.lint import LintGateError, lint_trace
 from repro.core.difftotal import DIFF_THRESHOLD, diff_total
 from repro.core.resilience import LADDER, band_for_step
@@ -153,6 +154,8 @@ def measure_trace(
         if not report.ok:
             raise LintGateError(report)
     machine = get_machine(trace.machine)
+    with obs.span("features"):
+        features = extract_features(trace)
     record = StudyRecord(
         name=trace.name,
         app=trace.app,
@@ -163,7 +166,7 @@ def measure_trace(
         measured_total=trace.measured_total_time(),
         measured_comm=trace.measured_comm_time(),
         comm_fraction=trace.comm_fraction(),
-        features=extract_features(trace),
+        features=features,
     )
     report = model_trace(trace, machine)
     record.mfact = ToolRun(
@@ -190,6 +193,7 @@ def measure_trace(
                 record.sims[model] = ToolRun(
                     completed=False, error="WallClockExceeded: record budget exhausted"
                 )
+                obs.counter("repro_engine_runs_total", engine=model, status="skipped").inc()
                 degraded = degraded or model
                 step = max(step, LADDER.index(model) + 1 if model in LADDER else step)
                 continue
@@ -217,8 +221,10 @@ def measure_trace(
                 walltime=result.walltime,
                 events=result.events,
             )
+            obs.counter("repro_engine_runs_total", engine=model, status="ok").inc()
         except UnsupportedTraceError as exc:
             record.sims[model] = ToolRun(completed=False, error=str(exc))
+            obs.counter("repro_engine_runs_total", engine=model, status="unsupported").inc()
         except BudgetExceeded as exc:
             # Step down the ladder *inside* the attempt: mark this
             # engine failed with the structured diagnostic and keep
@@ -236,12 +242,14 @@ def measure_trace(
                 error=f"{type(exc).__name__}: {detail}",
                 events=getattr(exc, "events_executed", 0),
             )
+            obs.counter("repro_engine_runs_total", engine=model, status="budget").inc()
             degraded = degraded or model
             if model in LADDER:
                 step = max(step, LADDER.index(model) + 1)
     record.degraded_from = degraded
     record.ladder_step = step
     record.expected_diff_band = band_for_step(step) if degraded else ""
+    obs.counter("repro_records_measured_total").inc()
     return record
 
 

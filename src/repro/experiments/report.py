@@ -282,7 +282,21 @@ def generate_markdown(
                 f"{row['packet-flow']:.2f} ({paper['packet-flow']:.0f}) | "
                 f"{row['mfact']:.2f} ({paper['mfact']:.2f}) |"
             )
-        lines += ["", "Paper seconds (64-core Opteron host) in parentheses; ours run", "on the reproduction host — only ratios are comparable.", ""]
+        lines += [
+            "",
+            "Paper seconds (64-core Opteron host) in parentheses; ours run",
+            "on the reproduction host — only ratios are comparable.",
+            "",
+            "Where these totals come from: running the corpus with",
+            "`--profile` (or `--metrics-out`) records a per-phase span tree",
+            "per record — `record/mfact/replay` vs `record/sim/<model>` in",
+            "the `repro_span_seconds_total` family — so the Table II",
+            "breakdown can be read from one instrumented run instead of",
+            "re-timing each tool separately.  Span *seconds* are",
+            "walltime-family (host-dependent, vary run to run); span",
+            "*counts* are deterministic.",
+            "",
+        ]
     lines += _fig1_section(records)
     lines += _section5b_section(records)
     lines += _fig2_section(records)

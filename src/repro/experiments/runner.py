@@ -17,6 +17,13 @@ and partial invalidation cheap — and the aggregate per-seed snapshot
 writes ``.cache/records/last_run_manifest.json`` describing per-record
 timing, cache hits and failures.  ``--no-cache`` bypasses every cache
 layer and recomputes from scratch.
+
+``--metrics-out FILE`` enables run telemetry (:mod:`repro.obs`) for the
+whole invocation and writes the final merged snapshot as Prometheus
+text to ``FILE`` plus a JSON image to ``FILE.json``; ``--profile``
+prints the top span timings instead of (or in addition to) writing
+them.  Either flag covers everything the run did — corpus measurement,
+MCCV, the experiment computations — at a few counters' cost.
 """
 
 from __future__ import annotations
@@ -91,9 +98,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--event-budget", type=int, default=None, metavar="N",
         help="engine event budget per record on a cold run",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="collect run telemetry and write the snapshot: Prometheus text "
+             "to FILE, JSON image to FILE.json",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect run telemetry and print the top span timings at the end",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    collect_metrics = bool(args.metrics_out or args.profile)
+    if collect_metrics:
+        from repro import obs
+
+        obs.enable()
     targets = args.targets
     if targets == ["all"] or "all" in targets:
         targets = list(EXPERIMENTS) + ["table2"]
@@ -134,6 +155,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(audit_report(records).render())
         else:
             print(run_experiment(target, records))
+    if collect_metrics:
+        from repro import obs
+        from repro.obs.report import render_top_spans, write_metrics
+
+        snap = obs.snapshot()
+        if args.metrics_out:
+            write_metrics(snap, args.metrics_out)
+            print(f"\nmetrics written to {args.metrics_out} (+ .json)", file=sys.stderr)
+        if args.profile:
+            print()
+            print(render_top_spans(snap))
     return 0
 
 

@@ -33,6 +33,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.collectives.cost_models import collective_cost
 from repro.machines.config import MachineConfig
 from repro.mfact.counters import CounterSet
@@ -328,31 +329,40 @@ class LogicalClockReplay:
 
     def run(self) -> MFACTReport:
         """Replay the whole trace and assemble the report."""
-        start = time.perf_counter()
-        n = self.trace.nranks
-        lengths = [len(ops) for ops in self.trace.ranks]
-        for rank in range(n):
-            self._wake(rank)
-        done = [False] * n
-        remaining = n
-        while self._runnable:
-            rank = self._runnable.popleft()
-            self._queued[rank] = False
-            if done[rank] or self._blocked[rank] is not None:
-                continue
-            while self._ip[rank] < lengths[rank]:
-                if not self._step(rank):
-                    break
-            if self._ip[rank] >= lengths[rank] and not done[rank]:
-                done[rank] = True
-                remaining -= 1
-        if remaining:
-            stuck = [r for r in range(n) if not done[r]]
-            raise ReplayDeadlockError(
-                f"replay of {self.trace.name} deadlocked with ranks {stuck[:8]} blocked"
-            )
-        walltime = time.perf_counter() - start
-        return MFACTReport.from_replay(self, walltime)
+        with obs.span("mfact"):
+            start = time.perf_counter()
+            n = self.trace.nranks
+            lengths = [len(ops) for ops in self.trace.ranks]
+            steps = 0
+            with obs.span("replay"):
+                for rank in range(n):
+                    self._wake(rank)
+                done = [False] * n
+                remaining = n
+                while self._runnable:
+                    rank = self._runnable.popleft()
+                    self._queued[rank] = False
+                    if done[rank] or self._blocked[rank] is not None:
+                        continue
+                    while self._ip[rank] < lengths[rank]:
+                        steps += 1
+                        if not self._step(rank):
+                            break
+                    if self._ip[rank] >= lengths[rank] and not done[rank]:
+                        done[rank] = True
+                        remaining -= 1
+                if remaining:
+                    stuck = [r for r in range(n) if not done[r]]
+                    raise ReplayDeadlockError(
+                        f"replay of {self.trace.name} deadlocked with ranks "
+                        f"{stuck[:8]} blocked"
+                    )
+            if obs.enabled():
+                obs.counter("repro_mfact_steps_total").inc(steps)
+                obs.counter("repro_mfact_replays_total").inc()
+            walltime = time.perf_counter() - start
+            with obs.span("report"):
+                return MFACTReport.from_replay(self, walltime)
 
 
 def model_trace(

@@ -1,0 +1,66 @@
+"""repro.obs — dependency-free metrics, tracing and profiling.
+
+Instrumented code calls the module-level helpers::
+
+    from repro import obs
+
+    obs.counter("repro_cache_reads_total", result="hit").inc()
+    with obs.span("record"):
+        ...
+
+By default nothing is collected: the helpers return shared null
+instruments and hot loops skip their bookkeeping (zero-overhead no-op
+mode).  ``obs.enable()`` turns collection on for the process;
+``obs.collect_task()`` scopes collection to one executor task so its
+snapshot can ride back to the parent over the result pipe.
+
+Rendering (Prometheus text, JSON, human-readable report, top-span
+profile table) lives in :mod:`repro.obs.report`; the serial-vs-parallel
+determinism gate CI runs is :mod:`repro.obs.selfcheck`.
+"""
+
+from repro.obs.registry import (
+    HISTOGRAM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanStats,
+    active_registry,
+    collect_task,
+    counter,
+    deterministic_view,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    is_walltime_series,
+    reset,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanStats",
+    "active_registry",
+    "collect_task",
+    "counter",
+    "deterministic_view",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "is_walltime_series",
+    "reset",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,231 @@
+"""Renderers for :class:`~repro.obs.registry.MetricsSnapshot`.
+
+Three output surfaces:
+
+* :func:`render_prometheus` — Prometheus text exposition format
+  (``--metrics-out``); :func:`parse_prometheus` validates it back,
+  which is what tests and the CI self-check rely on.
+* :func:`render_report` — human-readable summary used by the
+  ``stats`` CLI subcommand.
+* :func:`render_top_spans` — top-N span table for ``--profile``.
+
+:func:`write_metrics` is the shared CLI helper: it writes the
+Prometheus text to ``FILE`` and the JSON snapshot next to it at
+``FILE.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import (
+    HISTOGRAM_BUCKETS,
+    MetricsSnapshot,
+    series_name,
+)
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "render_report",
+    "render_top_spans",
+    "write_metrics",
+    "load_snapshot",
+]
+
+# One sample line: name, optional {labels}, value.  Label values may
+# contain escaped quotes/backslashes; values are floats or +/-Inf/NaN.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*,?\})?"
+    r" (?P<value>[+-]?(?:Inf|NaN|[0-9.eE+-]+))$"
+)
+
+
+def _split_series(key: str) -> Tuple[str, str]:
+    """Split ``name{a="b"}`` into (name, 'a="b"'); labels may be ''."""
+    if "{" not in key:
+        return key, ""
+    name, rest = key.split("{", 1)
+    return name, rest.rstrip("}")
+
+
+def _with_label(labels: str, extra: str) -> str:
+    return f"{{{labels},{extra}}}" if labels else f"{{{extra}}}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snap: MetricsSnapshot) -> str:
+    """Render a snapshot in Prometheus text exposition format.
+
+    Series are emitted sorted, grouped under one ``# TYPE`` line per
+    metric family.  Span aggregates are exported as the synthetic
+    families ``repro_span_count``, ``repro_span_seconds_total`` and
+    ``repro_span_seconds_max`` with a ``path`` label.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def emit(kind: str, key: str, value) -> None:
+        name = series_name(key)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{key} {_fmt(value)}")
+
+    for key in sorted(snap.counters):
+        emit("counter", key, snap.counters[key])
+    for key in sorted(snap.gauges):
+        emit("gauge", key, snap.gauges[key])
+    for key in sorted(snap.histograms):
+        data = snap.histograms[key]
+        name, labels = _split_series(key)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS, data["counts"]):
+            cumulative += count
+            le = _with_label(labels, f'le="{_fmt(float(bound))}"')
+            lines.append(f"{name}_bucket{le} {_fmt(cumulative)}")
+        cumulative += data["counts"][-1]
+        le = _with_label(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{le} {_fmt(cumulative)}")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{name}_sum{suffix} {_fmt(data['sum'])}")
+        lines.append(f"{name}_count{suffix} {_fmt(data['count'])}")
+    span_families = (
+        ("repro_span_count", "counter", "count"),
+        ("repro_span_seconds_total", "counter", "total_seconds"),
+        ("repro_span_seconds_max", "gauge", "max_seconds"),
+    )
+    for family, kind, field in span_families:
+        if snap.spans:
+            lines.append(f"# TYPE {family} {kind}")
+        for path in sorted(snap.spans):
+            escaped = path.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'{family}{{path="{escaped}"}} {_fmt(snap.spans[path][field])}')
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse/validate Prometheus text format into ``{series: value}``.
+
+    Strict on purpose — this is the validator the CI self-check runs
+    over our own output.  Raises ValueError on any malformed line.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not re.match(r"^# (HELP|TYPE|EOF|[^ ])", line):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        key = m.group("name") + (m.group("labels") or "")
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate series {key!r}")
+        value = m.group("value")
+        if value == "+Inf":
+            samples[key] = math.inf
+        elif value == "-Inf":
+            samples[key] = -math.inf
+        else:
+            samples[key] = float(value)
+    return samples
+
+
+def render_top_spans(snap: MetricsSnapshot, top: int = 15) -> str:
+    """Top-N span table by total time — the ``--profile`` surface."""
+    if not snap.spans:
+        return "no spans recorded\n"
+    rows = sorted(
+        snap.spans.items(), key=lambda kv: kv[1]["total_seconds"], reverse=True
+    )[:top]
+    width = max(len("span"), max(len(path) for path, _ in rows))
+    out = [
+        f"{'span':<{width}}  {'count':>8}  {'total_s':>10}  {'mean_ms':>9}  {'max_ms':>9}",
+        "-" * (width + 44),
+    ]
+    for path, data in rows:
+        count = data["count"]
+        total = data["total_seconds"]
+        mean_ms = 1e3 * total / count if count else 0.0
+        out.append(
+            f"{path:<{width}}  {count:>8}  {total:>10.4f}  "
+            f"{mean_ms:>9.3f}  {1e3 * data['max_seconds']:>9.3f}"
+        )
+    return "\n".join(out) + "\n"
+
+
+def render_report(snap: MetricsSnapshot, top_spans: int = 15) -> str:
+    """Human-readable summary: counters, gauges, histograms, spans."""
+    if snap.is_empty():
+        return "no metrics collected (was the run made with metrics enabled?)\n"
+    out: List[str] = []
+    if snap.counters:
+        out.append("== counters ==")
+        for key in sorted(snap.counters):
+            out.append(f"  {key} = {_fmt(snap.counters[key])}")
+    if snap.gauges:
+        out.append("== gauges ==")
+        for key in sorted(snap.gauges):
+            out.append(f"  {key} = {_fmt(snap.gauges[key])}")
+    if snap.histograms:
+        out.append("== histograms ==")
+        for key in sorted(snap.histograms):
+            data = snap.histograms[key]
+            count = data["count"]
+            mean = data["sum"] / count if count else 0.0
+            out.append(f"  {key}: count={count} sum={data['sum']:.6g} mean={mean:.6g}")
+    if snap.spans:
+        out.append("== spans ==")
+        out.append(render_top_spans(snap, top=top_spans).rstrip("\n"))
+    return "\n".join(out) + "\n"
+
+
+def write_metrics(snap: MetricsSnapshot, path) -> None:
+    """Write Prometheus text to ``path`` and JSON to ``path + '.json'``."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(snap))
+    Path(str(path) + ".json").write_text(
+        json.dumps(snap.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_snapshot(path) -> Optional[MetricsSnapshot]:
+    """Load a snapshot from a JSON file.
+
+    Accepts either a bare snapshot (as written by ``--metrics-out``'s
+    ``.json`` sidecar) or a run manifest whose ``metrics`` block holds
+    one.  Returns None when a manifest has no metrics block.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "entries" in data or "version" in data:
+        metrics = data.get("metrics")
+        if metrics is None:
+            return None
+        return MetricsSnapshot.from_json(metrics)
+    return MetricsSnapshot.from_json(data)

@@ -1,0 +1,110 @@
+"""CI gate: serial and parallel runs must agree on every non-walltime metric.
+
+Builds a small seeded trace corpus, measures it twice through the real
+CLI (``trace.cli measure --metrics-out`` at ``-j 1`` and ``-j N``),
+validates both Prometheus outputs with our strict parser, and diffs the
+deterministic views (everything outside the walltime family).  Any
+difference means the metrics pipeline leaks scheduling into numbers it
+claims are schedule-independent.
+
+Run it locally with::
+
+    python -m repro.obs.selfcheck
+
+Exit code 0 on agreement, 1 on any divergence or invalid output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.registry import deterministic_view
+from repro.obs.report import load_snapshot, parse_prometheus
+from repro.trace.dumpi import write_trace
+from repro.workloads.suite import build_trace, mini_corpus_specs
+
+SEED = 97
+
+
+def _diff_views(serial: dict, parallel: dict) -> List[str]:
+    lines: List[str] = []
+    for section in sorted(set(serial) | set(parallel)):
+        left, right = serial.get(section, {}), parallel.get(section, {})
+        for key in sorted(set(left) | set(right)):
+            if left.get(key) != right.get(key):
+                lines.append(
+                    f"  {section} {key}: serial={left.get(key)!r} "
+                    f"parallel={right.get(key)!r}"
+                )
+    return lines
+
+
+def run_selfcheck(records: int = 4, jobs: int = 4, workdir=None) -> int:
+    from repro.trace.cli import main as trace_cli_main
+
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-obs-selfcheck-")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    paths = []
+    for spec in mini_corpus_specs(records, seed=SEED):
+        path = workdir / f"{spec.name}.dmp"
+        write_trace(build_trace(spec), path)
+        paths.append(str(path))
+
+    outputs = {}
+    for mode, n in (("serial", 1), ("parallel", jobs)):
+        out = workdir / f"{mode}.prom"
+        code = trace_cli_main(
+            ["measure", *paths, "-j", str(n), "--no-cache",
+             "--metrics-out", str(out)]
+        )
+        if code != 0:
+            print(f"selfcheck: {mode} measure exited {code}", file=sys.stderr)
+            return 1
+        samples = parse_prometheus(out.read_text())
+        if not samples:
+            print(f"selfcheck: {out} contains no samples", file=sys.stderr)
+            return 1
+        print(f"selfcheck: {mode} (-j {n}): {len(samples)} Prometheus samples ok")
+        outputs[mode] = deterministic_view(load_snapshot(str(out) + ".json"))
+
+    diff = _diff_views(outputs["serial"], outputs["parallel"])
+    if diff:
+        print(
+            f"selfcheck: FAIL — {len(diff)} non-walltime series differ "
+            f"between -j 1 and -j {jobs}:",
+            file=sys.stderr,
+        )
+        for line in diff:
+            print(line, file=sys.stderr)
+        return 1
+    print(
+        f"selfcheck: OK — serial and -j {jobs} agree on all "
+        "non-walltime metrics"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.selfcheck", description=__doc__
+    )
+    parser.add_argument("--records", type=int, default=4,
+                        help="mini-corpus size (default 4)")
+    parser.add_argument("--jobs", "-j", type=int, default=4,
+                        help="parallel worker count to compare against (default 4)")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for traces and metric files "
+                             "(default: a fresh temp dir)")
+    args = parser.parse_args(argv)
+    return run_selfcheck(records=args.records, jobs=args.jobs, workdir=args.workdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ import heapq
 import time
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.util.budget import EventBudgetExceeded, WallClockExceeded
 
 __all__ = ["EventEngine", "DEFAULT_MAX_EVENTS"]
@@ -112,8 +113,13 @@ class EventEngine:
         queue = self._queue
         processed = 0
         check_wall = self._wall_deadline is not None
+        track = obs.enabled()
+        depth_max = len(queue) if track else 0
+        wall_aborted = False
         try:
             while queue:
+                if track and len(queue) > depth_max:
+                    depth_max = len(queue)
                 when, _, callback = heapq.heappop(queue)
                 self._now = when
                 callback()
@@ -124,5 +130,25 @@ class EventEngine:
                     )
                 if check_wall and processed % _WALL_CHECK_EVERY == 0:
                     self.check_budget()
+        except WallClockExceeded:
+            wall_aborted = True
+            raise
         finally:
             self.events_processed += processed
+            if track and processed:
+                self._flush_metrics(processed, depth_max, wall_aborted)
+
+    @staticmethod
+    def _flush_metrics(processed: int, depth_max: int, wall_aborted: bool) -> None:
+        """Fold one run()'s tallies into the active metrics registry.
+
+        A wall-clock abort stops at a schedule-dependent event, so its
+        partial tallies go to a walltime-family counter and stay out of
+        the deterministic events/queue-depth series.
+        """
+        if wall_aborted:
+            obs.counter("repro_engine_aborted_walltime_events_total").inc(processed)
+            return
+        obs.counter("repro_engine_events_total").inc(processed)
+        obs.histogram("repro_engine_events_per_run").observe(processed)
+        obs.gauge("repro_engine_queue_depth_max").set_max(depth_max)

@@ -18,6 +18,7 @@ import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Type
 
+from repro import obs
 from repro.collectives.algorithms import schedule_collective
 from repro.machines.config import MachineConfig
 from repro.sim.engine import DEFAULT_MAX_EVENTS, EventEngine
@@ -151,6 +152,19 @@ class SimReplay:
         self._done = [False] * n
         self._overhead = machine.software_overhead
         self._inj_rate = machine.effective_injection_bandwidth
+        # Per-OpKind [count, seconds] tallies, flushed to the metrics
+        # registry when run() completes; None keeps the hot loop on the
+        # zero-overhead path while metrics are disabled.
+        self._kind_obs: Optional[Dict[OpKind, List[float]]] = (
+            {} if obs.enabled() else None
+        )
+
+    def _tally_op(self, kind: OpKind, t0: float) -> None:
+        ent = self._kind_obs.get(kind)
+        if ent is None:
+            ent = self._kind_obs[kind] = [0, 0.0]
+        ent[0] += 1
+        ent[1] += time.perf_counter() - t0
 
     # -- helpers -----------------------------------------------------------
 
@@ -193,9 +207,13 @@ class SimReplay:
         ops = self.trace.ranks[rank]
         n_ops = len(ops)
         o = self._overhead
+        kobs = self._kind_obs
+        t0 = 0.0
         while self._ip[rank] < n_ops:
             op = ops[self._ip[rank]]
             kind = op.kind
+            if kobs is not None:
+                t0 = time.perf_counter()
             if kind == OpKind.COMPUTE:
                 work = op.duration * self.machine.compute_scale
                 self.clk[rank] += work
@@ -232,6 +250,8 @@ class SimReplay:
                     chan.slots.append(("recv", rank))
                     self._blocked[rank] = ("recv",)
                     self._blocked_at[rank] = self.clk[rank]
+                    if kobs is not None:
+                        self._tally_op(kind, t0)
                     return
             elif kind == OpKind.IRECV:
                 self.comm_time[rank] += o
@@ -261,9 +281,13 @@ class SimReplay:
                 else:
                     self._blocked[rank] = ("wait", op.req)
                     self._blocked_at[rank] = self.clk[rank]
+                    if kobs is not None:
+                        self._tally_op(kind, t0)
                     return
             else:  # pragma: no cover - collectives were expanded away
                 raise RuntimeError(f"unexpanded collective {kind!r} reached the simulator")
+            if kobs is not None:
+                self._tally_op(kind, t0)
             self._ip[rank] += 1
         self._done[rank] = True
 
@@ -275,6 +299,10 @@ class SimReplay:
         too) and its event cap bounds the engine run; exceeding either
         raises a :class:`~repro.util.budget.BudgetExceeded` subclass.
         """
+        with obs.span(f"sim/{self.model.name}"):
+            return self._run(budget)
+
+    def _run(self, budget: Optional[Budget]) -> SimResult:
         wall_start = time.perf_counter()
         budget = budget if budget is not None else Budget()
         self.engine.set_wall_deadline(budget.wall_seconds)
@@ -290,6 +318,7 @@ class SimReplay:
             )
         walltime = time.perf_counter() - wall_start
         n = self.original.nranks
+        self._flush_metrics()
         return SimResult(
             trace_name=self.original.name,
             app=self.original.app,
@@ -303,6 +332,28 @@ class SimReplay:
             messages=self.model.messages_sent,
             bytes_sent=self.model.bytes_sent,
         )
+
+    def _flush_metrics(self) -> None:
+        """Publish per-OpKind tallies and traffic totals for this replay.
+
+        Called only on successful completion: a budget abort stops at a
+        schedule- or wall-dependent op, and partial tallies would poison
+        the serial-vs-parallel determinism guarantee.
+        """
+        if self._kind_obs is None:
+            return
+        engine = self.model.name
+        for kind in sorted(self._kind_obs, key=lambda k: k.name):
+            count, seconds = self._kind_obs[kind]
+            obs.counter(
+                "repro_dispatch_ops_total", engine=engine, kind=kind.name
+            ).inc(int(count))
+            obs.counter(
+                "repro_dispatch_seconds_total", engine=engine, kind=kind.name
+            ).inc(seconds)
+        obs.counter("repro_sim_messages_total", engine=engine).inc(self.model.messages_sent)
+        obs.counter("repro_sim_bytes_total", engine=engine).inc(self.model.bytes_sent)
+        self._kind_obs = {}
 
 
 def simulate_trace(

@@ -7,7 +7,7 @@ from repro.stats.calibration import (
     error_margins,
     reliability_table,
 )
-from repro.stats.logistic import LogisticModel, fit_logistic
+from repro.stats.logistic import DegenerateLabelsError, LogisticModel, fit_logistic
 from repro.stats.mccv import CrossValidationResult, VariableStats, monte_carlo_cv
 from repro.stats.metrics import ConfusionCounts, confusion, misclassification_rate
 from repro.stats.stepwise import MAX_VARIABLES, StepwiseResult, stepwise_forward
@@ -19,6 +19,7 @@ __all__ = [
     "brier_score",
     "error_margins",
     "reliability_table",
+    "DegenerateLabelsError",
     "LogisticModel",
     "fit_logistic",
     "CrossValidationResult",

@@ -14,9 +14,26 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["LogisticModel", "fit_logistic"]
+__all__ = ["DegenerateLabelsError", "LogisticModel", "fit_logistic"]
 
 _MAX_ETA = 30.0
+
+#: Symmetric probability clamp applied before every ``log`` in the
+#: likelihood/AIC path, so a saturated fit can never produce a NaN AIC.
+_P_EPS = 1e-12
+
+
+class DegenerateLabelsError(ValueError):
+    """The labels are single-class; a logistic fit would be meaningless.
+
+    With a base rate of exactly 0 or 1 the intercept's MLE is ±infinity
+    and every coefficient is unidentifiable — the old behaviour of
+    silently initializing the intercept to 0.0 and "fitting" anyway
+    produced a model whose predictions reflect the ridge penalty, not
+    the data.  Callers that resample folds (e.g.
+    :func:`repro.stats.mccv.monte_carlo_cv`) catch this and record a
+    skipped split instead.
+    """
 
 
 def _sigmoid(eta: np.ndarray) -> np.ndarray:
@@ -97,8 +114,12 @@ def fit_logistic(
     Z = (X - mu) / sd
     design = np.column_stack([np.ones(n), Z])
     beta = np.zeros(k + 1)
-    base = y.mean()
-    beta[0] = np.log(max(base, 1e-9) / max(1 - base, 1e-9)) if 0 < base < 1 else 0.0
+    base = y.mean() if n else 0.0
+    if not 0.0 < base < 1.0:
+        raise DegenerateLabelsError(
+            f"labels are single-class (base rate {base:g}); logistic fit is undefined"
+        )
+    beta[0] = np.log(base / (1.0 - base))
     converged = False
     penalty = ridge * np.eye(k + 1)
     penalty[0, 0] = 0.0  # never penalize the intercept
@@ -116,8 +137,8 @@ def fit_logistic(
         if np.max(np.abs(step)) < tol:
             converged = True
             break
-    eta = np.clip(design @ beta, -_MAX_ETA, _MAX_ETA)
-    ll = float(np.sum(y * eta - np.logaddexp(0.0, eta)))
+    p_hat = np.clip(_sigmoid(design @ beta), _P_EPS, 1.0 - _P_EPS)
+    ll = float(np.sum(y * np.log(p_hat) + (1.0 - y) * np.log1p(-p_hat)))
     # Unfold standardization: b_j = beta_j / sd_j; b0 = beta0 - sum mu_j b_j.
     coef = np.empty(k + 1)
     coef[1:] = beta[1:] / sd

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.stats.logistic import DegenerateLabelsError
 from repro.stats.metrics import ConfusionCounts, confusion
 from repro.stats.stepwise import MAX_VARIABLES, StepwiseResult, stepwise_forward
 from repro.util.rng import substream
@@ -33,11 +34,24 @@ class VariableStats:
 
 @dataclass
 class CrossValidationResult:
-    """Aggregated Monte Carlo CV outcome."""
+    """Aggregated Monte Carlo CV outcome.
+
+    ``runs`` is the number of partitions *requested*; ``skipped`` counts
+    the splits whose training fold was single-class (degenerate) and was
+    therefore recorded as skipped rather than fitted.  ``confusions``
+    and all rate aggregates cover only the ``runs - skipped`` completed
+    splits, as do the Table IV selection percentages.
+    """
 
     runs: int
     confusions: List[ConfusionCounts]
     variable_stats: List[VariableStats]
+    skipped: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Splits that actually produced a fitted, scored model."""
+        return self.runs - self.skipped
 
     @property
     def misclassification_rates(self) -> np.ndarray:
@@ -90,14 +104,20 @@ def monte_carlo_cv(
     confusions: List[ConfusionCounts] = []
     selected_count: Dict[str, int] = {name: 0 for name in names}
     coef_sums: Dict[str, float] = {name: 0.0 for name in names}
+    skipped = 0
     for run in range(runs):
         rng = substream(seed, "mccv", run)
         perm = rng.permutation(n)
         train_idx, test_idx = perm[:n_train], perm[n_train:]
-        # Degenerate folds (single-class training) are resampled once by
-        # swapping in the other fold's extremes; if still degenerate we
-        # fall back to the majority-class predictor.
-        result = stepwise_forward(X[train_idx], y[train_idx], names, max_vars=max_vars)
+        # A single-class training fold has no logistic MLE; record the
+        # split as skipped instead of fitting a meaningless model.  The
+        # substream indexing by `run` keeps the surviving splits
+        # identical to a run where no fold was degenerate.
+        try:
+            result = stepwise_forward(X[train_idx], y[train_idx], names, max_vars=max_vars)
+        except DegenerateLabelsError:
+            skipped += 1
+            continue
         for name, coef in zip(result.model.feature_names, result.model.coef[1:]):
             selected_count[name] += 1
             coef_sums[name] += float(coef)
@@ -108,14 +128,21 @@ def monte_carlo_cv(
             majority = int(round(float(y[train_idx].mean())))
             preds = np.full(test_idx.size, majority)
         confusions.append(confusion(y[test_idx], preds))
+    completed = runs - skipped
+    if completed == 0:
+        raise DegenerateLabelsError(
+            f"all {runs} cross-validation splits had single-class training folds"
+        )
     variable_stats = [
         VariableStats(
             name=name,
-            selected_pct=100.0 * selected_count[name] / runs,
+            selected_pct=100.0 * selected_count[name] / completed,
             mean_coefficient=(
                 coef_sums[name] / selected_count[name] if selected_count[name] else 0.0
             ),
         )
         for name in names
     ]
-    return CrossValidationResult(runs=runs, confusions=confusions, variable_stats=variable_stats)
+    return CrossValidationResult(
+        runs=runs, confusions=confusions, variable_stats=variable_stats, skipped=skipped
+    )

@@ -9,6 +9,7 @@ Usage::
     python -m repro.trace.cli compress-stats trace.dmp
     python -m repro.trace.cli convert trace.dmp trace.bin   # ascii <-> binary
     python -m repro.trace.cli measure a.dmp b.bin -j 4      # replay with all tools
+    python -m repro.trace.cli stats metrics.txt.json        # render a metrics snapshot
 
 ``measure`` runs the full four-tool measurement (MFACT plus the three
 simulation engines) on each given trace file, fanning out over
@@ -20,15 +21,21 @@ budget-bounded: ``--record-timeout`` caps one record's wall seconds and
 ``--event-budget`` its engine events — over-budget replays step down
 the engine-degradation ladder rather than failing — while
 ``--max-attempts`` caps the retries a transient failure gets per
-ladder step.
+ladder step.  ``--metrics-out FILE`` writes the run's merged metrics
+snapshot (Prometheus text to ``FILE`` plus a JSON image to
+``FILE.json``) and ``--profile`` prints the top span timings; either
+flag turns metrics collection on for the run.  ``stats`` renders a
+previously written snapshot (or a manifest that embeds one) as a
+human-readable report.
 
 Every subcommand returns a conventional exit code: ``0`` on success,
 ``1`` on a warning-level or usage failure, ``2`` on an error-level
 finding, ``3`` when a budget or deadline was the cause.  ``lint`` maps
 its exit code directly from the worst diagnostic severity (0 clean /
 1 warnings / 2 errors); ``measure`` returns ``2`` if any file failed
-to measure, or ``3`` if every failure was a budget/timeout exhaustion
-(the study is fine, the budget was not).
+to measure, or ``3`` only when *every* failure was a budget/timeout
+exhaustion (the study is fine, the budget was not) — mixed
+budget-and-error runs return ``2``, see :func:`measure_exit_code`.
 """
 
 from __future__ import annotations
@@ -130,6 +137,22 @@ def _cmd_convert(trace, args) -> int:
     return EXIT_OK
 
 
+def measure_exit_code(failures) -> int:
+    """Exit code for ``measure`` given the manifest's failed entries.
+
+    No failures → 0.  Every failure a budget/timeout exhaustion → 3
+    (the study is fine, the budget was not).  Any other failure —
+    including a *mix* of budget and genuine errors — → 2: error
+    outranks budget, because a mixed run still contains a failure the
+    budget does not explain.
+    """
+    if not failures:
+        return EXIT_OK
+    if all(f.failure_kind in ("budget", "timeout") for f in failures):
+        return EXIT_BUDGET
+    return EXIT_ERROR
+
+
 def _cmd_measure(args) -> int:
     """Measure one or more trace files with all four tools."""
     from repro.core.executor import DEFAULT_RECORD_CACHE, execute_traces
@@ -138,6 +161,7 @@ def _cmd_measure(args) -> int:
     retry = None
     if args.max_attempts is not None:
         retry = RetryPolicy(max_attempts=args.max_attempts)
+    collect = bool(args.metrics_out or args.profile)
     run = execute_traces(
         args.paths,
         jobs=args.jobs,
@@ -145,7 +169,10 @@ def _cmd_measure(args) -> int:
         record_timeout=args.record_timeout,
         event_budget=args.event_budget,
         retry=retry,
+        collect_metrics=True if collect else None,
     )
+    if collect:
+        _emit_metrics(run.manifest.metrics, args)
     if args.as_json:
         print(json.dumps(
             {
@@ -166,12 +193,40 @@ def _cmd_measure(args) -> int:
         for failure in run.manifest.failures:
             first_line = failure.error.splitlines()[0] if failure.error else "unknown error"
             print(f"{failure.name}: FAILED: {first_line}", file=sys.stderr)
-    failures = run.manifest.failures
-    if not failures:
-        return EXIT_OK
-    if all(f.failure_kind in ("budget", "timeout") for f in failures):
-        return EXIT_BUDGET
-    return EXIT_ERROR
+    return measure_exit_code(run.manifest.failures)
+
+
+def _emit_metrics(metrics: Optional[dict], args) -> None:
+    """Write/print the measure run's metrics per ``--metrics-out``/``--profile``."""
+    from repro.obs import MetricsSnapshot
+    from repro.obs.report import render_top_spans, write_metrics
+
+    snap = MetricsSnapshot.from_json(metrics) if metrics else MetricsSnapshot()
+    if args.metrics_out:
+        write_metrics(snap, args.metrics_out)
+        print(f"metrics written to {args.metrics_out} (+ .json)", file=sys.stderr)
+    if args.profile:
+        print(render_top_spans(snap))
+
+
+def _cmd_stats(args) -> int:
+    """Render a metrics snapshot (or manifest with one) as a report."""
+    from repro.obs.report import load_snapshot, render_report
+
+    path = args.paths[0]
+    try:
+        snap = load_snapshot(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return EXIT_WARN
+    except ValueError as exc:
+        print(f"{path}: not a metrics snapshot: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if snap is None or snap.is_empty():
+        print(f"{path}: no metrics recorded", file=sys.stderr)
+        return EXIT_WARN
+    print(render_report(snap))
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -186,10 +241,11 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.trace.cli", description=__doc__)
-    parser.add_argument("command", choices=sorted(_COMMANDS) + ["measure"])
+    parser.add_argument("command", choices=sorted(_COMMANDS) + ["measure", "stats"])
     parser.add_argument("paths", nargs="+", metavar="path",
                         help="trace file(s) (.dmp ascii or .bin binary); convert "
-                             "takes input then output, measure accepts several")
+                             "takes input then output, measure accepts several, "
+                             "stats takes a metrics JSON or manifest file")
     parser.add_argument("--max-block", type=int, default=128,
                         help="compression search window (compress-stats)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -206,12 +262,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-attempts", type=int, default=None, metavar="K",
                         help="retry attempts per ladder step for transient "
                              "failures (measure; default 3)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the run's metrics snapshot: Prometheus text "
+                             "to FILE, JSON image to FILE.json (measure)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the top span timings after the run (measure)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return EXIT_WARN
     if args.command == "measure":
         return _cmd_measure(args)
+    if args.command == "stats":
+        if len(args.paths) != 1:
+            print("stats takes exactly one metrics/manifest file", file=sys.stderr)
+            return EXIT_WARN
+        return _cmd_stats(args)
     if args.command == "convert":
         if len(args.paths) != 2:
             print("convert needs an input and an output path", file=sys.stderr)
@@ -231,6 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         print(f"cannot read {path}: {exc}", file=sys.stderr)
         return EXIT_WARN
+    except (TraceValidationError, ValueError) as exc:
+        # A file that exists but does not parse as a trace is an
+        # error-level finding, not a usage warning — and must not
+        # escape as an uncaught traceback.
+        print(f"{path}: invalid trace: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     return _COMMANDS[args.command](trace, args)
 
 

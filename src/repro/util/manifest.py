@@ -14,27 +14,46 @@ backoff delays actually waited, the engine-degradation ladder step and
 ``degraded_from`` annotation, corrupt-cache detection
 (``cache_corrupt``), quarantine status, and — at the run level — the
 serialized :class:`~repro.core.resilience.RetryPolicy` plus the record
-wall/event budgets the run enforced.  v1 manifests still load (the new
-fields default).
+wall/event budgets the run enforced.
+
+Schema v3 adds the telemetry surface: a run-level ``metrics`` block
+(the merged :class:`~repro.obs.MetricsSnapshot` JSON image when the run
+collected metrics) and per-entry ``compute_walltime`` — wall seconds
+spent actually measuring, cache-hit attempts excluded — alongside the
+all-attempts ``walltime`` total.
+
+Older manifests still load: any v1/v2 field absent from the file gets
+its dataclass default, unknown (newer) entry fields are ignored, and a
+truncated or garbled file raises the typed :class:`ManifestError`
+rather than leaking a raw :class:`json.JSONDecodeError`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import List, Optional, Union
 
-__all__ = ["MANIFEST_VERSION", "ManifestEntry", "RunManifest"]
+__all__ = ["MANIFEST_VERSION", "ManifestError", "ManifestEntry", "RunManifest"]
 
 #: Schema version stamped into every manifest file.
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
 
 #: Versions :meth:`RunManifest.from_json` accepts (older fields default).
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: Allowed per-record statuses.
 _STATUSES = ("ok", "failed", "quarantined")
+
+
+class ManifestError(ValueError):
+    """A manifest file or document could not be loaded.
+
+    Raised for unreadable files, truncated/garbled JSON, unsupported
+    schema versions and structurally invalid documents — one typed
+    error for callers to catch, whatever the underlying cause.
+    """
 
 
 @dataclass
@@ -55,7 +74,9 @@ class ManifestEntry:
     failure (``"transient"``, ``"budget"``, ``"timeout"`` or
     ``"permanent"``).  ``worker`` is the operating-system pid of the
     process that handled the record (the parent pid on the serial
-    path); ``walltime`` sums all attempts.
+    path); ``walltime`` sums all attempts, while ``compute_walltime``
+    sums only non-cache-hit attempts — the number warm-vs-cold speedup
+    comparisons must use (v1/v2 manifests default it to 0).
     """
 
     name: str
@@ -73,10 +94,27 @@ class ManifestEntry:
     failure_kind: str = ""
     cache_corrupt: bool = False
     quarantined: bool = False
+    compute_walltime: float = 0.0
 
     def __post_init__(self):
         if self.status not in _STATUSES:
             raise ValueError(f"status must be one of {_STATUSES}, got {self.status!r}")
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ManifestEntry":
+        """Build an entry from its JSON image, version-tolerantly.
+
+        Fields a v1/v2 manifest lacks take their defaults; fields a
+        *newer* schema added are dropped instead of crashing the load.
+        Missing required fields raise :class:`ManifestError`.
+        """
+        if not isinstance(data, dict):
+            raise ManifestError(f"manifest entry must be an object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        try:
+            return cls(**{k: v for k, v in data.items() if k in known})
+        except (TypeError, ValueError) as exc:
+            raise ManifestError(f"invalid manifest entry: {exc}") from exc
 
 
 @dataclass
@@ -92,6 +130,9 @@ class RunManifest:
     record_timeout: Optional[float] = None
     event_budget: Optional[int] = None
     entries: List[ManifestEntry] = field(default_factory=list)
+    #: Merged :class:`~repro.obs.MetricsSnapshot` JSON image when the
+    #: run collected metrics; None otherwise (and for v1/v2 files).
+    metrics: Optional[dict] = None
 
     # -- aggregates --------------------------------------------------------
 
@@ -135,6 +176,11 @@ class RunManifest:
         """Summed per-record wall-clock time (CPU-seconds across workers)."""
         return sum(e.walltime for e in self.entries)
 
+    @property
+    def compute_walltime(self) -> float:
+        """Summed wall-clock spent actually measuring (cache hits excluded)."""
+        return sum(e.compute_walltime for e in self.entries)
+
     def hit_rate(self) -> float:
         """Fraction of successful records served from cache (0 when empty)."""
         ok = self.hits + self.misses
@@ -155,14 +201,23 @@ class RunManifest:
             "cache_corrupt": self.cache_corrupt,
             "retries": self.retries,
             "total_walltime": self.total_walltime,
+            "compute_walltime": self.compute_walltime,
         }
         return out
 
     @classmethod
     def from_json(cls, data: dict) -> "RunManifest":
+        if not isinstance(data, dict):
+            raise ManifestError(f"manifest must be a JSON object, got {type(data).__name__}")
         version = data.get("version", MANIFEST_VERSION)
         if version not in _READABLE_VERSIONS:
-            raise ValueError(f"unsupported manifest version {version}")
+            raise ManifestError(f"unsupported manifest version {version!r}")
+        entries = data.get("entries", [])
+        if not isinstance(entries, list):
+            raise ManifestError("manifest 'entries' must be a list")
+        metrics = data.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise ManifestError("manifest 'metrics' must be an object or null")
         return cls(
             seed=data.get("seed"),
             jobs=data.get("jobs", 1),
@@ -172,7 +227,8 @@ class RunManifest:
             retry_policy=data.get("retry_policy"),
             record_timeout=data.get("record_timeout"),
             event_budget=data.get("event_budget"),
-            entries=[ManifestEntry(**e) for e in data.get("entries", [])],
+            entries=[ManifestEntry.from_json(e) for e in entries],
+            metrics=metrics,
         )
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -184,5 +240,18 @@ class RunManifest:
 
     @classmethod
     def read(cls, path: Union[str, Path]) -> "RunManifest":
-        """Load a manifest written by :meth:`write`."""
-        return cls.from_json(json.loads(Path(path).read_text()))
+        """Load a manifest written by :meth:`write`.
+
+        Unreadable files and truncated/garbled JSON raise
+        :class:`ManifestError` (never a raw ``json.JSONDecodeError``).
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ManifestError(f"manifest {path} is not valid JSON: {exc}") from exc
+        return cls.from_json(data)

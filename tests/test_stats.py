@@ -5,6 +5,7 @@ import pytest
 
 from repro.stats import (
     ConfusionCounts,
+    DegenerateLabelsError,
     LogisticModel,
     MAX_VARIABLES,
     aic,
@@ -198,3 +199,66 @@ class TestMonteCarloCV:
     def test_too_few_observations(self):
         with pytest.raises(ValueError):
             monte_carlo_cv(np.zeros((3, 1)), [0, 1, 0], ["a"])
+
+
+class TestDegenerateLabels:
+    """Single-class folds raise a typed error; MCCV records them as skipped."""
+
+    def test_fit_raises_on_single_class_labels(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        for y in (np.zeros(20, dtype=int), np.ones(20, dtype=int)):
+            with pytest.raises(DegenerateLabelsError, match="single-class"):
+                fit_logistic(X, y)
+
+    def test_degenerate_error_is_a_value_error(self):
+        # Pre-existing broad handlers keep working.
+        assert issubclass(DegenerateLabelsError, ValueError)
+
+    def test_stepwise_propagates_degenerate_labels(self):
+        X = np.random.default_rng(1).normal(size=(12, 3))
+        with pytest.raises(DegenerateLabelsError):
+            stepwise_forward(X, np.ones(12, dtype=int), ["a", "b", "c"])
+
+    def test_aic_finite_under_complete_separation(self):
+        # A perfectly separated fit saturates predicted probabilities;
+        # the symmetric clamp before log keeps the AIC finite.
+        X = np.array([[-2.0], [-1.5], [-1.0], [1.0], [1.5], [2.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        model = fit_logistic(X, y)
+        assert np.isfinite(model.log_likelihood)
+        assert np.isfinite(model.aic())
+
+    def _rare_positive_data(self, n=10, seed=3):
+        rng = substream(seed, "degen")
+        X = rng.normal(size=(n, 2))
+        y = np.zeros(n, dtype=int)
+        y[0] = 1  # one positive: 80/20 folds sometimes train single-class
+        return X, y
+
+    def test_mccv_records_degenerate_folds_as_skipped(self):
+        X, y = self._rare_positive_data()
+        cv = monte_carlo_cv(X, y, ["a", "b"], runs=40, seed=11)
+        assert 0 < cv.skipped < 40
+        assert cv.completed == 40 - cv.skipped
+        assert len(cv.confusions) == cv.completed
+        # Selection percentages normalize over completed splits only.
+        assert all(0.0 <= v.selected_pct <= 100.0 for v in cv.variable_stats)
+
+    def test_mccv_skipped_defaults_to_zero(self):
+        X, y = make_data(n=60)
+        cv = monte_carlo_cv(X, y, [f"f{i}" for i in range(4)], runs=5, seed=0)
+        assert cv.skipped == 0 and cv.completed == 5
+
+    def test_mccv_all_degenerate_raises(self):
+        X = np.random.default_rng(4).normal(size=(10, 2))
+        with pytest.raises(DegenerateLabelsError, match="all 5"):
+            monte_carlo_cv(X, np.zeros(10, dtype=int), ["a", "b"], runs=5)
+
+    def test_mccv_skipping_keeps_surviving_splits_seed_stable(self):
+        # Substreams are indexed by run number, so the splits that do
+        # complete are identical whether or not others were skipped.
+        X, y = self._rare_positive_data()
+        a = monte_carlo_cv(X, y, ["a", "b"], runs=25, seed=9)
+        b = monte_carlo_cv(X, y, ["a", "b"], runs=25, seed=9)
+        assert a.skipped == b.skipped
+        assert [c.__dict__ for c in a.confusions] == [c.__dict__ for c in b.confusions]
