@@ -4,12 +4,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test chaos obs-check bench clean-cache
+.PHONY: check lint lint-baseline test chaos obs-check bench clean-cache
 
 check: lint test
 
+# Unified source pass: srclint (AST invariants) + detlint (CFG/dataflow
+# determinism, concurrency and resource rules) under the baseline
+# ratchet in lint-baseline.json.  Zero unbaselined findings required.
 lint:
-	$(PYTHON) -m repro.analysis.srclint
+	$(PYTHON) -m repro.analysis.cli
+
+# Regenerate the ratchet after paying down baselined debt (then commit
+# lint-baseline.json; documented reasons carry over).
+lint-baseline:
+	$(PYTHON) -m repro.analysis.cli --update-baseline
 
 test:
 	$(PYTHON) -m pytest -x -q

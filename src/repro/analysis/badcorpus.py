@@ -1,0 +1,402 @@
+"""Seeded known-bad source corpus for detlint precision/recall.
+
+:func:`repro.workloads.synthesis.inject_defect` validates tracelint by
+planting defects in traces it is known to catch; this module does the
+same for detlint: every rule gets at least one *bad* module with a
+planted defect and a paired *clean* variant that does the same job
+correctly.  :func:`evaluate_corpus` runs detlint over both sides and
+reports per-rule recall (did the planted defect fire?) and precision
+(did the clean variant stay silent?).
+
+Sources are generated, not checked in: identifier names are drawn from
+a seeded substream so the linter cannot pattern-match on fixed names,
+while the same seed always yields the same corpus (the tests pin
+``DEFAULT_SEED`` behavior).  The templates never execute — they only
+have to parse — so they are free to use the real repo idioms
+(``WorkerPool``, ``EventEngine``, ``obs.counter``) without importing
+anything at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.rng import DEFAULT_SEED, substream
+
+__all__ = ["CorpusCase", "DEFECT_KINDS", "corpus_cases", "evaluate_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One planted defect and its clean twin."""
+
+    kind: str   # defect kind identifier (stable across seeds)
+    rule: str   # detlint rule expected to fire on ``bad``
+    rel: str    # path label (drives scope-sensitive rules)
+    bad: str    # module source with the planted defect
+    clean: str  # paired module source doing the same job correctly
+    note: str   # what the defect breaks at runtime
+
+
+_FN_POOL = ("ingest", "bundle", "assemble", "collect", "summarize", "publish")
+_VAR_POOL = ("entries", "tokens", "parts", "fields", "items", "labels")
+_WORKER_POOL = ("crunch", "measure_task", "replay_task", "grind", "evaluate")
+_STATE_POOL = ("RESULTS", "SEEN", "TALLY", "CACHE_HITS", "LEDGER")
+_METRIC_POOL = ("dispatch", "replay", "ingest", "flush", "probe")
+
+
+def _names(rng, *pools: Sequence[str]) -> List[str]:
+    """One distinct name per pool (seeded, collision-free)."""
+    out: List[str] = []
+    for pool in pools:
+        name = pool[int(rng.integers(len(pool)))]
+        while name in out:
+            name = pool[(pool.index(name) + 1) % len(pool)]
+        out.append(name)
+    return out
+
+
+def corpus_cases(seed: int = DEFAULT_SEED) -> List[CorpusCase]:
+    """The full corpus: every detlint rule planted at least once."""
+    cases: List[CorpusCase] = []
+
+    def rng_for(kind: str):
+        return substream(seed, "detlint-corpus", kind)
+
+    # -- det/unordered-iter (ERROR: order reaches a digest) -----------
+    rng = rng_for("unordered-fingerprint")
+    fn, tokens = _names(rng, _FN_POOL, _VAR_POOL)
+    cases.append(CorpusCase(
+        kind="unordered-fingerprint",
+        rule="det/unordered-iter",
+        rel="src/repro/util/corpus_mod.py",
+        bad=(
+            "import hashlib\n\n\n"
+            f"def {fn}(flags):\n"
+            f"    {tokens} = list({{flag.strip() for flag in flags}})\n"
+            "    digest = hashlib.sha256()\n"
+            f"    digest.update(\",\".join({tokens}).encode())\n"
+            "    return digest.hexdigest()\n"
+        ),
+        clean=(
+            "import hashlib\n\n\n"
+            f"def {fn}(flags):\n"
+            f"    {tokens} = sorted({{flag.strip() for flag in flags}})\n"
+            "    digest = hashlib.sha256()\n"
+            f"    digest.update(\",\".join({tokens}).encode())\n"
+            "    return digest.hexdigest()\n"
+        ),
+        note="set iteration order changes the fingerprint between runs",
+    ))
+
+    # -- det/unordered-iter (WARNING: order captured in critical pkg) -
+    rng = rng_for("unordered-listcomp")
+    fn, order = _names(rng, _FN_POOL, _VAR_POOL)
+    cases.append(CorpusCase(
+        kind="unordered-listcomp",
+        rule="det/unordered-iter",
+        rel="src/repro/sim/corpus_mod.py",
+        bad=(
+            f"def {fn}(active):\n"
+            "    pending = {index for index in range(len(active))}\n"
+            f"    {order} = [index for index in pending if active[index]]\n"
+            f"    return {order}\n"
+        ),
+        clean=(
+            f"def {fn}(active):\n"
+            "    pending = {index for index in range(len(active))}\n"
+            f"    {order} = [index for index in sorted(pending) if active[index]]\n"
+            f"    return {order}\n"
+        ),
+        note="list built from set order diverges across interpreters",
+    ))
+
+    # -- det/wall-clock ------------------------------------------------
+    rng = rng_for("wallclock-serialized")
+    fn, = _names(rng, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="wallclock-serialized",
+        rule="det/wall-clock",
+        rel="src/repro/core/corpus_mod.py",
+        bad=(
+            "import json\n"
+            "import time\n\n\n"
+            f"def {fn}(record):\n"
+            "    record[\"measured_at\"] = time.time()\n"
+            "    return json.dumps(record, sort_keys=True)\n"
+        ),
+        clean=(
+            "import json\n"
+            "import time\n\n\n"
+            f"def {fn}(record):\n"
+            "    t0 = time.perf_counter()\n"
+            "    payload = json.dumps(record, sort_keys=True)\n"
+            "    walltime = time.perf_counter() - t0\n"
+            "    return payload, walltime\n"
+        ),
+        note="wall-clock stamp makes the canonical payload nondeterministic",
+    ))
+
+    # -- det/obs-nondet-series ----------------------------------------
+    rng = rng_for("wallclock-obs-series")
+    metric, = _names(rng, _METRIC_POOL)
+    cases.append(CorpusCase(
+        kind="wallclock-obs-series",
+        rule="det/obs-nondet-series",
+        rel="src/repro/sim/corpus_obs.py",
+        bad=(
+            "import time\n\n"
+            "from repro import obs\n\n\n"
+            "def timed(work):\n"
+            "    t0 = time.perf_counter()\n"
+            "    work()\n"
+            "    dt = time.perf_counter() - t0\n"
+            f"    obs.counter(\"repro_{metric}_total\").inc(dt)\n"
+            "    return dt\n"
+        ),
+        clean=(
+            "import time\n\n"
+            "from repro import obs\n\n\n"
+            "def timed(work):\n"
+            "    t0 = time.perf_counter()\n"
+            "    work()\n"
+            "    dt = time.perf_counter() - t0\n"
+            f"    obs.counter(\"repro_{metric}_seconds_total\").inc(dt)\n"
+            "    return dt\n"
+        ),
+        note="serial-vs-parallel obs gate compares non-walltime series",
+    ))
+
+    # -- det/builtin-hash ---------------------------------------------
+    rng = rng_for("builtin-hash-key")
+    fn, = _names(rng, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="builtin-hash-key",
+        rule="det/builtin-hash",
+        rel="src/repro/core/corpus_key.py",
+        bad=(
+            "import json\n\n\n"
+            f"def {fn}(spec):\n"
+            "    key = hash(spec)\n"
+            "    return json.dumps({\"key\": key})\n"
+        ),
+        clean=(
+            "import hashlib\n"
+            "import json\n\n\n"
+            f"def {fn}(spec):\n"
+            "    key = hashlib.sha256(repr(spec).encode()).hexdigest()\n"
+            "    return json.dumps({\"key\": key})\n"
+        ),
+        note="hash() is salted per process; persisted keys never match again",
+    ))
+
+    # -- conc/global-mutation -----------------------------------------
+    rng = rng_for("worker-global-mutation")
+    worker, state = _names(rng, _WORKER_POOL, _STATE_POOL)
+    cases.append(CorpusCase(
+        kind="worker-global-mutation",
+        rule="conc/global-mutation",
+        rel="src/repro/core/corpus_pool.py",
+        bad=(
+            "from repro.core.resilience import WorkerPool\n\n"
+            f"{state} = {{}}\n\n\n"
+            f"def {worker}(task):\n"
+            f"    {state}[task[0]] = task[1]\n"
+            "    return task\n\n\n"
+            "def run(jobs):\n"
+            f"    return WorkerPool({worker}, jobs)\n"
+        ),
+        clean=(
+            "from repro.core.resilience import WorkerPool\n\n\n"
+            f"def {worker}(task):\n"
+            "    return (task[0], task[1])\n\n\n"
+            "def run(jobs):\n"
+            f"    pool = WorkerPool({worker}, jobs)\n"
+            "    gathered = {}\n"
+            "    return pool, gathered\n"
+        ),
+        note="writes land in the forked child and never reach the parent",
+    ))
+
+    # -- conc/unpicklable-payload (lambda across the pipe) ------------
+    rng = rng_for("worker-lambda-payload")
+    fn, = _names(rng, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="worker-lambda-payload",
+        rule="conc/unpicklable-payload",
+        rel="src/repro/core/corpus_dispatch.py",
+        bad=(
+            f"def {fn}(pool, specs):\n"
+            "    for index, spec in enumerate(specs):\n"
+            "        pool.dispatch(index, lambda: spec)\n"
+        ),
+        clean=(
+            f"def {fn}(pool, specs):\n"
+            "    for index, spec in enumerate(specs):\n"
+            "        pool.dispatch(index, (index, spec))\n"
+        ),
+        note="lambdas fail to pickle when the payload crosses the pipe",
+    ))
+
+    # -- conc/unpicklable-payload (engine returned from a worker) -----
+    rng = rng_for("worker-returns-engine")
+    worker, = _names(rng, _WORKER_POOL)
+    cases.append(CorpusCase(
+        kind="worker-returns-engine",
+        rule="conc/unpicklable-payload",
+        rel="src/repro/sim/corpus_engine.py",
+        bad=(
+            "from repro.core.resilience import WorkerPool\n"
+            "from repro.sim.engine import EventEngine\n\n\n"
+            f"def {worker}(task):\n"
+            "    engine = EventEngine()\n"
+            "    engine.run()\n"
+            "    return engine\n\n\n"
+            "def run(jobs):\n"
+            f"    return WorkerPool({worker}, jobs)\n"
+        ),
+        clean=(
+            "from repro.core.resilience import WorkerPool\n"
+            "from repro.sim.engine import EventEngine\n\n\n"
+            f"def {worker}(task):\n"
+            "    engine = EventEngine()\n"
+            "    processed = engine.run()\n"
+            "    return {\"processed\": processed}\n\n\n"
+            "def run(jobs):\n"
+            f"    return WorkerPool({worker}, jobs)\n"
+        ),
+        note="EventEngine refuses to pickle; the worker dies mid-study",
+    ))
+
+    # -- conc/fork-shared-state ---------------------------------------
+    rng = rng_for("fork-shared-rng")
+    worker, = _names(rng, _WORKER_POOL)
+    label = _METRIC_POOL[int(rng.integers(len(_METRIC_POOL)))]
+    cases.append(CorpusCase(
+        kind="fork-shared-rng",
+        rule="conc/fork-shared-state",
+        rel="src/repro/core/corpus_rng.py",
+        bad=(
+            "from repro.core.resilience import WorkerPool\n"
+            "from repro.util.rng import substream\n\n"
+            f"SHARED_RNG = substream(0, \"{label}\")\n\n\n"
+            f"def {worker}(task):\n"
+            "    return task[0] + float(SHARED_RNG.random())\n\n\n"
+            "def run(jobs):\n"
+            f"    return WorkerPool({worker}, jobs)\n"
+        ),
+        clean=(
+            "from repro.core.resilience import WorkerPool\n"
+            "from repro.util.rng import substream\n\n\n"
+            f"def {worker}(task):\n"
+            f"    rng = substream(task[1], \"{label}\")\n"
+            "    return task[0] + float(rng.random())\n\n\n"
+            "def run(jobs):\n"
+            f"    return WorkerPool({worker}, jobs)\n"
+        ),
+        note="every forked worker clones the RNG and draws identical streams",
+    ))
+
+    # -- res/open-no-close (never closed) -----------------------------
+    rng = rng_for("open-no-close")
+    fn, = _names(rng, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="open-no-close",
+        rule="res/open-no-close",
+        rel="src/repro/trace/corpus_ingest.py",
+        bad=(
+            "import json\n\n\n"
+            f"def {fn}(path):\n"
+            "    stream = open(path)\n"
+            "    payload = json.load(stream)\n"
+            "    return payload\n"
+        ),
+        clean=(
+            "import json\n\n\n"
+            f"def {fn}(path):\n"
+            "    with open(path) as stream:\n"
+            "        return json.load(stream)\n"
+        ),
+        note="leaked descriptors exhaust the fd table on long studies",
+    ))
+
+    # -- res/open-no-close (closed on one branch only) ----------------
+    rng = rng_for("open-close-partial")
+    fn, = _names(rng, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="open-close-partial",
+        rule="res/open-no-close",
+        rel="src/repro/trace/corpus_cache.py",
+        bad=(
+            f"def {fn}(path, verbose):\n"
+            "    stream = open(path)\n"
+            "    data = stream.read()\n"
+            "    if verbose:\n"
+            "        stream.close()\n"
+            "    return data\n"
+        ),
+        clean=(
+            f"def {fn}(path):\n"
+            "    stream = open(path)\n"
+            "    try:\n"
+            "        return stream.read()\n"
+            "    finally:\n"
+            "        stream.close()\n"
+        ),
+        note="the no-verbose path leaks the handle",
+    ))
+
+    return cases
+
+
+#: Stable defect-kind identifiers (mirrors synthesis.DEFECT_KINDS).
+DEFECT_KINDS = tuple(case.kind for case in corpus_cases())
+
+
+def evaluate_corpus(
+    cases: Optional[Sequence[CorpusCase]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Dict:
+    """Run detlint over the corpus; per-kind outcomes + per-rule metrics.
+
+    Recall counts a kind as detected when its expected rule fires on
+    the bad module; precision charges a rule with every finding it
+    emits on any *clean* module.  A healthy rule pack scores 1.0/1.0.
+    """
+    from repro.analysis import detlint
+
+    cases = list(cases) if cases is not None else corpus_cases(seed)
+    kinds: List[Dict] = []
+    planted: Dict[str, int] = {}
+    detected: Dict[str, int] = {}
+    false_pos: Dict[str, int] = {}
+    for case in cases:
+        bad_diags = detlint.lint_source(case.bad, case.rel)
+        clean_diags = detlint.lint_source(case.clean, case.rel)
+        fired = any(d.rule == case.rule for d in bad_diags)
+        planted[case.rule] = planted.get(case.rule, 0) + 1
+        if fired:
+            detected[case.rule] = detected.get(case.rule, 0) + 1
+        for diag in clean_diags:
+            false_pos[diag.rule] = false_pos.get(diag.rule, 0) + 1
+        kinds.append({
+            "kind": case.kind,
+            "rule": case.rule,
+            "fired": fired,
+            "bad_findings": [d.rule for d in bad_diags],
+            "clean_findings": [d.rule for d in clean_diags],
+        })
+    rules: Dict[str, Dict] = {}
+    for rule in sorted(set(planted) | set(false_pos)):
+        tp = detected.get(rule, 0)
+        fp = false_pos.get(rule, 0)
+        total = planted.get(rule, 0)
+        rules[rule] = {
+            "planted": total,
+            "detected": tp,
+            "false_positives": fp,
+            "recall": (tp / total) if total else 1.0,
+            "precision": (tp / (tp + fp)) if (tp + fp) else 1.0,
+        }
+    return {"seed": seed, "kinds": kinds, "rules": rules}

@@ -1,0 +1,167 @@
+"""Baseline ratchet for the source linters.
+
+Rolling out a new rule pack over a living codebase needs a middle path
+between "flag day" (fix everything before the rule lands) and "warning
+fatigue" (everything is allowed forever).  The ratchet: a checked-in
+baseline file records, per ``(rule, file)``, how many findings existed
+when the rule landed.  CI fails on any finding *beyond* the allowance,
+so new debt is impossible, while the recorded debt stays visible (and
+shrinks: when findings are fixed, the stale allowance is reported so
+the baseline can be tightened with ``repro-lint --update-baseline``).
+
+Allowances match by ``(rule, path)`` with a count — deliberately not by
+line number, so unrelated edits that shift lines do not invalidate the
+baseline, while a *new* finding of an allowed rule in an allowed file
+still fails (the count ratchets).  Paths are canonicalized to start at
+the ``repro/`` package segment so the file is stable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Allowance", "Baseline", "BaselineResult", "canonical_path"]
+
+_LOCATION = re.compile(r"^(?P<path>.*):(?P<line>\d+)$")
+
+
+def canonical_path(location: str) -> str:
+    """Stable file key of a ``file:line`` location (or a bare path)."""
+    match = _LOCATION.match(location)
+    path = match.group("path") if match else location
+    idx = path.rfind("repro/")
+    return path[idx:] if idx >= 0 else path
+
+
+@dataclass(frozen=True)
+class Allowance:
+    """Permission for up to ``count`` findings of ``rule`` in ``path``."""
+
+    rule: str
+    path: str
+    count: int
+    reason: str = ""
+
+    def to_json(self) -> dict:
+        out = {"rule": self.rule, "path": self.path, "count": self.count}
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a diagnostic list."""
+
+    kept: List[Diagnostic]
+    suppressed: int
+    #: Allowances whose current finding count is below the allowance —
+    #: the baseline can be tightened (``repro-lint --update-baseline``).
+    stale: List[Allowance]
+
+
+@dataclass
+class Baseline:
+    allowances: List[Allowance] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r}"
+            )
+        return cls(
+            allowances=[
+                Allowance(
+                    rule=item["rule"],
+                    path=item["path"],
+                    count=int(item["count"]),
+                    reason=item.get("reason", ""),
+                )
+                for item in payload.get("allowances", [])
+            ]
+        )
+
+    def save(self, path: Path) -> Path:
+        payload = {
+            "version": 1,
+            "note": (
+                "Lint ratchet: counts of known findings per (rule, file). "
+                "New findings beyond an allowance fail CI. Regenerate with "
+                "`repro-lint --update-baseline` after fixing debt."
+            ),
+            "allowances": [
+                a.to_json()
+                for a in sorted(
+                    self.allowances, key=lambda a: (a.rule, a.path)
+                )
+            ],
+        }
+        path = Path(path)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_diagnostics(
+        cls,
+        diags: Sequence[Diagnostic],
+        previous: Optional["Baseline"] = None,
+    ) -> "Baseline":
+        """Baseline allowing exactly the current findings.
+
+        Reasons recorded in ``previous`` carry over for ``(rule, path)``
+        pairs that still have findings, so documented false-positive
+        allowances survive regeneration.
+        """
+        reasons: Dict[Tuple[str, str], str] = {}
+        if previous is not None:
+            reasons = {
+                (a.rule, a.path): a.reason
+                for a in previous.allowances
+                if a.reason
+            }
+        counts: Dict[Tuple[str, str], int] = {}
+        for diag in diags:
+            key = (diag.rule, canonical_path(diag.location))
+            counts[key] = counts.get(key, 0) + 1
+        return cls(
+            allowances=[
+                Allowance(rule=rule, path=path, count=count,
+                          reason=reasons.get((rule, path), ""))
+                for (rule, path), count in sorted(counts.items())
+            ]
+        )
+
+    def apply(self, diags: Sequence[Diagnostic]) -> BaselineResult:
+        """Split findings into (kept, suppressed) under the allowances.
+
+        A ``(rule, file)`` group at or under its allowance is fully
+        suppressed; a group *over* its allowance is fully kept, so the
+        report shows every candidate for the one-too-many finding.
+        """
+        allowed: Dict[Tuple[str, str], int] = {
+            (a.rule, a.path): a.count for a in self.allowances
+        }
+        groups: Dict[Tuple[str, str], List[Diagnostic]] = {}
+        for diag in diags:
+            key = (diag.rule, canonical_path(diag.location))
+            groups.setdefault(key, []).append(diag)
+        kept: List[Diagnostic] = []
+        suppressed = 0
+        for key, group in groups.items():
+            if len(group) <= allowed.get(key, 0):
+                suppressed += len(group)
+            else:
+                kept.extend(group)
+        stale = [
+            a for a in self.allowances
+            if len(groups.get((a.rule, a.path), [])) < a.count
+        ]
+        return BaselineResult(kept=kept, suppressed=suppressed, stale=stale)

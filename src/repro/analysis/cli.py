@@ -1,0 +1,196 @@
+"""``repro-lint`` — every analysis layer in one pass.
+
+Runs srclint (single-node AST invariants) and detlint (CFG/dataflow
+determinism, concurrency and resource rules) over Python sources, and
+tracelint over any trace files given, merging everything into one
+:class:`~repro.analysis.diagnostics.LintReport` with one exit code
+(0 clean / 1 worst-is-warning / 2 worst-is-error, matching
+:class:`~repro.analysis.diagnostics.Severity`).
+
+The source layers pass through the baseline ratchet
+(:mod:`repro.analysis.baseline`): findings within the checked-in
+``lint-baseline.json`` allowances are suppressed (counted in the
+summary), anything beyond them fails.  ``--update-baseline`` rewrites
+the baseline to exactly the current findings, carrying over documented
+reasons — run it after paying down debt, then commit the file.
+
+Usage::
+
+    repro-lint                         # lint src/repro with ./lint-baseline.json
+    repro-lint src/repro traces/a.dmp  # sources + a trace in one report
+    repro-lint --json                  # machine-readable report + baseline info
+    repro-lint --no-baseline           # raw findings, ratchet off
+    repro-lint --update-baseline       # regenerate lint-baseline.json
+
+Also callable as ``python -m repro.analysis.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.analysis.baseline import Baseline, BaselineResult
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["main", "run_lint"]
+
+#: Default baseline file, resolved against the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_TRACE_SUFFIXES = (".dmp", ".bin", ".trace")
+
+
+def _default_source_root() -> Path:
+    src = Path("src") / "repro"
+    if src.is_dir():
+        return src
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _split_paths(paths: List[Path]) -> Tuple[List[Path], List[Path]]:
+    """(python paths, trace paths); directories count as python roots."""
+    py_paths: List[Path] = []
+    trace_paths: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix in _TRACE_SUFFIXES:
+            trace_paths.append(path)
+        else:
+            py_paths.append(path)
+    return py_paths, trace_paths
+
+
+def _lint_trace_file(path: Path) -> List[Diagnostic]:
+    from repro.analysis.lint import lint_trace
+    from repro.trace.binary import read_trace_binary
+    from repro.trace.dumpi import read_trace
+
+    try:
+        if path.suffix == ".bin":
+            trace = read_trace_binary(path)
+        else:
+            trace = read_trace(path)
+    except (OSError, ValueError) as exc:
+        return [
+            Diagnostic(
+                "trace/unreadable", Severity.ERROR,
+                f"cannot load trace: {exc}",
+                location=str(path),
+            )
+        ]
+    report = lint_trace(trace)
+    return [
+        Diagnostic(
+            d.rule, d.severity, d.message, rank=d.rank, op_index=d.op_index,
+            location=d.location or str(path), hint=d.hint,
+        )
+        for d in report.diagnostics
+    ]
+
+
+def run_lint(
+    paths: Optional[List[Path]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Tuple[LintReport, List[Diagnostic], Optional[BaselineResult]]:
+    """Run every layer; returns (report, source findings, baseline result).
+
+    ``report`` holds the *unbaselined* findings (trace findings are
+    never baselined — traces are inputs, not debt).  The raw source
+    findings come back separately so ``--update-baseline`` can record
+    them.
+    """
+    from repro.analysis import detlint, srclint
+
+    py_paths, trace_paths = _split_paths([Path(p) for p in (paths or [])])
+    if not py_paths and not trace_paths:
+        py_paths = [_default_source_root()]
+
+    source_diags: List[Diagnostic] = []
+    subjects: List[str] = []
+    if py_paths:
+        subjects.extend(str(p) for p in py_paths)
+        source_diags.extend(srclint.lint_paths(py_paths).diagnostics)
+        source_diags.extend(detlint.lint_paths(py_paths).diagnostics)
+
+    result: Optional[BaselineResult] = None
+    kept = source_diags
+    if baseline is not None:
+        result = baseline.apply(source_diags)
+        kept = result.kept
+
+    report = LintReport(subject=", ".join(subjects) or "repro-lint")
+    report.extend(kept)
+    for path in trace_paths:
+        subjects.append(str(path))
+        report.extend(_lint_trace_file(path))
+    report.subject = ", ".join(subjects)
+    return report, source_diags, result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Unified srclint + detlint + tracelint pass with a "
+                    "baseline ratchet.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="Python files/directories and/or trace files "
+             "(default: src/repro)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the merged report as JSON")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE} "
+                             "when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report raw findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings "
+                             "and exit 0")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.update_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    report, source_diags, result = run_lint(args.paths or None, baseline)
+
+    if args.update_baseline:
+        previous = Baseline.load(baseline_path) if baseline_path.exists() else None
+        Baseline.from_diagnostics(source_diags, previous=previous).save(
+            baseline_path
+        )
+        print(f"baseline written: {baseline_path} "
+              f"({len(source_diags)} findings allowed)")
+        return 0
+
+    if args.as_json:
+        payload = report.to_json()
+        if result is not None:
+            payload["baseline"] = {
+                "file": str(baseline_path),
+                "suppressed": result.suppressed,
+                "stale": [a.to_json() for a in result.stale],
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if result is not None and result.suppressed:
+            print(f"baseline: {result.suppressed} known finding(s) "
+                  f"suppressed by {baseline_path}")
+        for stale in (result.stale if result is not None else []):
+            print(f"baseline: stale allowance {stale.rule} in {stale.path} "
+                  f"(allowed {stale.count}, fewer found) — run "
+                  "`repro-lint --update-baseline` to tighten")
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,900 @@
+"""Determinism, concurrency and resource linting over the repro sources.
+
+srclint (:mod:`repro.analysis.srclint`) checks shapes a single AST node
+can prove; the rules here need *flow*: does a value born unordered (or
+from the wall clock, or from salted ``hash()``) reach a sink that is
+supposed to be deterministic?  Is module state written by code that
+runs in a forked worker?  Is a handle closed on every path out of a
+function?  Each function body is lowered to a CFG
+(:mod:`repro.analysis.cfg`) and a forward tag analysis
+(:mod:`repro.analysis.dataflow`) is run to a fixpoint before the rules
+fire.
+
+Rules (all intraprocedural; see DESIGN.md for scope and limits):
+
+``det/unordered-iter``
+    ERROR when iteration order of a ``set``/``frozenset`` (or an
+    unsorted directory listing) flows into a fingerprint, cache key,
+    manifest, digest or serialized output.  WARNING when such an order
+    is merely captured into an ordered container (``list(s)``,
+    ``[x for x in s]``, ``",".join(s)``) inside a measurement-critical
+    package — the capture is one call away from a sink.
+``det/wall-clock``
+    ERROR when a wall-clock reading (``time.time``, ``perf_counter``,
+    ``datetime.now``, ...) flows into deterministic output: anything
+    feeding ``to_json``/``dumps``, ``repro.util.fingerprint`` digests
+    or cache keys.  Manifest entries are exempt — their ``walltime``
+    fields are documented as nondeterministic.
+``det/obs-nondet-series``
+    ERROR when a wall-clock-derived value is recorded into an obs
+    series whose metric name is not in the walltime/seconds family;
+    the serial-vs-parallel obs gate compares every other series.
+``det/builtin-hash``
+    ERROR when a builtin ``hash()`` value (salted per process) reaches
+    a persisted key or serialized output.
+``conc/global-mutation``
+    ERROR when a function dispatched through the worker pool
+    (``resilience.WorkerPool``, ``executor._drive``, ``Process``)
+    writes module-level state: the write happens in a forked child and
+    silently never reaches the parent.
+``conc/unpicklable-payload``
+    ERROR when a lambda, nested function, open handle or simulation
+    engine instance is dispatched across (or returned over) the worker
+    pipe — these fail to pickle at runtime, on the worker side, where
+    the traceback is least useful.
+``conc/fork-shared-state``
+    ERROR when a module-level RNG or file handle is used inside a
+    worker function: every fork clones the state, so workers draw
+    identical "random" streams or interleave writes on one descriptor.
+``res/open-no-close``
+    ERROR when ``open()`` is assigned outside a ``with`` block and some
+    path to the function exit neither closes nor hands off the handle.
+
+Run standalone with ``python -m repro.analysis.detlint [path ...]`` or
+through the unified ``repro-lint`` CLI (:mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import dataflow as df
+from repro.analysis.cfg import BIND, EXPR, STMT, ControlFlowGraph, build_cfg
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["DETLINT_RULES", "lint_source", "lint_paths", "main"]
+
+#: Rule id -> one-line description (the README table is generated from this).
+DETLINT_RULES = {
+    "det/unordered-iter": "set/unordered iteration order reaches ordered or serialized output",
+    "det/wall-clock": "wall-clock reading flows into deterministic output",
+    "det/obs-nondet-series": "wall-clock value recorded in a deterministic obs series",
+    "det/builtin-hash": "process-salted builtin hash() escapes into a persisted key",
+    "conc/global-mutation": "worker-dispatched function writes module-level state",
+    "conc/unpicklable-payload": "unpicklable value crosses the worker pipe",
+    "conc/fork-shared-state": "module-level RNG/file handle reused across fork",
+    "res/open-no-close": "open() without with/close on every path",
+}
+
+# ----------------------------------------------------------------------
+# Tag alphabet
+# ----------------------------------------------------------------------
+
+UNORDERED = "unordered"      # set-typed value / unsorted directory listing
+ORDER_DEP = "order-dep"      # ordered container capturing an unordered order
+WALLCLOCK = "wallclock"      # derived from the wall clock
+PYHASH = "pyhash"            # derived from builtin hash()
+UNPICKLABLE = "unpicklable"  # lambda / engine / handle: fails pickling
+HANDLE = "handle"            # open() file object
+DIGEST = "digest"            # hashlib digest object (update() is a sink)
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: Tags that survive passing through an unknown call.
+_CALL_PROPAGATE = frozenset({WALLCLOCK, PYHASH, ORDER_DEP})
+
+#: Packages where capturing an unordered iteration is warned about even
+#: before it reaches a sink (measurement-critical code).
+_WARN_SCOPE = re.compile(r"(^|/)repro/(core|sim|trace|util|mfact)/")
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+_WALLCLOCK_BARE = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "time_ns",
+})
+#: Calls returning filesystem listings in arbitrary order.
+_LISTING_TAILS = frozenset({"listdir", "iterdir", "glob", "rglob", "scandir"})
+_DIGEST_TAILS = frozenset({
+    "sha1", "sha224", "sha256", "sha384", "sha512", "md5",
+    "blake2b", "blake2s", "new",
+})
+#: Constructors whose instances refuse to pickle (EventEngine raises
+#: from __getstate__ by design; SimReplay holds one).
+_UNPICKLABLE_CTORS = frozenset({"EventEngine", "SimReplay"})
+_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_CONTAINER_GROW = frozenset({
+    "append", "add", "extend", "insert", "appendleft", "update", "setdefault",
+})
+_OBS_CTOR_TAILS = frozenset({"counter", "gauge", "histogram"})
+_OBS_RECORD_METHODS = frozenset({"inc", "dec", "observe", "set", "set_max"})
+_WALLTIME_SERIES = re.compile(r"walltime|seconds|duration", re.IGNORECASE)
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "remove", "discard", "clear", "pop", "popitem",
+})
+_DISPATCH_PAYLOAD_TAILS = frozenset({
+    "dispatch", "submit", "apply_async", "map_async", "imap",
+    "imap_unordered", "starmap",
+})
+
+
+def _tail_of(func: ast.AST) -> Optional[str]:
+    name = df.dotted_name(func)
+    if name is not None:
+        return name.rsplit(".", 1)[-1]
+    if isinstance(func, ast.Attribute):
+        return func.attr  # method on a non-name base ("," .join, call chains)
+    return None
+
+
+def _is_wallclock(func: ast.AST) -> bool:
+    name = df.dotted_name(func)
+    if name is None:
+        return False
+    if name in _WALLCLOCK_BARE:
+        return True
+    return any(name == w or name.endswith("." + w) for w in _WALLCLOCK_CALLS)
+
+
+def _serialize_sink(func: ast.AST) -> Optional[str]:
+    """Sink name when this call persists/serializes its arguments."""
+    name = df.dotted_name(func) or _tail_of(func) or ""
+    low = name.lower()
+    tail = low.rsplit(".", 1)[-1]
+    if ("fingerprint" in low or "cache_key" in low or "manifest" in low
+            or tail in ("dumps", "dumps_binary", "to_json")):
+        return name
+    return None
+
+
+def _head_name(node: ast.AST) -> Optional[str]:
+    """Leftmost ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _Findings:
+    """Diagnostic sink deduplicating by (rule, line, message)."""
+
+    def __init__(self, rel: str) -> None:
+        self.rel = rel
+        self.diags: List[Diagnostic] = []
+        self._seen: Set[Tuple[str, int, str]] = set()
+
+    def emit(self, rule: str, severity: Severity, message: str,
+             lineno: int, hint: str = "") -> None:
+        key = (rule, lineno, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.diags.append(
+            Diagnostic(rule, severity, message,
+                       location=f"{self.rel}:{lineno}", hint=hint)
+        )
+
+
+class _FunctionAnalyzer:
+    """All detlint rules for one function body (or the module body)."""
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        qualname: str,
+        bindings: Dict[str, str],
+        initial: df.TagEnv,
+        is_worker: bool,
+        warn_scope: bool,
+        params: Sequence[str] = (),
+    ) -> None:
+        self.body = list(body)
+        self.qualname = qualname
+        self.bindings = bindings
+        self.initial = dict(initial)
+        self.is_worker = is_worker
+        self.warn_scope = warn_scope
+        self.params = list(params)
+        self.local_defs = {
+            stmt.name for stmt in self.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    # -- driver -------------------------------------------------------
+
+    def run(self, findings: _Findings) -> None:
+        cfg = build_cfg(self.body)
+        self._findings: Optional[_Findings] = None
+
+        def transfer(bid: int, env: df.TagEnv) -> df.TagEnv:
+            env = dict(env)
+            for action in cfg.blocks[bid].actions:
+                self._action(action, env)
+            return env
+
+        in_envs = df.solve_forward(cfg, transfer, self.initial)
+        self._findings = findings
+        for bid in sorted(in_envs):
+            env = dict(in_envs[bid])
+            for action in cfg.blocks[bid].actions:
+                self._action(action, env)
+        self._findings = None
+        self._open_close(cfg, findings)
+        if self.is_worker:
+            self._worker_checks(findings)
+
+    # -- taint transfer ----------------------------------------------
+
+    def _action(self, action: tuple, env: df.TagEnv) -> None:
+        kind = action[0]
+        if kind == STMT:
+            self._stmt(action[1], env)
+        elif kind == EXPR:
+            self._eval(action[1], env)
+        elif kind == BIND:
+            _, target, source, how = action
+            tags = self._eval(source, env) if source is not None else _EMPTY
+            if how == "for":
+                bound = tags - {UNORDERED}
+                if UNORDERED in tags:
+                    bound |= {ORDER_DEP}
+                self._bind(target, frozenset(bound), env)
+            elif how == "with":
+                if target is not None:
+                    self._bind(target, tags - {HANDLE, UNPICKLABLE}, env)
+            else:  # except
+                if target is not None:
+                    self._bind(target, _EMPTY, env)
+
+    def _stmt(self, node: ast.stmt, env: df.TagEnv) -> None:
+        if isinstance(node, ast.Assign):
+            tags = self._eval(node.value, env)
+            for target in node.targets:
+                self._bind(target, tags, env)
+        elif isinstance(node, ast.AugAssign):
+            tags = self._eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = env.get(node.target.id, _EMPTY) | tags
+            else:
+                self._weak_update(node.target, tags, env)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._bind(node.target, self._eval(node.value, env), env)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value, env)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            tags = self._eval(node.value, env)
+            if self.is_worker and tags & {UNPICKLABLE, HANDLE}:
+                self._emit(
+                    "conc/unpicklable-payload", Severity.ERROR,
+                    f"worker function {self.qualname}() returns an "
+                    "unpicklable value over the worker pipe",
+                    node.lineno,
+                    "return plain data (tuples/dicts/dataclass fields); "
+                    "engines and handles cannot cross process boundaries",
+                )
+        elif isinstance(node, (ast.Raise,)) and node.exc is not None:
+            self._eval(node.exc, env)
+        elif isinstance(node, ast.Assert):
+            self._eval(node.test, env)
+
+    def _bind(self, target: ast.AST, tags: FrozenSet[str], env: df.TagEnv) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tags, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._weak_update(target, tags, env)
+
+    def _weak_update(self, target: ast.AST, tags: FrozenSet[str],
+                     env: df.TagEnv) -> None:
+        head = _head_name(target)
+        if head is not None and tags:
+            env[head] = env.get(head, _EMPTY) | tags
+
+    # -- expression evaluation ----------------------------------------
+
+    def _eval(self, node: ast.AST, env: df.TagEnv,
+              order_ok: bool = False) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, order_ok)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            for child in ast.iter_child_nodes(node):
+                self._eval(child, env, order_ok=True)
+            return frozenset({UNORDERED})
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, env, order_ok)
+        if isinstance(node, ast.DictComp):
+            tags = _EMPTY
+            for gen in node.generators:
+                if UNORDERED in self._eval(gen.iter, env):
+                    tags |= {ORDER_DEP}
+            return tags
+        if isinstance(node, (ast.List, ast.Tuple)):
+            tags = _EMPTY
+            for elt in node.elts:
+                tags |= self._eval(elt, env, order_ok)
+            return tags
+        if isinstance(node, ast.Dict):
+            tags = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    tags |= self._eval(key, env, order_ok)
+            for value in node.values:
+                tags |= self._eval(value, env, order_ok)
+            return tags
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value, env, order_ok)
+        if isinstance(node, ast.Subscript):
+            tags = self._eval(node.value, env, order_ok)
+            tags |= self._eval(node.slice, env, order_ok)
+            return tags - {UNORDERED}
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env, order_ok) | self._eval(
+                node.right, env, order_ok
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env, order_ok)
+        if isinstance(node, ast.BoolOp):
+            tags = _EMPTY
+            for value in node.values:
+                tags |= self._eval(value, env, order_ok)
+            return tags
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env, order_ok=True)
+            for comp in node.comparators:
+                self._eval(comp, env, order_ok=True)
+            return _EMPTY
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, order_ok=True)
+            return self._eval(node.body, env, order_ok) | self._eval(
+                node.orelse, env, order_ok
+            )
+        if isinstance(node, ast.JoinedStr):
+            tags = _EMPTY
+            for value in node.values:
+                tags |= self._eval(value, env, order_ok)
+            return tags
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env, order_ok)
+        if isinstance(node, ast.Lambda):
+            return frozenset({UNPICKLABLE})
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env, order_ok)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env, order_ok)
+        if isinstance(node, ast.NamedExpr):
+            tags = self._eval(node.value, env, order_ok)
+            self._bind(node.target, tags, env)
+            return tags
+        if isinstance(node, ast.Slice):
+            return _EMPTY
+        return _EMPTY
+
+    def _eval_comprehension(self, node, env: df.TagEnv,
+                            order_ok: bool) -> FrozenSet[str]:
+        comp_env = dict(env)
+        unordered_iter = False
+        line = node.lineno
+        for gen in node.generators:
+            iter_tags = self._eval(gen.iter, comp_env)
+            bound = iter_tags - {UNORDERED}
+            if UNORDERED in iter_tags:
+                unordered_iter = True
+                bound |= {ORDER_DEP}
+            self._bind(gen.target, frozenset(bound), comp_env)
+            for cond in gen.ifs:
+                self._eval(cond, comp_env, order_ok=True)
+        tags = self._eval(node.elt, comp_env)
+        if unordered_iter:
+            tags |= {ORDER_DEP}
+            if (isinstance(node, ast.ListComp) and not order_ok
+                    and self.warn_scope):
+                self._emit(
+                    "det/unordered-iter", Severity.WARNING,
+                    "a set's iteration order is captured into a list "
+                    "comprehension",
+                    line,
+                    "iterate sorted(...) so the resulting order is "
+                    "reproducible",
+                )
+        return tags
+
+    def _eval_call(self, node: ast.Call, env: df.TagEnv,
+                   order_ok: bool) -> FrozenSet[str]:
+        func = node.func
+        name = df.dotted_name(func)
+        tail = _tail_of(func)
+
+        if tail in _SANITIZERS:
+            tags = _EMPTY
+            for arg in node.args:
+                tags |= self._eval(arg, env, order_ok=True)
+            for kw in node.keywords:
+                self._eval(kw.value, env, order_ok=True)
+            return tags - {UNORDERED, ORDER_DEP}
+        if name in ("set", "frozenset"):
+            for arg in node.args:
+                self._eval(arg, env, order_ok=True)
+            return frozenset({UNORDERED})
+
+        arg_tags = _EMPTY
+        for arg in node.args:
+            arg_tags |= self._eval(arg, env, order_ok=tail in ("list", "tuple"))
+        for kw in node.keywords:
+            arg_tags |= self._eval(kw.value, env)
+
+        # -- sources --------------------------------------------------
+        if _is_wallclock(func):
+            return frozenset({WALLCLOCK})
+        if name == "hash" and node.args:
+            return frozenset({PYHASH})
+        if name == "open" or (name is not None and name.endswith(".open")):
+            return frozenset({HANDLE, UNPICKLABLE})
+        if tail in _UNPICKLABLE_CTORS:
+            return frozenset({UNPICKLABLE})
+        if tail in _DIGEST_TAILS and name is not None and (
+                name.startswith("hashlib.") or name in _DIGEST_TAILS):
+            return frozenset({DIGEST})
+        if tail in _LISTING_TAILS:
+            return frozenset({UNORDERED})
+
+        base_tags = _EMPTY
+        if isinstance(func, ast.Attribute):
+            base_tags = self._eval(func.value, env, order_ok=True)
+
+        # -- linearizers ----------------------------------------------
+        if name in ("list", "tuple"):
+            if UNORDERED in arg_tags:
+                if not order_ok and self.warn_scope:
+                    self._emit(
+                        "det/unordered-iter", Severity.WARNING,
+                        f"a set's iteration order is captured by {name}()",
+                        node.lineno,
+                        "wrap the argument in sorted(...) so the result "
+                        "order is reproducible",
+                    )
+                return (arg_tags - {UNORDERED}) | {ORDER_DEP}
+            return arg_tags
+        if isinstance(func, ast.Attribute) and func.attr == "join":
+            if UNORDERED in arg_tags:
+                if not order_ok and self.warn_scope:
+                    self._emit(
+                        "det/unordered-iter", Severity.WARNING,
+                        "a set's iteration order is captured by str.join()",
+                        node.lineno,
+                        "join sorted(...) so the result is reproducible",
+                    )
+                return (arg_tags - {UNORDERED}) | {ORDER_DEP}
+            return arg_tags & _CALL_PROPAGATE
+
+        # -- sinks ----------------------------------------------------
+        self._check_sinks(node, func, arg_tags, base_tags, env)
+
+        # -- set algebra / container growth ---------------------------
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_METHODS and UNORDERED in base_tags:
+                return frozenset({UNORDERED})
+            if (func.attr in _CONTAINER_GROW
+                    and isinstance(func.value, ast.Name) and arg_tags):
+                vname = func.value.id
+                env[vname] = env.get(vname, _EMPTY) | (
+                    arg_tags & _CALL_PROPAGATE
+                )
+        return (arg_tags | base_tags) & _CALL_PROPAGATE
+
+    def _check_sinks(self, node: ast.Call, func: ast.AST,
+                     arg_tags: FrozenSet[str], base_tags: FrozenSet[str],
+                     env: df.TagEnv) -> None:
+        line = node.lineno
+
+        # hashlib digest.update(...) — the canonical fingerprint sink.
+        is_digest_update = (
+            isinstance(func, ast.Attribute) and func.attr == "update"
+            and DIGEST in base_tags
+        )
+        sink = _serialize_sink(func)
+        if is_digest_update:
+            sink = "digest.update"
+        if sink is not None:
+            low = sink.lower()
+            if arg_tags & {ORDER_DEP, UNORDERED}:
+                self._emit(
+                    "det/unordered-iter", Severity.ERROR,
+                    f"iteration order of an unordered collection reaches "
+                    f"{sink}()",
+                    line,
+                    "sort the collection before it feeds fingerprinted or "
+                    "serialized output",
+                )
+            if WALLCLOCK in arg_tags and "manifest" not in low:
+                self._emit(
+                    "det/wall-clock", Severity.ERROR,
+                    f"wall-clock reading flows into {sink}()",
+                    line,
+                    "wall-clock values belong in walltime-only fields; "
+                    "deterministic outputs must not depend on the clock",
+                )
+            if PYHASH in arg_tags:
+                self._emit(
+                    "det/builtin-hash", Severity.ERROR,
+                    f"builtin hash() value reaches {sink}()",
+                    line,
+                    "hash() is salted per process; use hashlib for "
+                    "persisted keys",
+                )
+
+        # obs deterministic-series sink: instrument(...).inc/observe/...
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _OBS_RECORD_METHODS
+                and isinstance(func.value, ast.Call)):
+            ctor_tail = _tail_of(func.value.func)
+            if ctor_tail in _OBS_CTOR_TAILS and WALLCLOCK in arg_tags:
+                metric = None
+                if func.value.args and isinstance(func.value.args[0], ast.Constant):
+                    metric = func.value.args[0].value
+                if isinstance(metric, str) and not _WALLTIME_SERIES.search(metric):
+                    self._emit(
+                        "det/obs-nondet-series", Severity.ERROR,
+                        f"wall-clock-derived value recorded in deterministic "
+                        f"series {metric!r}",
+                        line,
+                        "name walltime-derived series with a walltime/"
+                        "seconds suffix, or record a deterministic quantity",
+                    )
+
+        # worker-pool payload sink.
+        tail = _tail_of(func)
+        low_tail = (tail or "").lower()
+        is_dispatch = (
+            low_tail in _DISPATCH_PAYLOAD_TAILS
+            or "workerpool" in low_tail
+            or low_tail == "process"
+        )
+        if is_dispatch:
+            payloads = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in payloads:
+                reason = None
+                if isinstance(arg, ast.Lambda):
+                    reason = "a lambda"
+                elif isinstance(arg, ast.Name) and arg.id in self.local_defs:
+                    reason = f"nested function {arg.id}()"
+                elif self._eval(arg, env) & {UNPICKLABLE, HANDLE}:
+                    reason = "an unpicklable value (engine or open handle)"
+                if reason is not None:
+                    self._emit(
+                        "conc/unpicklable-payload", Severity.ERROR,
+                        f"{reason} is dispatched across the worker pipe "
+                        f"via {tail}()",
+                        line,
+                        "dispatch module-level functions and plain-data "
+                        "payloads; rebuild engines/handles inside the worker",
+                    )
+
+    def _emit(self, rule: str, severity: Severity, message: str,
+              lineno: int, hint: str) -> None:
+        if self._findings is not None:
+            self._findings.emit(rule, severity, message, lineno, hint)
+
+    # -- open()/close() path analysis ---------------------------------
+
+    def _open_close(self, cfg: ControlFlowGraph, findings: _Findings) -> None:
+        sites: Dict[str, int] = {}
+        for block in cfg.blocks:
+            for action in block.actions:
+                if action[0] != STMT:
+                    continue
+                stmt = action[1]
+                if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and self._is_open_call(stmt.value)):
+                    sites.setdefault(stmt.targets[0].id, stmt.lineno)
+        tracked = {name for name in sites if name not in self._escaped_names()}
+        if not tracked:
+            return
+
+        def transfer(bid: int, env: df.TagEnv) -> df.TagEnv:
+            env = dict(env)
+            for action in cfg.blocks[bid].actions:
+                if action[0] != STMT:
+                    continue
+                stmt = action[1]
+                if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id in tracked):
+                    opened = self._is_open_call(stmt.value)
+                    env[stmt.targets[0].id] = frozenset(
+                        {"open"} if opened else {"closed"}
+                    )
+                    continue
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "close"
+                            and isinstance(sub.func.value, ast.Name)
+                            and sub.func.value.id in tracked):
+                        env[sub.func.value.id] = frozenset({"closed"})
+            return env
+
+        exit_env = df.solve_forward(cfg, transfer, {}).get(cfg.exit, {})
+        for name in sorted(tracked):
+            if "open" in exit_env.get(name, _EMPTY):
+                findings.emit(
+                    "res/open-no-close", Severity.ERROR,
+                    f"file handle {name!r} is not closed on every path out "
+                    "of this function",
+                    sites[name],
+                    "use a with block, or close the handle in a finally "
+                    "suite",
+                )
+
+    @staticmethod
+    def _is_open_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = df.dotted_name(node.func)
+        return name == "open" or (name is not None and name.endswith(".open"))
+
+    def _escaped_names(self) -> Set[str]:
+        """Handle vars whose ownership leaves the function (no close here)."""
+        out: Set[str] = set()
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                value = None
+                if isinstance(node, ast.Return):
+                    value = node.value
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    value = node.value
+                elif isinstance(node, ast.Assign) and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ):
+                    value = node.value
+                if value is None:
+                    continue
+                elts = (value.elts
+                        if isinstance(value, (ast.Tuple, ast.List))
+                        else [value])
+                for elt in elts:
+                    if isinstance(elt, ast.Name):
+                        out.add(elt.id)
+        return out
+
+    # -- worker-side syntactic rules ----------------------------------
+
+    def _local_names(self) -> Set[str]:
+        out = set(self.params)
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Store):
+                    out.add(node.id)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                       ast.ClassDef)):
+                    out.add(node.name)
+                elif isinstance(node, ast.ExceptHandler) and node.name:
+                    out.add(node.name)
+        return out
+
+    def _worker_checks(self, findings: _Findings) -> None:
+        locals_ = self._local_names()
+        declared_global: Set[str] = set()
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+
+        def module_head(target: ast.AST) -> Optional[str]:
+            head = _head_name(target)
+            if head is None or head in locals_ or head not in self.bindings:
+                return None
+            return head
+
+        hint_mut = ("return the data to the parent instead; a forked "
+                    "worker's memory is discarded when it exits")
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if (isinstance(target, ast.Name)
+                                and target.id in declared_global):
+                            findings.emit(
+                                "conc/global-mutation", Severity.ERROR,
+                                f"worker function {self.qualname}() assigns "
+                                f"module-level name {target.id!r}",
+                                node.lineno, hint_mut,
+                            )
+                        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                            head = module_head(target)
+                            if head is not None and self.bindings[head] not in (
+                                    df.FUNCTION,):
+                                findings.emit(
+                                    "conc/global-mutation", Severity.ERROR,
+                                    f"worker function {self.qualname}() "
+                                    f"writes module-level state through "
+                                    f"{head!r}",
+                                    node.lineno, hint_mut,
+                                )
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Attribute)
+                      and node.func.attr in _MUTATOR_METHODS):
+                    head = module_head(node.func.value)
+                    if head is not None and self.bindings[head] not in (
+                            df.FUNCTION, df.IMPORT):
+                        findings.emit(
+                            "conc/global-mutation", Severity.ERROR,
+                            f"worker function {self.qualname}() mutates "
+                            f"module-level container {head!r} via "
+                            f".{node.func.attr}()",
+                            node.lineno, hint_mut,
+                        )
+                elif isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Load):
+                    label = self.bindings.get(node.id)
+                    if label in (df.RNG, df.HANDLE) and node.id not in locals_:
+                        what = ("RNG" if label == df.RNG else "file handle")
+                        findings.emit(
+                            "conc/fork-shared-state", Severity.ERROR,
+                            f"module-level {what} {node.id!r} is used inside "
+                            f"worker function {self.qualname}(); every fork "
+                            "clones its state",
+                            node.lineno,
+                            "construct the RNG/handle inside the worker from "
+                            "an explicit seed or path",
+                        )
+
+
+# ----------------------------------------------------------------------
+# Module driver
+# ----------------------------------------------------------------------
+
+def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """(qualname, node) for every function, nested ones included."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def _module_set_bindings(tree: ast.Module) -> df.TagEnv:
+    """Module-level names bound to set-typed values (seed UNORDERED)."""
+    out: df.TagEnv = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and df.dotted_name(value.func) in ("set", "frozenset")
+        )
+        if is_set:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = frozenset({UNORDERED})
+    return out
+
+
+def _param_names(node) -> List[str]:
+    args = node.args
+    params = [a.arg for a in getattr(args, "posonlyargs", [])]
+    params += [a.arg for a in args.args]
+    params += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:
+    """Run every detlint rule over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "det/syntax", Severity.ERROR,
+                f"module does not parse: {exc.msg}",
+                location=f"{rel}:{exc.lineno or 0}",
+            )
+        ]
+    bindings = df.module_bindings(tree)
+    workers = df.worker_functions(tree)
+    module_sets = _module_set_bindings(tree)
+    warn_scope = bool(_WARN_SCOPE.search(rel))
+    findings = _Findings(rel)
+    for qualname, fn in _functions(tree):
+        _FunctionAnalyzer(
+            fn.body,
+            qualname,
+            bindings,
+            module_sets,
+            is_worker=qualname in workers,
+            warn_scope=warn_scope,
+            params=_param_names(fn),
+        ).run(findings)
+    _FunctionAnalyzer(
+        tree.body, "<module>", bindings, {},
+        is_worker=False, warn_scope=warn_scope,
+    ).run(findings)
+    findings.diags.sort(key=lambda d: (d.location, d.rule, d.message))
+    return findings.diags
+
+
+def lint_paths(paths: Optional[Sequence[Path]] = None) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` (default: the repro package)."""
+    if paths:
+        roots = [Path(p) for p in paths]
+    else:
+        import repro
+
+        roots = [Path(repro.__file__).resolve().parent]
+    report = LintReport(subject=", ".join(str(r) for r in roots))
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            if "__pycache__" in path.parts:
+                continue
+            report.extend(lint_source(path.read_text(), path.as_posix()))
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.detlint",
+        description="CFG/dataflow determinism and concurrency linting.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: the repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+    args = parser.parse_args(argv)
+    report = lint_paths(args.paths or None)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

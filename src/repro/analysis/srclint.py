@@ -15,11 +15,15 @@ produces and consumes it.  Three repository invariants are enforced:
     (``t_entry``, ``t_exit``, ``*_time``, ``clk``, ``duration``,
     ``walltime``).  The ``x != x`` NaN idiom is exempt.
 ``src/opkind-exhaustive``
-    Dispatch tables (dict literals keyed by ``OpKind`` members) must be
-    exhaustive over the family they draw from: a table of collective
-    kinds must cover all of ``COLLECTIVE_KINDS``, a table of p2p kinds
-    all of ``P2P_KINDS``, and a mixed table every ``OpKind`` member.
-    A partially filled table silently drops ops at runtime.
+    Dispatch tables keyed by ``OpKind`` members must be exhaustive over
+    the family they draw from: a table of collective kinds must cover
+    all of ``COLLECTIVE_KINDS``, a table of p2p kinds all of
+    ``P2P_KINDS``, and a mixed table every ``OpKind`` member.  Tables
+    are resolved through simple module-level dataflow
+    (:func:`repro.analysis.dataflow.resolve_dict_tables`) — aliasing,
+    ``dict(...)`` copies, ``**spread`` merges, ``T[OpKind.X] = v``
+    additions and ``T.update({...})`` all contribute to the final key
+    set.  A partially filled table silently drops ops at runtime.
 ``src/error-swallow``
     In the measurement-critical packages (``repro/core/``,
     ``repro/sim/``) a broad handler — ``except Exception``,
@@ -152,29 +156,30 @@ def _check_float_time_eq(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
             )
 
 
-def _opkind_keys(node: ast.Dict) -> Optional[Set[str]]:
-    """Member names when every key is an ``OpKind.X`` attribute (>= 3 keys)."""
-    names: Set[str] = set()
-    for key in node.keys:
-        if (
-            isinstance(key, ast.Attribute)
-            and isinstance(key.value, ast.Name)
-            and key.value.id == "OpKind"
-            and key.attr in _ALL_KIND_NAMES
-        ):
-            names.add(key.attr)
-        else:
-            return None
-    return names if len(names) >= 3 else None
+def _opkind_key_name(node: ast.AST) -> Optional[str]:
+    """Member name of an ``OpKind.X`` key expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "OpKind"
+        and node.attr in _ALL_KIND_NAMES
+    ):
+        return node.attr
+    return None
 
 
 def _check_opkind_tables(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Dict):
+    # Tables are resolved through simple module-level flow (aliasing,
+    # ``dict(OTHER)`` copies, ``**spread`` merges, ``T[OpKind.X] = v``
+    # additions, ``T.update({...})``), so exhaustiveness is judged on
+    # each table's *final* key set, not on individual dict literals.
+    from repro.analysis.dataflow import resolve_dict_tables
+
+    for table in resolve_dict_tables(tree, _opkind_key_name):
+        # < 3 keys: intent unclear (may be a deliberate subset).
+        if not table.valid or len(table.keys) < 3:
             continue
-        keys = _opkind_keys(node)
-        if keys is None:
-            continue
+        keys = table.keys
         if keys <= _COLLECTIVE_NAMES:
             family, missing = "COLLECTIVE_KINDS", _COLLECTIVE_NAMES - keys
         elif keys <= _P2P_NAMES:
@@ -187,7 +192,7 @@ def _check_opkind_tables(tree: ast.Module, rel: str) -> Iterator[Diagnostic]:
                 Severity.ERROR,
                 f"OpKind dispatch table drawn from {family} misses "
                 f"{', '.join(sorted(missing))}",
-                location=f"{rel}:{node.lineno}",
+                location=f"{rel}:{table.lineno}",
                 hint="add the missing kinds or dispatch through an explicit default",
             )
 

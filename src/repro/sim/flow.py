@@ -141,7 +141,7 @@ class FlowModel(NetworkModel):
                 break
             newly = [
                 i
-                for i in unfrozen
+                for i in sorted(unfrozen)
                 if any(
                     counts[l] > 0 and remaining_cap[l] / counts[l] <= level * (1 + 1e-12)
                     for l in flows[i].route

@@ -1,0 +1,511 @@
+"""Per-rule tests for the CFG/dataflow linter (repro.analysis.detlint).
+
+Each rule gets a firing case and a clean twin; the repo-wide test pins
+the whole package to the checked-in baseline (zero unbaselined
+findings, zero stale allowances).
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.detlint import DETLINT_RULES, lint_paths, lint_source
+from repro.analysis.diagnostics import Severity
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Path label inside the measurement-critical warn scope.
+SCOPED = "src/repro/core/mod.py"
+
+
+def lint(src, rel="m.py"):
+    return lint_source(textwrap.dedent(src), rel)
+
+
+def rules(src, rel="m.py"):
+    return [d.rule for d in lint(src, rel)]
+
+
+class TestUnorderedIter:
+    def test_set_order_into_dumps_is_error(self):
+        src = """
+            import json
+
+            def f(items):
+                s = set(items)
+                return json.dumps(list(s))
+            """
+        diags = lint(src)
+        assert [d.rule for d in diags] == ["det/unordered-iter"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_sorted_before_dumps_is_clean(self):
+        src = """
+            import json
+
+            def f(items):
+                s = set(items)
+                return json.dumps(sorted(s))
+            """
+        assert rules(src) == []
+
+    def test_listing_order_into_fingerprint_is_error(self):
+        src = """
+            import os
+
+            def f(d):
+                files = os.listdir(d)
+                return make_fingerprint(files)
+            """
+        assert rules(src) == ["det/unordered-iter"]
+
+    def test_set_join_into_digest_update_is_error(self):
+        src = """
+            import hashlib
+
+            def f(items):
+                names = {i.name for i in items}
+                h = hashlib.sha256()
+                h.update(",".join(names).encode())
+                return h.hexdigest()
+            """
+        assert rules(src) == ["det/unordered-iter"]
+
+    def test_capture_warns_only_in_critical_packages(self):
+        src = """
+            def f(items):
+                s = set(items)
+                return list(s)
+            """
+        diags = lint(src, SCOPED)
+        assert [d.rule for d in diags] == ["det/unordered-iter"]
+        assert diags[0].severity == Severity.WARNING
+        assert rules(src, "src/repro/experiments/mod.py") == []
+
+    def test_listcomp_capture_warns_in_scope(self):
+        src = """
+            def f(active):
+                pending = {i for i in range(len(active))}
+                return [i for i in pending if active[i]]
+            """
+        diags = lint(src, SCOPED)
+        assert [d.rule for d in diags] == ["det/unordered-iter"]
+        assert diags[0].severity == Severity.WARNING
+
+    def test_sorted_comprehension_is_clean_in_scope(self):
+        src = """
+            def f(active):
+                pending = {i for i in range(len(active))}
+                return [i for i in sorted(pending) if active[i]]
+            """
+        assert rules(src, SCOPED) == []
+
+    def test_membership_and_len_are_clean_in_scope(self):
+        src = """
+            def f(items, probe):
+                s = set(items)
+                return probe in s, len(s)
+            """
+        assert rules(src, SCOPED) == []
+
+
+class TestWallClock:
+    def test_wallclock_into_dumps_is_error(self):
+        src = """
+            import json
+            import time
+
+            def f(record):
+                record["measured_at"] = time.time()
+                return json.dumps(record, sort_keys=True)
+            """
+        diags = lint(src)
+        assert [d.rule for d in diags] == ["det/wall-clock"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_manifest_sink_is_exempt(self):
+        src = """
+            import time
+
+            def f(entry):
+                entry["walltime"] = time.time()
+                return write_manifest(entry)
+            """
+        assert rules(src) == []
+
+    def test_timing_a_deterministic_payload_is_clean(self):
+        src = """
+            import json
+            import time
+
+            def f(record):
+                t0 = time.perf_counter()
+                payload = json.dumps(record, sort_keys=True)
+                return payload, time.perf_counter() - t0
+            """
+        assert rules(src) == []
+
+
+class TestObsNondetSeries:
+    def test_wallclock_into_deterministic_series_is_error(self):
+        src = """
+            import time
+
+            from repro import obs
+
+            def timed(work):
+                t0 = time.perf_counter()
+                work()
+                dt = time.perf_counter() - t0
+                obs.counter("repro_probe_total").inc(dt)
+                return dt
+            """
+        assert rules(src) == ["det/obs-nondet-series"]
+
+    def test_walltime_named_series_is_clean(self):
+        src = """
+            import time
+
+            from repro import obs
+
+            def timed(work):
+                t0 = time.perf_counter()
+                work()
+                dt = time.perf_counter() - t0
+                obs.counter("repro_probe_seconds_total").inc(dt)
+                return dt
+            """
+        assert rules(src) == []
+
+    def test_deterministic_count_is_clean(self):
+        src = """
+            from repro import obs
+
+            def bump(n):
+                obs.counter("repro_records_total").inc(n)
+            """
+        assert rules(src) == []
+
+
+class TestBuiltinHash:
+    def test_hash_into_persisted_key_is_error(self):
+        src = """
+            import json
+
+            def f(spec):
+                key = hash(spec)
+                return json.dumps({"key": key})
+            """
+        assert rules(src) == ["det/builtin-hash"]
+
+    def test_hash_for_comparison_is_clean(self):
+        src = """
+            def same(a, b):
+                return hash(a) == hash(b)
+            """
+        assert rules(src) == []
+
+    def test_hashlib_key_is_clean(self):
+        src = """
+            import hashlib
+            import json
+
+            def f(spec):
+                key = hashlib.sha256(repr(spec).encode()).hexdigest()
+                return json.dumps({"key": key})
+            """
+        assert rules(src) == []
+
+
+class TestGlobalMutation:
+    def test_worker_subscript_write_is_error(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+
+            STATE = {}
+
+            def crunch(task):
+                STATE[task[0]] = task[1]
+                return task
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == ["conc/global-mutation"]
+
+    def test_worker_global_assign_is_error(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+
+            TOTAL = 0
+
+            def crunch(task):
+                global TOTAL
+                TOTAL = TOTAL + 1
+                return task
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == ["conc/global-mutation"]
+
+    def test_worker_mutator_method_is_error(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+
+            SEEN = []
+
+            def crunch(task):
+                SEEN.append(task)
+                return task
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == ["conc/global-mutation"]
+
+    def test_non_worker_write_is_clean(self):
+        src = """
+            STATE = {}
+
+            def record(task):
+                STATE[task[0]] = task[1]
+            """
+        assert rules(src) == []
+
+    def test_worker_local_shadow_is_clean(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+
+            STATE = {}
+
+            def crunch(task):
+                STATE = {}
+                STATE[task[0]] = task[1]
+                return STATE
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == []
+
+
+class TestUnpicklablePayload:
+    def test_lambda_dispatch_is_error(self):
+        src = """
+            def f(pool, specs):
+                for index, spec in enumerate(specs):
+                    pool.submit(index, lambda: spec)
+            """
+        assert rules(src) == ["conc/unpicklable-payload"]
+
+    def test_nested_function_dispatch_is_error(self):
+        src = """
+            def f(pool, x):
+                def inner(v):
+                    return v
+
+                pool.submit(inner, x)
+            """
+        assert rules(src) == ["conc/unpicklable-payload"]
+
+    def test_worker_returning_engine_is_error(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+            from repro.sim.engine import EventEngine
+
+            def crunch(task):
+                engine = EventEngine()
+                engine.run()
+                return engine
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == ["conc/unpicklable-payload"]
+
+    def test_plain_data_payload_is_clean(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+            from repro.sim.engine import EventEngine
+
+            def crunch(task):
+                engine = EventEngine()
+                processed = engine.run()
+                return {"processed": processed}
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == []
+
+
+class TestForkSharedState:
+    def test_module_rng_in_worker_is_error(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+            from repro.util.rng import substream
+
+            SHARED = substream(0, "probe")
+
+            def crunch(task):
+                return task + float(SHARED.random())
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == ["conc/fork-shared-state"]
+
+    def test_per_task_rng_is_clean(self):
+        src = """
+            from repro.core.resilience import WorkerPool
+            from repro.util.rng import substream
+
+            def crunch(task):
+                rng = substream(task[1], "probe")
+                return task[0] + float(rng.random())
+
+            def run(jobs):
+                return WorkerPool(crunch, jobs)
+            """
+        assert rules(src) == []
+
+    def test_module_rng_outside_worker_is_clean(self):
+        src = """
+            from repro.util.rng import substream
+
+            SHARED = substream(0, "probe")
+
+            def draw():
+                return SHARED.random()
+            """
+        assert rules(src) == []
+
+
+class TestOpenNoClose:
+    def test_never_closed_is_error(self):
+        src = """
+            import json
+
+            def f(path):
+                stream = open(path)
+                payload = json.load(stream)
+                return payload
+            """
+        diags = lint(src)
+        assert [d.rule for d in diags] == ["res/open-no-close"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_closed_on_one_branch_only_is_error(self):
+        src = """
+            def f(path, verbose):
+                stream = open(path)
+                data = stream.read()
+                if verbose:
+                    stream.close()
+                return data
+            """
+        assert rules(src) == ["res/open-no-close"]
+
+    def test_with_block_is_clean(self):
+        src = """
+            import json
+
+            def f(path):
+                with open(path) as stream:
+                    return json.load(stream)
+            """
+        assert rules(src) == []
+
+    def test_close_in_finally_is_clean(self):
+        src = """
+            def f(path):
+                stream = open(path)
+                try:
+                    return stream.read()
+                finally:
+                    stream.close()
+            """
+        assert rules(src) == []
+
+    def test_closed_on_every_branch_is_clean(self):
+        src = """
+            def f(path, verbose):
+                stream = open(path)
+                if verbose:
+                    data = stream.read()
+                    stream.close()
+                else:
+                    data = ""
+                    stream.close()
+                return data
+            """
+        assert rules(src) == []
+
+    def test_returned_handle_is_handed_off(self):
+        src = """
+            def f(path):
+                stream = open(path)
+                return stream
+            """
+        assert rules(src) == []
+
+    def test_stored_handle_is_handed_off(self):
+        src = """
+            def f(self, path):
+                stream = open(path)
+                self.stream = stream
+            """
+        assert rules(src) == []
+
+
+class TestDriverAndMeta:
+    def test_syntax_error_becomes_diagnostic(self):
+        diags = lint_source("def broken(:\n", "m.py")
+        assert [d.rule for d in diags] == ["det/syntax"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_every_emitted_rule_is_documented(self):
+        src = """
+            import json
+
+            def f(items):
+                s = set(items)
+                return json.dumps(list(s))
+            """
+        for diag in lint(src):
+            assert diag.rule in DETLINT_RULES
+
+    def test_findings_are_deterministic(self):
+        src = textwrap.dedent(
+            """
+            import json
+            import time
+
+            def f(record):
+                return json.dumps({"at": time.time(), "k": hash(record)})
+            """
+        )
+        first = [str(d) for d in lint_source(src, "m.py")]
+        second = [str(d) for d in lint_source(src, "m.py")]
+        assert first == second
+        assert sorted({d.rule for d in lint_source(src, "m.py")}) == [
+            "det/builtin-hash", "det/wall-clock",
+        ]
+
+
+class TestRepoUnderBaseline:
+    def test_whole_package_within_baseline(self):
+        report = lint_paths([SRC_ROOT])
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = baseline.apply(report.diagnostics)
+        assert result.kept == [], "\n".join(str(d) for d in result.kept)
+        assert result.stale == [], [a.to_json() for a in result.stale]
+
+    def test_baselined_debt_is_documented(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        for allowance in baseline.allowances:
+            assert allowance.reason, (
+                f"{allowance.rule} in {allowance.path} needs a reason"
+            )

@@ -1,0 +1,77 @@
+"""Regression tests for the FlowModel water-filling allocators.
+
+The small (dict-based) and vectorized (numpy) water-fills must agree,
+and the small fill must be order-deterministic: it previously iterated
+a raw ``set`` when freezing flows at a level, which detlint's
+``det/unordered-iter`` rule now flags (the fix iterates
+``sorted(unfrozen)``).
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.detlint import lint_source
+from repro.sim.flow import FlowModel, _Flow
+
+FLOW_PY = Path(__file__).resolve().parent.parent / "src" / "repro" / "sim" / "flow.py"
+
+
+def make_model(caps):
+    model = FlowModel.__new__(FlowModel)
+    model._caps = np.asarray(caps, dtype=float)
+    return model
+
+
+def make_flows(routes):
+    return [_Flow(route, 1.0, None, 0.0) for route in routes]
+
+
+ROUTES = [[0], [0, 2], [2, 3], [3]]
+CAPS = [10.0, 10.0, 4.0, 100.0]
+
+
+class TestWaterfillAgreement:
+    def test_small_fill_max_min_rates(self):
+        model = make_model(CAPS)
+        flows = make_flows(ROUTES)
+        model._waterfill_small(flows)
+        # Link 2 (cap 4, 2 flows) bottlenecks flows 1 and 2 at 2.0;
+        # flow 0 then gets link 0's remainder, flow 3 link 3's.
+        assert [f.rate for f in flows] == [8.0, 2.0, 2.0, 98.0]
+
+    def test_small_and_vector_fills_agree(self):
+        model = make_model(CAPS)
+        small = make_flows(ROUTES)
+        vector = make_flows(ROUTES)
+        model._waterfill_small(small)
+        model._waterfill_vector(vector)
+        np.testing.assert_allclose(
+            [f.rate for f in small], [f.rate for f in vector], rtol=1e-9
+        )
+
+    def test_agreement_on_uniform_contention(self):
+        # Eight flows over one shared link: everyone gets cap / 8.
+        model = make_model([8.0])
+        small = make_flows([[0]] * 8)
+        vector = make_flows([[0]] * 8)
+        model._waterfill_small(small)
+        model._waterfill_vector(vector)
+        assert all(abs(f.rate - 1.0) < 1e-12 for f in small)
+        np.testing.assert_allclose(
+            [f.rate for f in small], [f.rate for f in vector], rtol=1e-9
+        )
+
+    def test_small_fill_is_permutation_invariant(self):
+        model = make_model(CAPS)
+        forward = make_flows(ROUTES)
+        backward = make_flows(ROUTES[::-1])
+        model._waterfill_small(forward)
+        model._waterfill_small(backward)
+        assert [f.rate for f in forward] == [f.rate for f in backward][::-1]
+
+
+class TestFlowModuleIsOrderClean:
+    def test_detlint_reports_no_unordered_iteration(self):
+        diags = lint_source(FLOW_PY.read_text(), "src/repro/sim/flow.py")
+        assert [d for d in diags if d.rule == "det/unordered-iter"] == []

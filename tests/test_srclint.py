@@ -110,6 +110,55 @@ class TestOpKindTableRule:
         assert lint_source(src, "m.py") == []
 
 
+class TestOpKindTableFlow:
+    """Tables assembled through module-level flow, not one literal."""
+
+    def test_dict_copy_plus_additions_judged_on_final_keys(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "BASE = {OpKind.SEND: 1, OpKind.ISEND: 2}\n"   # < 3 keys: ignored
+            "TABLE = dict(BASE)\n"
+            "TABLE[OpKind.RECV] = 3\n"                     # copy now has 3 p2p keys
+        )
+        diags = lint_source(src, "m.py")
+        assert [d.rule for d in diags] == ["src/opkind-exhaustive"]
+        assert "IRECV" in diags[0].message
+
+    def test_subscript_additions_complete_a_table(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "TABLE = {OpKind.SEND: 1, OpKind.ISEND: 2, OpKind.RECV: 3}\n"
+            "TABLE[OpKind.IRECV] = 4\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_spread_merge_completes_a_table(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "BASE = {OpKind.SEND: 1, OpKind.ISEND: 2}\n"
+            "TABLE = {**BASE, OpKind.RECV: 3, OpKind.IRECV: 4}\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_update_through_alias_completes_a_table(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "TABLE = {OpKind.SEND: 1, OpKind.ISEND: 2, OpKind.RECV: 3}\n"
+            "ALIAS = TABLE\n"
+            "ALIAS.update({OpKind.IRECV: 4})\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_aliased_incomplete_table_reported_once(self):
+        src = (
+            "from repro.trace.events import OpKind\n"
+            "TABLE = {OpKind.SEND: 1, OpKind.ISEND: 2, OpKind.RECV: 3}\n"
+            "ALIAS = TABLE\n"
+        )
+        diags = lint_source(src, "m.py")
+        assert [d.rule for d in diags] == ["src/opkind-exhaustive"]
+
+
 class TestErrorSwallowRule:
     SCOPED = "src/repro/core/executor.py"
 
