@@ -4,15 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint lint-baseline test chaos obs-check bench clean-cache
+.PHONY: check lint lint-changed lint-baseline test chaos obs-check bench \
+        bench-lint clean-cache
 
 check: lint test
 
-# Unified source pass: srclint (AST invariants) + detlint (CFG/dataflow
-# determinism, concurrency and resource rules) under the baseline
-# ratchet in lint-baseline.json.  Zero unbaselined findings required.
+# Unified source pass: interprocedural summaries driving srclint (AST
+# invariants) + detlint (CFG/dataflow determinism, concurrency and
+# resource rules) under the baseline ratchet in lint-baseline.json.
+# Incremental: warm runs reload unchanged modules from .cache/lint.
+# Zero unbaselined findings required.
 lint:
 	$(PYTHON) -m repro.analysis.cli
+
+# Fast local loop: whole program still analyzed (warm cache), but only
+# findings in files changed vs HEAD are reported.
+lint-changed:
+	$(PYTHON) -m repro.analysis.cli --changed-only
 
 # Regenerate the ratchet after paying down baselined debt (then commit
 # lint-baseline.json; documented reasons carry over).
@@ -35,6 +43,11 @@ obs-check:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Tooling perf trajectory: time a cold vs warm whole-repo lint pass
+# against a throwaway cache and record BENCH_7.json.
+bench-lint:
+	$(PYTHON) -m repro.analysis.bench
 
 clean-cache:
 	rm -rf .cache

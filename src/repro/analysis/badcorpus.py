@@ -347,6 +347,167 @@ def corpus_cases(seed: int = DEFAULT_SEED) -> List[CorpusCase]:
         note="the no-verbose path leaks the handle",
     ))
 
+    # ------------------------------------------------------------------
+    # Cross-function defects: the source and the sink live in different
+    # functions, so only the interprocedural summary layer can connect
+    # them (PR 7).  Each bad module is invisible to a purely
+    # intraprocedural pass.
+    # ------------------------------------------------------------------
+
+    # -- det/wall-clock through one call hop --------------------------
+    rng = rng_for("wallclock-one-hop")
+    helper, fn = _names(rng, _WORKER_POOL, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="wallclock-one-hop",
+        rule="det/wall-clock",
+        rel="src/repro/core/corpus_hop1.py",
+        bad=(
+            "import json\n"
+            "import time\n\n\n"
+            f"def {helper}():\n"
+            "    return time.time()\n\n\n"
+            f"def {fn}(record):\n"
+            f"    record[\"stamp\"] = {helper}()\n"
+            "    return json.dumps(record, sort_keys=True)\n"
+        ),
+        clean=(
+            "import json\n\n\n"
+            f"def {helper}(step):\n"
+            "    return float(step)\n\n\n"
+            f"def {fn}(record, step):\n"
+            f"    record[\"stamp\"] = {helper}(step)\n"
+            "    return json.dumps(record, sort_keys=True)\n"
+        ),
+        note="the clock read hides one call away from the serializer",
+    ))
+
+    # -- det/wall-clock through two call hops -------------------------
+    rng = rng_for("wallclock-two-hop")
+    helper, fn, mid = _names(rng, _WORKER_POOL, _FN_POOL, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="wallclock-two-hop",
+        rule="det/wall-clock",
+        rel="src/repro/core/corpus_hop2.py",
+        bad=(
+            "import json\n"
+            "import time\n\n\n"
+            f"def {helper}():\n"
+            "    return time.time()\n\n\n"
+            f"def {mid}():\n"
+            f"    return {helper}()\n\n\n"
+            f"def {fn}(record):\n"
+            f"    record[\"measured_at\"] = {mid}()\n"
+            "    return json.dumps(record, sort_keys=True)\n"
+        ),
+        clean=(
+            "import json\n"
+            "import time\n\n\n"
+            f"def {helper}(clock):\n"
+            "    return clock\n\n\n"
+            f"def {mid}(clock):\n"
+            f"    return {helper}(clock)\n\n\n"
+            f"def {fn}(record, clock):\n"
+            "    t0 = time.perf_counter()\n"
+            f"    record[\"measured_at\"] = {mid}(clock)\n"
+            "    payload = json.dumps(record, sort_keys=True)\n"
+            "    return payload, time.perf_counter() - t0\n"
+        ),
+        note="two hops between the clock read and the persisted record",
+    ))
+
+    # -- det/unordered-iter: tainted argument sunk inside a helper ----
+    rng = rng_for("unordered-arg-hop")
+    helper, fn = _names(rng, _WORKER_POOL, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="unordered-arg-hop",
+        rule="det/unordered-iter",
+        rel="src/repro/util/corpus_hop_digest.py",
+        bad=(
+            "import hashlib\n\n\n"
+            f"def {helper}(values):\n"
+            "    digest = hashlib.sha256()\n"
+            "    digest.update(\",\".join(values).encode())\n"
+            "    return digest.hexdigest()\n\n\n"
+            f"def {fn}(flags):\n"
+            f"    return {helper}({{flag.strip() for flag in flags}})\n"
+        ),
+        clean=(
+            "import hashlib\n\n\n"
+            f"def {helper}(values):\n"
+            "    digest = hashlib.sha256()\n"
+            "    digest.update(\",\".join(values).encode())\n"
+            "    return digest.hexdigest()\n\n\n"
+            f"def {fn}(flags):\n"
+            f"    return {helper}(sorted({{flag.strip() for flag in flags}}))\n"
+        ),
+        note="the set's order reaches a digest through the helper's param",
+    ))
+
+    # -- exc/escape: broad handler swallows a proven raise ------------
+    rng = rng_for("swallowed-exception")
+    helper, fn = _names(rng, _WORKER_POOL, _FN_POOL)
+    cases.append(CorpusCase(
+        kind="swallowed-exception",
+        rule="exc/escape",
+        rel="src/repro/core/corpus_swallow.py",
+        bad=(
+            f"def {helper}(spec):\n"
+            "    if spec is None:\n"
+            "        raise ValueError(\"missing spec\")\n"
+            "    return spec\n\n\n"
+            f"def {fn}(spec):\n"
+            "    try:\n"
+            f"        return {helper}(spec)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+        clean=(
+            f"def {helper}(spec):\n"
+            "    if spec is None:\n"
+            "        raise ValueError(\"missing spec\")\n"
+            "    return spec\n\n\n"
+            f"def {fn}(spec):\n"
+            "    try:\n"
+            f"        return {helper}(spec)\n"
+            "    except Exception:\n"
+            "        raise\n"
+        ),
+        note="callers never see the helper's ValueError; the study "
+             "records a silent None instead of a failure",
+    ))
+
+    # -- det/seed-provenance: seed laundered through a helper ---------
+    rng = rng_for("seed-laundering")
+    helper, fn = _names(rng, _WORKER_POOL, _FN_POOL)
+    label = _METRIC_POOL[int(rng.integers(len(_METRIC_POOL)))]
+    cases.append(CorpusCase(
+        kind="seed-laundering",
+        rule="det/seed-provenance",
+        rel="src/repro/core/corpus_seed.py",
+        bad=(
+            "import json\n\n"
+            "import numpy.random as nr\n\n\n"
+            f"def {helper}():\n"
+            "    return nr.default_rng()\n\n\n"
+            f"def {fn}(spec):\n"
+            f"    rng = {helper}()\n"
+            "    jitter = float(rng.random())\n"
+            "    return json.dumps({\"spec\": spec, \"jitter\": jitter})\n"
+        ),
+        clean=(
+            "import json\n\n"
+            "from repro.util.rng import substream\n\n\n"
+            f"def {helper}(seed):\n"
+            f"    return substream(seed, \"{label}\")\n\n\n"
+            f"def {fn}(spec, seed):\n"
+            f"    rng = {helper}(seed)\n"
+            "    jitter = float(rng.random())\n"
+            "    return json.dumps({\"spec\": spec, \"jitter\": jitter})\n"
+        ),
+        note="an aliased numpy import inside a helper evades the "
+             "name-based srclint rule; provenance tracking does not",
+    ))
+
     return cases
 
 

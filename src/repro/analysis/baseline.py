@@ -26,7 +26,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 
-__all__ = ["Allowance", "Baseline", "BaselineResult", "canonical_path"]
+__all__ = [
+    "Allowance",
+    "Baseline",
+    "BaselineDelta",
+    "BaselineResult",
+    "canonical_path",
+]
 
 _LOCATION = re.compile(r"^(?P<path>.*):(?P<line>\d+)$")
 
@@ -55,6 +61,38 @@ class Allowance:
         return out
 
 
+@dataclass(frozen=True)
+class BaselineDelta:
+    """One ``(rule, file)`` cell where findings drifted from the baseline.
+
+    ``found > allowed`` means new debt (the group is kept in the
+    report); ``found < allowed`` means debt was paid down and the
+    allowance can be ratcheted tighter.
+    """
+
+    rule: str
+    path: str
+    allowed: int
+    found: int
+
+    @property
+    def status(self) -> str:
+        return "new" if self.found > self.allowed else "fixed"
+
+    @property
+    def delta(self) -> int:
+        return self.found - self.allowed
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "allowed": self.allowed,
+            "found": self.found,
+            "status": self.status,
+        }
+
+
 @dataclass
 class BaselineResult:
     """Outcome of applying a baseline to a diagnostic list."""
@@ -64,6 +102,9 @@ class BaselineResult:
     #: Allowances whose current finding count is below the allowance —
     #: the baseline can be tightened (``repro-lint --update-baseline``).
     stale: List[Allowance]
+    #: Per-(rule, file) drift against the baseline, sorted; empty when
+    #: every group matches its allowance exactly.
+    deltas: List[BaselineDelta] = field(default_factory=list)
 
 
 @dataclass
@@ -164,4 +205,14 @@ class Baseline:
             a for a in self.allowances
             if len(groups.get((a.rule, a.path), [])) < a.count
         ]
-        return BaselineResult(kept=kept, suppressed=suppressed, stale=stale)
+        keys = set(groups) | set(allowed)
+        deltas = [
+            BaselineDelta(rule=rule, path=path,
+                          allowed=allowed.get((rule, path), 0),
+                          found=len(groups.get((rule, path), [])))
+            for rule, path in sorted(keys)
+            if len(groups.get((rule, path), [])) != allowed.get((rule, path), 0)
+        ]
+        return BaselineResult(
+            kept=kept, suppressed=suppressed, stale=stale, deltas=deltas
+        )

@@ -1,0 +1,116 @@
+"""Cold-vs-warm lint benchmark — the tooling perf trajectory.
+
+Times a whole-repo interprocedural lint pass (:mod:`repro.analysis.
+interproc`) twice against a fresh cache directory: the *cold* run
+computes every module summary from scratch and populates the cache,
+the *warm* run must load every module from it.  Both passes are timed
+with :mod:`repro.obs` spans (``lint/cold``, ``lint/warm``) and the
+result is written as ``BENCH_<pr>.json`` so future PRs can be compared
+against a recorded baseline (see ROADMAP: "start a tracked perf
+trajectory").
+
+The benchmark asserts its own invariants before writing the artifact:
+the warm run must re-analyze zero modules, hit the cache for all of
+them, and produce byte-identical diagnostics.
+
+Usage::
+
+    python -m repro.analysis.bench                  # writes BENCH_7.json
+    python -m repro.analysis.bench --out other.json --root src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro import obs
+from repro.analysis import interproc
+
+__all__ = ["main", "run_bench"]
+
+#: PR number this trajectory entry belongs to (artifact file name).
+BENCH_PR = 7
+
+
+def _default_root() -> Path:
+    src = Path("src") / "repro"
+    if src.is_dir():
+        return src
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_bench(root: Optional[Path] = None) -> dict:
+    """One cold + one warm pass over ``root``; returns the payload."""
+    root = root or _default_root()
+    cache_dir = Path(tempfile.mkdtemp(prefix="lintbench-"))
+    obs.enable()
+    obs.reset()
+    try:
+        with obs.span("lint/cold"):
+            cold = interproc.analyze_paths([root], cache_dir=cache_dir)
+        with obs.span("lint/warm"):
+            warm = interproc.analyze_paths([root], cache_dir=cache_dir)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if warm.stats()["analyzed"] != 0:
+        raise AssertionError(
+            f"warm run re-analyzed modules: {warm.analyzed}"
+        )
+    if warm.stats()["cache_hits"] != warm.stats()["modules"]:
+        raise AssertionError("warm run missed the cache")
+    if [d.to_json() for d in warm.diagnostics] != \
+            [d.to_json() for d in cold.diagnostics]:
+        raise AssertionError("warm diagnostics differ from cold")
+
+    spans = {path: dict(stats) for path, stats in snap.spans.items()}
+    cold_s = spans["lint/cold"]["total_seconds"]
+    warm_s = spans["lint/warm"]["total_seconds"]
+    return {
+        "bench": "lint-cache",
+        "pr": BENCH_PR,
+        "root": root.as_posix(),
+        "modules": cold.stats()["modules"],
+        "cold": {**cold.stats(), "seconds": round(cold_s, 4)},
+        "warm": {**warm.stats(), "seconds": round(warm_s, 4)},
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "diagnostics": len(cold.diagnostics),
+        "spans": spans,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench",
+        description="Time a cold vs warm whole-repo repro-lint pass and "
+                    "record the perf-trajectory artifact.",
+    )
+    parser.add_argument("--root", type=Path, default=None,
+                        help="source root to lint (default: src/repro)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(f"BENCH_{BENCH_PR}.json"),
+                        help="artifact path (default: BENCH_%d.json)"
+                             % BENCH_PR)
+    args = parser.parse_args(argv)
+
+    payload = run_bench(args.root)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"{args.out}: cold {payload['cold']['seconds']}s over "
+          f"{payload['modules']} modules, warm "
+          f"{payload['warm']['seconds']}s "
+          f"({payload['speedup']}x, {payload['warm']['cache_hits']} hits)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,11 @@ __all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
 STMT = "stmt"
 EXPR = "expr"
 BIND = "bind"
+#: ``raise`` statements surface under their own kind so consumers (the
+#: interprocedural exception-flow analysis in
+#: :mod:`repro.analysis.summaries`) can enumerate live raise sites
+#: without re-walking the AST.  The payload is the ``ast.Raise`` node.
+RAISE = "raise"
 
 
 @dataclass
@@ -74,6 +79,23 @@ class ControlFlowGraph:
 
     def preds(self, bid: int) -> List[int]:
         return [b.bid for b in self.blocks if bid in b.succs]
+
+    def reachable(self) -> List[int]:
+        """Block ids reachable from the entry, in ascending order.
+
+        Statements after an ``if``/``else`` in which every branch
+        diverts still get lowered into a (predecessor-less) block;
+        analyses that must only see *live* code filter through this.
+        """
+        seen = {self.entry}
+        frontier = [self.entry]
+        while frontier:
+            bid = frontier.pop()
+            for succ in self.blocks[bid].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return sorted(seen)
 
 
 class _Builder:
@@ -124,7 +146,7 @@ class _Builder:
             self._divert(cur)
             return None
         if isinstance(stmt, ast.Raise):
-            self.cfg.blocks[cur].actions.append((STMT, stmt))
+            self.cfg.blocks[cur].actions.append((RAISE, stmt))
             self._divert(cur)
             return None
         if isinstance(stmt, ast.Break):

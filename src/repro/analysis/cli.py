@@ -1,25 +1,34 @@
 """``repro-lint`` — every analysis layer in one pass.
 
-Runs srclint (single-node AST invariants) and detlint (CFG/dataflow
-determinism, concurrency and resource rules) over Python sources, and
-tracelint over any trace files given, merging everything into one
-:class:`~repro.analysis.diagnostics.LintReport` with one exit code
-(0 clean / 1 worst-is-warning / 2 worst-is-error, matching
-:class:`~repro.analysis.diagnostics.Severity`).
+Runs the interprocedural analyzer (:mod:`repro.analysis.interproc`,
+which drives srclint and detlint with cross-module call summaries)
+over Python sources, and tracelint over any trace files given, merging
+everything into one :class:`~repro.analysis.diagnostics.LintReport`
+with one exit code (0 clean / 1 worst-is-warning / 2 worst-is-error,
+matching :class:`~repro.analysis.diagnostics.Severity`).
+
+Source analysis is incremental: per-module summaries and diagnostics
+are cached under ``.cache/lint/`` keyed on module source, dependency
+summaries and the analyzer code version, so a warm run re-analyzes
+only what changed (``--no-cache`` forces a cold pass).
 
 The source layers pass through the baseline ratchet
 (:mod:`repro.analysis.baseline`): findings within the checked-in
 ``lint-baseline.json`` allowances are suppressed (counted in the
-summary), anything beyond them fails.  ``--update-baseline`` rewrites
-the baseline to exactly the current findings, carrying over documented
-reasons — run it after paying down debt, then commit the file.
+summary), anything beyond them fails, and per-``(rule, file)`` drift
+against the allowances is reported as new/fixed deltas.
+``--update-baseline`` rewrites the baseline to exactly the current
+findings, carrying over documented reasons — run it after paying down
+debt, then commit the file.
 
 Usage::
 
     repro-lint                         # lint src/repro with ./lint-baseline.json
     repro-lint src/repro traces/a.dmp  # sources + a trace in one report
     repro-lint --json                  # machine-readable report + baseline info
+    repro-lint --changed-only          # only findings in files changed vs HEAD
     repro-lint --no-baseline           # raw findings, ratchet off
+    repro-lint --no-cache              # cold analysis, ignore .cache/lint
     repro-lint --update-baseline       # regenerate lint-baseline.json
 
 Also callable as ``python -m repro.analysis.cli``.
@@ -29,14 +38,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from repro.analysis.baseline import Baseline, BaselineResult
+from repro.analysis.baseline import Baseline, BaselineResult, canonical_path
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.interproc import DEFAULT_CACHE_DIR, AnalysisResult
 
-__all__ = ["main", "run_lint"]
+__all__ = ["main", "run_lint", "changed_paths"]
 
 #: Default baseline file, resolved against the working directory.
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -93,18 +104,58 @@ def _lint_trace_file(path: Path) -> List[Diagnostic]:
     ]
 
 
+def changed_paths(ref: str = "HEAD") -> Set[str]:
+    """Canonical paths of ``.py`` files changed vs ``ref`` (plus untracked).
+
+    Uses ``git diff --name-only`` and ``git ls-files --others`` in the
+    working directory; raises ``RuntimeError`` when git is unavailable
+    or the ref does not resolve.
+    """
+    names: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                f"--changed-only needs git ({' '.join(cmd)} failed): {exc}"
+            ) from exc
+        names.extend(line.strip() for line in proc.stdout.splitlines())
+    return {
+        canonical_path(name) for name in names
+        if name.endswith(".py")
+    }
+
+
 def run_lint(
     paths: Optional[List[Path]] = None,
     baseline: Optional[Baseline] = None,
-) -> Tuple[LintReport, List[Diagnostic], Optional[BaselineResult]]:
-    """Run every layer; returns (report, source findings, baseline result).
+    *,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+    changed: Optional[Set[str]] = None,
+) -> Tuple[LintReport, List[Diagnostic], Optional[BaselineResult],
+           Optional[AnalysisResult]]:
+    """Run every layer; returns (report, source findings, baseline, analysis).
 
     ``report`` holds the *unbaselined* findings (trace findings are
     never baselined — traces are inputs, not debt).  The raw source
     findings come back separately so ``--update-baseline`` can record
-    them.
+    them; ``analysis`` carries the interprocedural summaries and cache
+    statistics (``None`` when no Python paths were linted).
+
+    ``changed`` (a set of canonical paths, see :func:`changed_paths`)
+    restricts the *reported* findings to those files.  The whole
+    program is still analyzed — interprocedural summaries need every
+    module, and the warm cache makes that cheap — and the baseline is
+    applied to the full finding set so suppression counts, stale
+    allowances and deltas stay whole-repo accurate.
     """
-    from repro.analysis import detlint, srclint
+    from repro.analysis import interproc
 
     py_paths, trace_paths = _split_paths([Path(p) for p in (paths or [])])
     if not py_paths and not trace_paths:
@@ -112,16 +163,23 @@ def run_lint(
 
     source_diags: List[Diagnostic] = []
     subjects: List[str] = []
+    analysis: Optional[AnalysisResult] = None
     if py_paths:
         subjects.extend(str(p) for p in py_paths)
-        source_diags.extend(srclint.lint_paths(py_paths).diagnostics)
-        source_diags.extend(detlint.lint_paths(py_paths).diagnostics)
+        analysis = interproc.analyze_paths(
+            py_paths,
+            cache_dir=cache_dir or DEFAULT_CACHE_DIR,
+            use_cache=use_cache,
+        )
+        source_diags.extend(analysis.diagnostics)
 
     result: Optional[BaselineResult] = None
     kept = source_diags
     if baseline is not None:
         result = baseline.apply(source_diags)
         kept = result.kept
+    if changed is not None:
+        kept = [d for d in kept if canonical_path(d.location) in changed]
 
     report = LintReport(subject=", ".join(subjects) or "repro-lint")
     report.extend(kept)
@@ -129,14 +187,15 @@ def run_lint(
         subjects.append(str(path))
         report.extend(_lint_trace_file(path))
     report.subject = ", ".join(subjects)
-    return report, source_diags, result
+    return report, source_diags, result, analysis
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Unified srclint + detlint + tracelint pass with a "
-                    "baseline ratchet.",
+        description="Unified srclint + detlint + tracelint pass with "
+                    "interprocedural summaries, an incremental cache and "
+                    "a baseline ratchet.",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
@@ -153,6 +212,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline to the current findings "
                              "and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report only findings in .py files changed vs "
+                             "--changed-ref (the whole program is still "
+                             "analyzed so call summaries stay accurate)")
+    parser.add_argument("--changed-ref", default="HEAD", metavar="REF",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the incremental summary cache; "
+                             "re-analyze every module")
+    parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"summary cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or Path(DEFAULT_BASELINE)
@@ -160,7 +233,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_baseline and not args.update_baseline and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
 
-    report, source_diags, result = run_lint(args.paths or None, baseline)
+    changed: Optional[Set[str]] = None
+    if args.changed_only:
+        try:
+            changed = changed_paths(args.changed_ref)
+        except RuntimeError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    report, source_diags, result, analysis = run_lint(
+        args.paths or None,
+        baseline,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        changed=changed,
+    )
 
     if args.update_baseline:
         previous = Baseline.load(baseline_path) if baseline_path.exists() else None
@@ -173,18 +260,38 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.as_json:
         payload = report.to_json()
+        if analysis is not None:
+            payload["cache"] = analysis.stats()
+        if changed is not None:
+            payload["changed_only"] = {
+                "ref": args.changed_ref,
+                "files": sorted(changed),
+            }
         if result is not None:
             payload["baseline"] = {
                 "file": str(baseline_path),
                 "suppressed": result.suppressed,
                 "stale": [a.to_json() for a in result.stale],
+                "deltas": [d.to_json() for d in result.deltas],
             }
         print(json.dumps(payload, indent=2))
     else:
         print(report.render())
+        if analysis is not None:
+            stats = analysis.stats()
+            print(f"cache: {stats['analyzed']} of {stats['modules']} "
+                  f"module(s) analyzed, {stats['cache_hits']} cache hit(s)")
+        if changed is not None:
+            print(f"changed-only: {len(changed)} file(s) changed vs "
+                  f"{args.changed_ref}")
         if result is not None and result.suppressed:
             print(f"baseline: {result.suppressed} known finding(s) "
                   f"suppressed by {baseline_path}")
+        for delta in (result.deltas if result is not None else []):
+            sign = "+" if delta.delta > 0 else ""
+            print(f"baseline: {delta.status} {delta.rule} in {delta.path} "
+                  f"({sign}{delta.delta}: allowed {delta.allowed}, "
+                  f"found {delta.found})")
         for stale in (result.stale if result is not None else []):
             print(f"baseline: stale allowance {stale.rule} in {stale.path} "
                   f"(allowed {stale.count}, fewer found) — run "

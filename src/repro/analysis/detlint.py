@@ -65,10 +65,10 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import dataflow as df
-from repro.analysis.cfg import BIND, EXPR, STMT, ControlFlowGraph, build_cfg
+from repro.analysis.cfg import BIND, EXPR, RAISE, STMT, ControlFlowGraph, build_cfg
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 
-__all__ = ["DETLINT_RULES", "lint_source", "lint_paths", "main"]
+__all__ = ["DETLINT_RULES", "SINK_CLASSES", "lint_source", "lint_paths", "main"]
 
 #: Rule id -> one-line description (the README table is generated from this).
 DETLINT_RULES = {
@@ -76,6 +76,8 @@ DETLINT_RULES = {
     "det/wall-clock": "wall-clock reading flows into deterministic output",
     "det/obs-nondet-series": "wall-clock value recorded in a deterministic obs series",
     "det/builtin-hash": "process-salted builtin hash() escapes into a persisted key",
+    "det/seed-provenance": "randomness not derived from the spec seed via repro.util.rng",
+    "exc/escape": "broad handler provably swallows an exception callers would see",
     "conc/global-mutation": "worker-dispatched function writes module-level state",
     "conc/unpicklable-payload": "unpicklable value crosses the worker pipe",
     "conc/fork-shared-state": "module-level RNG/file handle reused across fork",
@@ -93,11 +95,75 @@ PYHASH = "pyhash"            # derived from builtin hash()
 UNPICKLABLE = "unpicklable"  # lambda / engine / handle: fails pickling
 HANDLE = "handle"            # open() file object
 DIGEST = "digest"            # hashlib digest object (update() is a sink)
+RNG_SEEDED = "rng-seeded"    # randomness derived from the spec seed
+RNG_UNSEEDED = "rng-unseeded"  # raw randomness outside repro.util.rng
 
 _EMPTY: FrozenSet[str] = frozenset()
 
 #: Tags that survive passing through an unknown call.
-_CALL_PROPAGATE = frozenset({WALLCLOCK, PYHASH, ORDER_DEP})
+_CALL_PROPAGATE = frozenset({
+    WALLCLOCK, PYHASH, ORDER_DEP, RNG_SEEDED, RNG_UNSEEDED,
+})
+
+#: Sink tag classes.  The interprocedural layer
+#: (:mod:`repro.analysis.summaries`) seeds every parameter with one
+#: symbolic tag ``@p<i>.<cls>`` per class, so sanitizers can strip a
+#: class without losing the others (``sorted(x)`` clears ``unordered``
+#: but a wall-clock value survives sorting just fine).
+SINK_CLASSES = {
+    "unordered": frozenset({UNORDERED, ORDER_DEP}),
+    "wallclock": frozenset({WALLCLOCK}),
+    "pyhash": frozenset({PYHASH}),
+    "rng": frozenset({RNG_UNSEEDED}),
+}
+
+#: Sink class -> (rule id, message template, hint) for summary-driven
+#: cross-call findings.
+_CLASS_RULES = {
+    "unordered": (
+        "det/unordered-iter",
+        "iteration order of an unordered collection reaches {sink}()",
+        "sort the collection before it feeds fingerprinted or serialized "
+        "output",
+    ),
+    "wallclock": (
+        "det/wall-clock",
+        "wall-clock reading flows into {sink}()",
+        "wall-clock values belong in walltime-only fields; deterministic "
+        "outputs must not depend on the clock",
+    ),
+    "pyhash": (
+        "det/builtin-hash",
+        "builtin hash() value reaches {sink}()",
+        "hash() is salted per process; use hashlib for persisted keys",
+    ),
+    "rng": (
+        "det/seed-provenance",
+        "value derived from unseeded randomness reaches {sink}()",
+        "derive randomness from the spec seed via repro.util.rng."
+        "substream/spawn so persisted output is reproducible",
+    ),
+}
+
+
+def _parse_symbol(tag: str) -> Optional[Tuple[int, str]]:
+    """(param index, sink class) of an ``@p<i>.<cls>`` tag, or None."""
+    if not tag.startswith("@p"):
+        return None
+    head, _, cls = tag[2:].partition(".")
+    try:
+        return int(head), cls
+    except ValueError:
+        return None
+
+
+def _propagate(tags: FrozenSet[str]) -> FrozenSet[str]:
+    """Tags that survive passing through an unknown call (symbolic
+    parameter tags always do — an unknown callee may return its
+    argument)."""
+    return frozenset(
+        t for t in tags if t in _CALL_PROPAGATE or t.startswith("@")
+    )
 
 #: Packages where capturing an unordered iteration is warned about even
 #: before it reaches a sink (measurement-critical code).
@@ -209,6 +275,10 @@ class _FunctionAnalyzer:
         is_worker: bool,
         warn_scope: bool,
         params: Sequence[str] = (),
+        imap: Optional[Dict[str, str]] = None,
+        resolver=None,
+        class_prefix: str = "",
+        rng_exempt: bool = False,
     ) -> None:
         self.body = list(body)
         self.qualname = qualname
@@ -217,6 +287,13 @@ class _FunctionAnalyzer:
         self.is_worker = is_worker
         self.warn_scope = warn_scope
         self.params = list(params)
+        self.imap = imap if imap is not None else {}
+        self.resolver = resolver
+        self.class_prefix = class_prefix
+        self.rng_exempt = rng_exempt
+        self.collector = None
+        #: tag -> witness call chain to its source, for diagnostics.
+        self.origins: Dict[str, Tuple[str, ...]] = {}
         self.local_defs = {
             stmt.name for stmt in self.body
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -224,7 +301,10 @@ class _FunctionAnalyzer:
 
     # -- driver -------------------------------------------------------
 
-    def run(self, findings: _Findings) -> None:
+    def run(self, findings: Optional[_Findings], collector=None) -> None:
+        """Fixpoint, then a replay pass that emits into ``findings``
+        and/or feeds summary facts to ``collector``
+        (a :class:`repro.analysis.summaries.SummaryBuilder`)."""
         cfg = build_cfg(self.body)
         self._findings: Optional[_Findings] = None
 
@@ -236,11 +316,18 @@ class _FunctionAnalyzer:
 
         in_envs = df.solve_forward(cfg, transfer, self.initial)
         self._findings = findings
+        self.collector = collector
         for bid in sorted(in_envs):
             env = dict(in_envs[bid])
             for action in cfg.blocks[bid].actions:
                 self._action(action, env)
         self._findings = None
+        if collector is not None:
+            for tag, chain in self.origins.items():
+                collector.on_origin(tag, chain)
+        self.collector = None
+        if findings is None:
+            return
         self._open_close(cfg, findings)
         if self.is_worker:
             self._worker_checks(findings)
@@ -249,7 +336,7 @@ class _FunctionAnalyzer:
 
     def _action(self, action: tuple, env: df.TagEnv) -> None:
         kind = action[0]
-        if kind == STMT:
+        if kind == STMT or kind == RAISE:
             self._stmt(action[1], env)
         elif kind == EXPR:
             self._eval(action[1], env)
@@ -285,6 +372,8 @@ class _FunctionAnalyzer:
             self._eval(node.value, env)
         elif isinstance(node, ast.Return) and node.value is not None:
             tags = self._eval(node.value, env)
+            if self.collector is not None:
+                self.collector.on_return(tags)
             if self.is_worker and tags & {UNPICKLABLE, HANDLE}:
                 self._emit(
                     "conc/unpicklable-payload", Severity.ERROR,
@@ -389,6 +478,13 @@ class _FunctionAnalyzer:
             return frozenset({UNPICKLABLE})
         if isinstance(node, ast.Await):
             return self._eval(node.value, env, order_ok)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            tags = (self._eval(node.value, env, order_ok)
+                    if node.value is not None else _EMPTY)
+            if self.collector is not None:
+                # A generator's yields are its "returns" for summaries.
+                self.collector.on_return(tags)
+            return tags
         if isinstance(node, ast.Starred):
             return self._eval(node.value, env, order_ok)
         if isinstance(node, ast.NamedExpr):
@@ -440,22 +536,59 @@ class _FunctionAnalyzer:
                 tags |= self._eval(arg, env, order_ok=True)
             for kw in node.keywords:
                 self._eval(kw.value, env, order_ok=True)
-            return tags - {UNORDERED, ORDER_DEP}
+            # Sorting fixes the order, nothing else: strip the order
+            # tags (and the symbolic order class), keep the rest.
+            return frozenset(
+                t for t in tags
+                if t not in (UNORDERED, ORDER_DEP)
+                and not (t.startswith("@") and t.endswith(".unordered"))
+            )
         if name in ("set", "frozenset"):
             for arg in node.args:
                 self._eval(arg, env, order_ok=True)
             return frozenset({UNORDERED})
 
+        pos_tags = [
+            self._eval(arg, env, order_ok=tail in ("list", "tuple"))
+            for arg in node.args
+        ]
+        kw_tags = {
+            kw.arg: self._eval(kw.value, env) for kw in node.keywords
+        }
         arg_tags = _EMPTY
-        for arg in node.args:
-            arg_tags |= self._eval(arg, env, order_ok=tail in ("list", "tuple"))
-        for kw in node.keywords:
-            arg_tags |= self._eval(kw.value, env)
+        for tags in pos_tags:
+            arg_tags |= tags
+        for tags in kw_tags.values():
+            arg_tags |= tags
 
         # -- sources --------------------------------------------------
         if _is_wallclock(func):
+            self.origins.setdefault(WALLCLOCK, (f"{name}()",))
+            if self.collector is not None:
+                self.collector.on_nondet(frozenset({"wallclock"}))
             return frozenset({WALLCLOCK})
+        rng_cls = df.classify_rng_call(name, self.imap) if name else None
+        if rng_cls == df.RNG_SEEDED:
+            return frozenset({RNG_SEEDED})
+        if rng_cls == df.RNG_UNSEEDED:
+            if not self.rng_exempt:
+                self.origins.setdefault(RNG_UNSEEDED, (f"{name}()",))
+                if self.collector is not None:
+                    self.collector.on_rng_site(node.lineno, name)
+                    self.collector.on_nondet(frozenset({"rng-unseeded"}))
+                self._emit(
+                    "det/seed-provenance", Severity.ERROR,
+                    f"call to {name}() constructs or uses randomness not "
+                    "derived from the spec seed",
+                    node.lineno,
+                    "draw from a named substream via repro.util.rng."
+                    "substream/spawn instead",
+                )
+            return frozenset({RNG_UNSEEDED})
         if name == "hash" and node.args:
+            self.origins.setdefault(PYHASH, ("hash()",))
+            if self.collector is not None:
+                self.collector.on_nondet(frozenset({"pyhash"}))
             return frozenset({PYHASH})
         if name == "open" or (name is not None and name.endswith(".open")):
             return frozenset({HANDLE, UNPICKLABLE})
@@ -465,6 +598,9 @@ class _FunctionAnalyzer:
                 name.startswith("hashlib.") or name in _DIGEST_TAILS):
             return frozenset({DIGEST})
         if tail in _LISTING_TAILS:
+            self.origins.setdefault(UNORDERED, (f"{name or tail}()",))
+            if self.collector is not None:
+                self.collector.on_nondet(frozenset({"unordered"}))
             return frozenset({UNORDERED})
 
         base_tags = _EMPTY
@@ -494,10 +630,19 @@ class _FunctionAnalyzer:
                         "join sorted(...) so the result is reproducible",
                     )
                 return (arg_tags - {UNORDERED}) | {ORDER_DEP}
-            return arg_tags & _CALL_PROPAGATE
+            return _propagate(arg_tags)
 
         # -- sinks ----------------------------------------------------
         self._check_sinks(node, func, arg_tags, base_tags, env)
+
+        # -- resolved calls: apply the callee's summary ---------------
+        if self.resolver is not None:
+            resolved = self.resolver.resolve(node, self.class_prefix)
+            if resolved is not None:
+                display, summary, offset = resolved
+                return self._apply_summary(
+                    node, display, summary, offset, pos_tags, kw_tags
+                )
 
         # -- set algebra / container growth ---------------------------
         if isinstance(func, ast.Attribute):
@@ -506,10 +651,74 @@ class _FunctionAnalyzer:
             if (func.attr in _CONTAINER_GROW
                     and isinstance(func.value, ast.Name) and arg_tags):
                 vname = func.value.id
-                env[vname] = env.get(vname, _EMPTY) | (
-                    arg_tags & _CALL_PROPAGATE
-                )
-        return (arg_tags | base_tags) & _CALL_PROPAGATE
+                env[vname] = env.get(vname, _EMPTY) | _propagate(arg_tags)
+        return _propagate(arg_tags | base_tags)
+
+    def _apply_summary(self, node: ast.Call, display: str, summary,
+                       offset: int, pos_tags: List[FrozenSet[str]],
+                       kw_tags: Dict[Optional[str], FrozenSet[str]],
+                       ) -> FrozenSet[str]:
+        """Cross-call taint transfer through a known callee's summary.
+
+        ``offset`` shifts parameter indices for bound ``self.m()``
+        calls (the receiver occupies the callee's first slot).
+        """
+        line = node.lineno
+
+        def tags_for(index: int) -> FrozenSet[str]:
+            j = index - offset
+            if 0 <= j < len(pos_tags):
+                return pos_tags[j]
+            if 0 <= index < len(summary.params):
+                return kw_tags.get(summary.params[index], _EMPTY)
+            return _EMPTY
+
+        # Arguments reaching a sink inside the callee (or deeper).
+        for ps in summary.param_sinks:
+            atags = tags_for(ps.index)
+            if not atags:
+                continue
+            chain = (f"{display}()",) + tuple(ps.chain)
+            concrete = atags & SINK_CLASSES.get(ps.cls, _EMPTY)
+            if concrete:
+                exempt = (ps.cls == "wallclock"
+                          and "manifest" in ps.sink.lower())
+                if not exempt:
+                    rule, template, hint = _CLASS_RULES[ps.cls]
+                    self._emit(
+                        rule, Severity.ERROR,
+                        template.format(sink=ps.sink)
+                        + f" via {' -> '.join(chain)}",
+                        line, hint,
+                    )
+            if self.collector is not None:
+                for tag in atags:
+                    parsed = _parse_symbol(tag)
+                    if parsed is not None and parsed[1] == ps.cls:
+                        self.collector.on_param_sink(
+                            parsed[0], ps.cls, ps.sink, line, chain
+                        )
+
+        # Return-value taint: tags the callee generates, plus caller
+        # tags flowing through parameter->return symbols.
+        ret: Set[str] = set(summary.return_tags)
+        for tag in summary.return_tags:
+            self.origins.setdefault(
+                tag,
+                (f"{display}()",) + tuple(summary.origins.get(tag, ())),
+            )
+        for sym in summary.return_symbols:
+            parsed = _parse_symbol(sym)
+            if parsed is None:
+                continue
+            index, cls = parsed
+            for tag in tags_for(index):
+                if tag in SINK_CLASSES.get(cls, _EMPTY) or (
+                        tag.startswith("@") and tag.endswith("." + cls)):
+                    ret.add(tag)
+        if self.collector is not None and summary.nondet:
+            self.collector.on_nondet(frozenset(summary.nondet))
+        return frozenset(ret)
 
     def _check_sinks(self, node: ast.Call, func: ast.AST,
                      arg_tags: FrozenSet[str], base_tags: FrozenSet[str],
@@ -526,6 +735,7 @@ class _FunctionAnalyzer:
             sink = "digest.update"
         if sink is not None:
             low = sink.lower()
+            wall_exempt = "manifest" in low or self._canonical_serialize(node)
             if arg_tags & {ORDER_DEP, UNORDERED}:
                 self._emit(
                     "det/unordered-iter", Severity.ERROR,
@@ -535,10 +745,11 @@ class _FunctionAnalyzer:
                     "sort the collection before it feeds fingerprinted or "
                     "serialized output",
                 )
-            if WALLCLOCK in arg_tags and "manifest" not in low:
+            if WALLCLOCK in arg_tags and not wall_exempt:
                 self._emit(
                     "det/wall-clock", Severity.ERROR,
-                    f"wall-clock reading flows into {sink}()",
+                    f"wall-clock reading flows into {sink}()"
+                    + self._via(WALLCLOCK),
                     line,
                     "wall-clock values belong in walltime-only fields; "
                     "deterministic outputs must not depend on the clock",
@@ -551,6 +762,26 @@ class _FunctionAnalyzer:
                     "hash() is salted per process; use hashlib for "
                     "persisted keys",
                 )
+            if RNG_UNSEEDED in arg_tags:
+                self._emit(
+                    "det/seed-provenance", Severity.ERROR,
+                    f"value derived from unseeded randomness reaches "
+                    f"{sink}()" + self._via(RNG_UNSEEDED),
+                    line,
+                    "derive randomness from the spec seed via "
+                    "repro.util.rng.substream/spawn so persisted output "
+                    "is reproducible",
+                )
+            if self.collector is not None:
+                for tag in arg_tags:
+                    parsed = _parse_symbol(tag)
+                    if parsed is None:
+                        continue
+                    if parsed[1] == "wallclock" and wall_exempt:
+                        continue  # manifest/canonical walltimes stay exempt
+                    self.collector.on_param_sink(
+                        parsed[0], parsed[1], sink, line, ()
+                    )
 
         # obs deterministic-series sink: instrument(...).inc/observe/...
         if (isinstance(func, ast.Attribute)
@@ -603,6 +834,24 @@ class _FunctionAnalyzer:
               lineno: int, hint: str) -> None:
         if self._findings is not None:
             self._findings.emit(rule, severity, message, lineno, hint)
+
+    def _via(self, tag: str) -> str:
+        """`` (via a() -> b())`` suffix naming the witness call chain."""
+        chain = self.origins.get(tag)
+        return f" (via {' -> '.join(chain)})" if chain else ""
+
+    @staticmethod
+    def _canonical_serialize(node: ast.Call) -> bool:
+        """``to_json(canonical=...)`` drops walltime fields by contract
+        (StudyRecord) unless the flag is a literal ``False``."""
+        tail = _tail_of(node.func)
+        if tail != "to_json":
+            return False
+        for kw in node.keywords:
+            if kw.arg == "canonical":
+                return not (isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False)
+        return False
 
     # -- open()/close() path analysis ---------------------------------
 
@@ -778,21 +1027,26 @@ class _FunctionAnalyzer:
 # Module driver
 # ----------------------------------------------------------------------
 
-def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
-    """(qualname, node) for every function, nested ones included."""
+def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST, str]]:
+    """(qualname, node, enclosing class qualname) for every function,
+    nested ones included.  The class qualname is ``""`` outside class
+    bodies; it lets ``self.method()`` calls resolve to siblings."""
 
-    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+    def visit(node: ast.AST, prefix: str, cls: str
+              ) -> Iterator[Tuple[str, ast.AST, str]]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qual = f"{prefix}{child.name}"
-                yield qual, child
-                yield from visit(child, f"{qual}.")
+                yield qual, child, cls
+                yield from visit(child, f"{qual}.", "")
             elif isinstance(child, ast.ClassDef):
-                yield from visit(child, f"{prefix}{child.name}.")
+                yield from visit(
+                    child, f"{prefix}{child.name}.", f"{prefix}{child.name}"
+                )
             else:
-                yield from visit(child, prefix)
+                yield from visit(child, prefix, cls)
 
-    yield from visit(tree, "")
+    yield from visit(tree, "", "")
 
 
 def _module_set_bindings(tree: ast.Module) -> df.TagEnv:
@@ -825,8 +1079,26 @@ def _param_names(node) -> List[str]:
     return params
 
 
-def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:
-    """Run every detlint rule over one module's source text."""
+def lint_source(
+    source: str,
+    rel: str = "<string>",
+    *,
+    module: str = "",
+    external=None,
+    summaries=None,
+) -> List[Diagnostic]:
+    """Run every detlint rule over one module's source text.
+
+    Interprocedural context is optional: without it, per-module
+    summaries are computed on the fly (intra-module resolution only).
+    ``external`` is a ``(dotted module, qualname) -> FunctionSummary``
+    lookup supplied by :mod:`repro.analysis.interproc`; ``summaries``
+    short-circuits the per-module summary computation when the caller
+    already ran it.
+    """
+    from repro.analysis import summaries as sm
+    from repro.analysis.srclint import _SWALLOW_SCOPE
+
     try:
         tree = ast.parse(source, filename=rel)
     except SyntaxError as exc:
@@ -837,12 +1109,21 @@ def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:
                 location=f"{rel}:{exc.lineno or 0}",
             )
         ]
+    if summaries is None:
+        summaries = sm.compute_module_summaries(
+            tree, rel, module, external=external
+        )
+    imap = df.import_map(
+        tree, package=module.rsplit(".", 1)[0] if "." in module else ""
+    )
+    resolver = sm.CallResolver(module, summaries, imap, external)
     bindings = df.module_bindings(tree)
     workers = df.worker_functions(tree)
     module_sets = _module_set_bindings(tree)
     warn_scope = bool(_WARN_SCOPE.search(rel))
+    rng_exempt = rel.endswith("util/rng.py")
     findings = _Findings(rel)
-    for qualname, fn in _functions(tree):
+    for qualname, fn, class_prefix in _functions(tree):
         _FunctionAnalyzer(
             fn.body,
             qualname,
@@ -851,11 +1132,31 @@ def lint_source(source: str, rel: str = "<string>") -> List[Diagnostic]:
             is_worker=qualname in workers,
             warn_scope=warn_scope,
             params=_param_names(fn),
+            imap=imap,
+            resolver=resolver,
+            class_prefix=class_prefix,
+            rng_exempt=rng_exempt,
         ).run(findings)
     _FunctionAnalyzer(
         tree.body, "<module>", bindings, {},
         is_worker=False, warn_scope=warn_scope,
+        imap=imap, resolver=resolver, rng_exempt=rng_exempt,
     ).run(findings)
+    # exc/escape: summary-proven swallows in measurement-critical code.
+    if _SWALLOW_SCOPE.search(rel):
+        for qual in sorted(summaries):
+            for sw in summaries[qual].swallows:
+                where = (f"{qual}()" if qual != sm.MODULE_BODY
+                         else "the module body")
+                via = f" raised via {' -> '.join(sw.via)}" if sw.via else ""
+                findings.emit(
+                    "exc/escape", Severity.ERROR,
+                    f"broad handler ({sw.caught}) in {where} swallows "
+                    f"proven {', '.join(sw.types)}{via}",
+                    sw.line,
+                    "re-raise, or turn the failure into a structured "
+                    "record callers can see",
+                )
     findings.diags.sort(key=lambda d: (d.location, d.rule, d.message))
     return findings.diags
 

@@ -1,0 +1,387 @@
+"""Whole-program interprocedural lint driver with an incremental cache.
+
+This is the engine behind a warm ``repro-lint`` run.  It discovers the
+Python modules under the analyzed roots, builds a module-level
+dependency graph from their imports, and processes strongly connected
+components in dependency order so every module's summaries
+(:mod:`repro.analysis.summaries`) are available to the modules that
+call into it.  On top of the summaries it runs both source linters —
+:mod:`repro.analysis.srclint` and :mod:`repro.analysis.detlint` (the
+latter with cross-module call resolution) — and folds the name-based
+srclint rules that the summary layer supersedes:
+
+* ``src/unseeded-rng`` -> ``det/seed-provenance`` (provenance tracking
+  sees through aliases and wrapper helpers);
+* ``src/error-swallow`` -> ``exc/escape`` (a broad handler is only a
+  finding when a swallowed exception is *proven*).
+
+Both old rules still exist and fire when srclint runs standalone
+(``python -m repro.analysis.srclint``) — that is the fallback for
+sources outside this driver's module graph.
+
+Incremental cache
+-----------------
+Each module gets one JSON entry under ``.cache/lint/`` holding its
+summaries and diagnostics, content-addressed by a key over
+
+* the cache format version and the analyzer code version
+  (:func:`repro.util.fingerprint.analysis_code_version` — editing any
+  analysis source cold-starts the cache),
+* the module's path and source digest,
+* the summary digests of every dependency (source digests for
+  same-SCC dependencies, whose summaries are computed together).
+
+A warm run over an unchanged tree therefore re-analyzes zero modules:
+every entry key matches and summaries + diagnostics load from disk.
+Editing one module invalidates exactly that entry plus — through the
+dependency digests — the entries of its importers.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis import dataflow as df
+from repro.analysis import detlint, srclint
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.summaries import (
+    MODULE_BODY,
+    FunctionSummary,
+    _tarjan,
+    summaries_digest,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_paths",
+    "DEFAULT_CACHE_DIR",
+    "SUPERSEDED_SRC_RULES",
+]
+
+#: Bump when the cache entry layout (not the analyzers) changes.
+CACHE_FORMAT = 1
+
+DEFAULT_CACHE_DIR = Path(".cache/lint")
+
+#: srclint rules folded onto summary-based rules for modules this
+#: driver covers (srclint standalone keeps them as the fallback).
+SUPERSEDED_SRC_RULES = frozenset({"src/unseeded-rng", "src/error-swallow"})
+
+#: Upper bound on cross-module SCC sweeps (module cycles are rare and
+#: shallow; equality-based convergence lands in 2 sweeps).
+_MAX_MODULE_SWEEPS = 8
+
+
+@dataclass
+class _ModuleRecord:
+    name: str
+    path: Path
+    rel: str
+    source: str
+    sha: str
+    tree: Optional[ast.Module]
+    deps: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one whole-program pass produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    summaries: Dict[str, Dict[str, FunctionSummary]] = field(default_factory=dict)
+    modules: List[str] = field(default_factory=list)
+    analyzed: List[str] = field(default_factory=list)
+    cache_hits: List[str] = field(default_factory=list)
+
+    @property
+    def covered(self) -> Set[str]:
+        """rel paths the summary layer covered (supersede scope)."""
+        return set(self._rels)
+
+    _rels: List[str] = field(default_factory=list)
+
+    def stats(self) -> dict:
+        return {
+            "modules": len(self.modules),
+            "analyzed": len(self.analyzed),
+            "cache_hits": len(self.cache_hits),
+        }
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name anchored at the last ``repro`` path segment.
+
+    Files outside a ``repro`` package tree (corpus fixtures, tmp dirs)
+    get a stable pseudo-name derived from their path, so they still
+    cache and resolve intra-module.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = [p for p in parts[anchor:-1]] + [name]
+        module = ".".join(dotted)
+    else:
+        module = "_ext." + hashlib.sha256(
+            path.as_posix().encode()
+        ).hexdigest()[:12] + "." + name
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    return module
+
+
+def _discover(paths: Optional[Sequence[Path]]) -> List[Path]:
+    if paths:
+        roots = [Path(p) for p in paths]
+    else:
+        import repro
+
+        roots = [Path(repro.__file__).resolve().parent]
+    files: List[Path] = []
+    for root in roots:
+        found = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in found:
+            if "__pycache__" in path.parts:
+                continue
+            if path not in files:
+                files.append(path)
+    return files
+
+
+def _module_deps(record: _ModuleRecord, known: Mapping[str, str]) -> Set[str]:
+    """Names of analyzed modules this module imports (``known`` maps
+    dotted module name -> module name, identity for present modules)."""
+    tree = record.tree
+    if tree is None:
+        return set()
+    package = (record.name.rsplit(".", 1)[0]
+               if "." in record.name else "")
+    candidates: Set[str] = set()
+    imap = df.import_map(tree, package=package)
+    for target in imap.values():
+        candidates.add(target)
+        if "." in target:
+            candidates.add(target.rsplit(".", 1)[0])
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                candidates.add(item.name)
+    return {c for c in candidates if c in known and c != record.name}
+
+
+def _entry_path(cache_dir: Path, module: str) -> Path:
+    return cache_dir / (
+        hashlib.sha256(module.encode("utf-8")).hexdigest()[:24] + ".json"
+    )
+
+
+def _entry_key(record: _ModuleRecord, dep_digests: Mapping[str, str]) -> str:
+    from repro.util.fingerprint import analysis_code_version
+
+    image = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "analyzer": analysis_code_version(),
+            "module": record.name,
+            "rel": record.rel,
+            "source": record.sha,
+            "deps": dict(sorted(dep_digests.items())),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(image.encode("utf-8")).hexdigest()
+
+
+def _diag_from_json(payload: dict) -> Diagnostic:
+    return Diagnostic(
+        rule=payload["rule"],
+        severity=Severity[payload["severity"]],
+        message=payload["message"],
+        rank=payload.get("rank", -1),
+        op_index=payload.get("op_index", -1),
+        location=payload.get("location", ""),
+        hint=payload.get("hint", ""),
+    )
+
+
+def _load_entry(path: Path, key: str) -> Optional[dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("key") != key:
+        return None
+    return payload
+
+
+def _write_entry(path: Path, key: str, record: _ModuleRecord,
+                 summaries: Dict[str, FunctionSummary],
+                 diagnostics: List[Diagnostic]) -> None:
+    payload = {
+        "key": key,
+        "module": record.name,
+        "rel": record.rel,
+        "summaries": {q: s.to_json() for q, s in sorted(summaries.items())},
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+    except OSError:
+        pass  # cache is best-effort; the analysis result stands
+
+
+def _lint_module(record: _ModuleRecord,
+                 summaries: Dict[str, FunctionSummary],
+                 external) -> List[Diagnostic]:
+    """srclint + detlint for one covered module, superseded rules folded."""
+    diags = [
+        d for d in srclint.lint_source(record.source, record.rel)
+        if d.rule not in SUPERSEDED_SRC_RULES
+    ]
+    diags.extend(detlint.lint_source(
+        record.source, record.rel,
+        module=record.name, external=external, summaries=summaries,
+    ))
+    diags.sort(key=lambda d: (d.location, d.rule, d.message))
+    return diags
+
+
+def analyze_paths(
+    paths: Optional[Sequence[Path]] = None,
+    cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+) -> AnalysisResult:
+    """Interprocedural lint over every ``*.py`` under ``paths``.
+
+    ``cache_dir=None`` (or ``use_cache=False``) disables the
+    incremental cache entirely.
+    """
+    records: Dict[str, _ModuleRecord] = {}
+    for path in _discover(paths):
+        source = path.read_text()
+        name = _module_name(path)
+        if name in records:  # two roots mapping to one dotted name
+            name = f"{name}@{hashlib.sha256(path.as_posix().encode()).hexdigest()[:8]}"
+        try:
+            tree = ast.parse(source, filename=path.as_posix())
+        except SyntaxError:
+            tree = None
+        records[name] = _ModuleRecord(
+            name=name,
+            path=path,
+            rel=path.as_posix(),
+            source=source,
+            sha=hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            tree=tree,
+        )
+
+    known = {name: name for name in records}
+    for record in records.values():
+        record.deps = _module_deps(record, known)
+
+    result = AnalysisResult()
+    result.modules = sorted(records)
+    result._rels = [records[m].rel for m in result.modules]
+    summaries_by_module: Dict[str, Dict[str, FunctionSummary]] = {}
+    digests: Dict[str, str] = {}
+
+    def external(mod: str, qual: str) -> Optional[FunctionSummary]:
+        entry = summaries_by_module.get(mod)
+        if entry and qual != MODULE_BODY:
+            return entry.get(qual)
+        return None
+
+    caching = use_cache and cache_dir is not None
+    cache_root = Path(cache_dir) if cache_dir is not None else None
+    per_module_diags: Dict[str, List[Diagnostic]] = {}
+
+    edges = {name: records[name].deps for name in records}
+    for scc in _tarjan(list(records), edges):
+        scc_set = set(scc)
+        keys: Dict[str, str] = {}
+        for name in scc:
+            record = records[name]
+            dep_digests = {
+                dep: (records[dep].sha if dep in scc_set else digests[dep])
+                for dep in sorted(record.deps)
+            }
+            keys[name] = _entry_key(record, dep_digests)
+
+        loaded: Dict[str, dict] = {}
+        if caching:
+            for name in scc:
+                entry = _load_entry(_entry_path(cache_root, name), keys[name])
+                if entry is None:
+                    loaded.clear()
+                    break
+                loaded[name] = entry
+
+        if loaded and len(loaded) == len(scc):
+            for name in scc:
+                entry = loaded[name]
+                summaries_by_module[name] = {
+                    q: FunctionSummary.from_json(s)
+                    for q, s in entry["summaries"].items()
+                }
+                per_module_diags[name] = [
+                    _diag_from_json(d) for d in entry["diagnostics"]
+                ]
+                digests[name] = summaries_digest(summaries_by_module[name])
+                result.cache_hits.append(name)
+            continue
+
+        # Recompute the whole SCC: summaries to fixpoint, then rules.
+        from repro.analysis.summaries import compute_module_summaries
+
+        for _ in range(_MAX_MODULE_SWEEPS):
+            changed = False
+            for name in scc:
+                record = records[name]
+                if record.tree is None:
+                    summaries_by_module[name] = {}
+                    continue
+                new = compute_module_summaries(
+                    record.tree, record.rel, record.name, external=external
+                )
+                if summaries_digest(new) != digests.get(name):
+                    digests[name] = summaries_digest(new)
+                    changed = True
+                summaries_by_module[name] = new
+            if not changed:
+                break
+        for name in scc:
+            record = records[name]
+            digests.setdefault(name, summaries_digest(
+                summaries_by_module.setdefault(name, {})
+            ))
+            if record.tree is None:
+                # Both linters report the syntax error identically to
+                # a standalone run; nothing to supersede.
+                diags = srclint.lint_source(record.source, record.rel)
+                diags += detlint.lint_source(record.source, record.rel)
+            else:
+                diags = _lint_module(
+                    record, summaries_by_module[name], external
+                )
+            per_module_diags[name] = diags
+            result.analyzed.append(name)
+            if caching:
+                _write_entry(
+                    _entry_path(cache_root, name), keys[name],
+                    record, summaries_by_module[name], diags,
+                )
+
+    for name in result.modules:
+        result.diagnostics.extend(per_module_diags.get(name, []))
+        result.summaries[name] = summaries_by_module.get(name, {})
+    result.analyzed.sort()
+    result.cache_hits.sort()
+    return result

@@ -1,0 +1,378 @@
+"""Tests for the interprocedural summary layer.
+
+Covers :mod:`repro.analysis.summaries` (per-function summaries,
+exception flow, SCC fixpoint), :mod:`repro.analysis.interproc`
+(whole-program driver, rule folding, incremental cache) and the
+cross-module diagnostics they produce through detlint.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import detlint, interproc, srclint
+from repro.analysis.summaries import (
+    MODULE_BODY,
+    FunctionSummary,
+    compute_module_summaries,
+    param_symbol,
+    parse_symbol,
+    summaries_digest,
+    _tarjan,
+)
+
+import ast
+
+
+def write_module(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def analyze(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path / ".cache")
+    return interproc.analyze_paths([tmp_path / "repro"], **kwargs)
+
+
+def rules(result):
+    return [d.rule for d in result.diagnostics]
+
+
+# ----------------------------------------------------------------------
+# Summary computation
+# ----------------------------------------------------------------------
+
+class TestSummaries:
+    def summarize(self, source, rel="src/repro/core/mod.py",
+                  module="repro.core.mod"):
+        tree = ast.parse(source)
+        return compute_module_summaries(tree, rel, module)
+
+    def test_return_taint_and_origin(self):
+        summaries = self.summarize(
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        summary = summaries["now"]
+        assert detlint.WALLCLOCK in summary.return_tags
+        assert "wallclock" in summary.nondet
+        assert summary.origins["wallclock"][-1].startswith("time.time")
+
+    def test_transitive_return_taint_to_fixpoint(self):
+        summaries = self.summarize(
+            "import time\n"
+            "def c():\n"
+            "    return b()\n"
+            "def b():\n"
+            "    return a()\n"
+            "def a():\n"
+            "    return time.time()\n"
+        )
+        # c is defined before a, so only the SCC fixpoint can see the
+        # taint flow bottom-up through b.
+        assert detlint.WALLCLOCK in summaries["c"].return_tags
+        chain = summaries["c"].origins["wallclock"]
+        assert chain[0] == "b()"
+        assert chain[1] == "a()"
+
+    def test_param_sink_is_symbolic_per_class(self):
+        summaries = self.summarize(
+            "import json\n"
+            "def digest(values):\n"
+            "    return json.dumps(sorted(values))\n"
+            "def persist(values):\n"
+            "    return json.dumps(values)\n"
+        )
+        # sorted() sanitizes exactly the unordered class; other taint
+        # classes (wallclock, pyhash, rng) still reach the sink.
+        assert not any(s.cls == "unordered"
+                       for s in summaries["digest"].param_sinks)
+        sinks = summaries["persist"].param_sinks
+        assert any(s.index == 0 and s.cls == "unordered" for s in sinks)
+
+    def test_return_symbols_thread_param_taint(self):
+        summaries = self.summarize(
+            "def ident(x):\n"
+            "    return x\n"
+        )
+        assert param_symbol(0, "unordered") in summaries["ident"].return_symbols
+        idx, cls = parse_symbol(param_symbol(0, "wallclock"))
+        assert (idx, cls) == (0, "wallclock")
+
+    def test_escaping_and_swallowed_exceptions(self):
+        summaries = self.summarize(
+            "def boom():\n"
+            "    raise ValueError('x')\n"
+            "def swallow():\n"
+            "    try:\n"
+            "        return boom()\n"
+            "    except Exception:\n"
+            "        return None\n"
+            "def reraise():\n"
+            "    try:\n"
+            "        return boom()\n"
+            "    except Exception:\n"
+            "        raise\n"
+            "def narrow():\n"
+            "    try:\n"
+            "        return boom()\n"
+            "    except KeyError:\n"
+            "        return None\n"
+        )
+        assert "ValueError" in summaries["boom"].escapes
+        assert not summaries["swallow"].escapes
+        (sw,) = summaries["swallow"].swallows
+        assert "ValueError" in sw.types
+        assert not summaries["reraise"].swallows
+        # The bare raise re-raises whatever the broad handler caught —
+        # conservatively the unknown marker; nothing is swallowed.
+        assert summaries["reraise"].escapes
+        # A narrow handler does not catch ValueError: it escapes.
+        assert "ValueError" in summaries["narrow"].escapes
+        assert not summaries["narrow"].swallows
+
+    def test_module_body_summary_present(self):
+        summaries = self.summarize("import time\nNOW = time.time()\n")
+        assert MODULE_BODY in summaries
+        assert "wallclock" in summaries[MODULE_BODY].nondet
+
+    def test_summary_json_roundtrip_and_digest(self):
+        summaries = self.summarize(
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        clone = {
+            q: FunctionSummary.from_json(s.to_json())
+            for q, s in summaries.items()
+        }
+        assert clone == summaries
+        assert summaries_digest(clone) == summaries_digest(summaries)
+
+    def test_tarjan_orders_dependencies_first(self):
+        sccs = _tarjan(
+            ["a", "b", "c", "d"],
+            {"a": {"b"}, "b": {"c"}, "c": {"b"}, "d": set()},
+        )
+        flat = [sorted(s) for s in sccs]
+        assert ["b", "c"] in flat
+        assert flat.index(["b", "c"]) < flat.index(["a"])
+
+
+# ----------------------------------------------------------------------
+# Cross-module diagnostics
+# ----------------------------------------------------------------------
+
+class TestCrossModule:
+    def test_two_hop_wallclock_chain_is_named(self, tmp_path):
+        write_module(
+            tmp_path, "repro/core/clock.py",
+            "import time\n"
+            "def helper():\n"
+            "    return time.time()\n"
+            "def mid():\n"
+            "    return helper()\n",
+        )
+        write_module(
+            tmp_path, "repro/core/writer.py",
+            "import json\n"
+            "from repro.core.clock import mid\n"
+            "def record(payload):\n"
+            "    return json.dumps({'at': mid(), 'payload': payload})\n",
+        )
+        result = analyze(tmp_path, use_cache=False)
+        (diag,) = [d for d in result.diagnostics
+                   if d.rule == "det/wall-clock"]
+        assert "writer.py" in diag.location
+        assert "mid() -> helper() -> time.time()" in diag.message
+
+    def test_param_sink_reported_at_call_site(self, tmp_path):
+        write_module(
+            tmp_path, "repro/util/sink.py",
+            "import json\n"
+            "def persist(values):\n"
+            "    return json.dumps(values)\n",
+        )
+        write_module(
+            tmp_path, "repro/core/caller.py",
+            "from repro.util.sink import persist\n"
+            "def bad(items):\n"
+            "    return persist(set(items))\n"
+            "def good(items):\n"
+            "    return persist(sorted(items))\n",
+        )
+        result = analyze(tmp_path, use_cache=False)
+        unordered = [d for d in result.diagnostics
+                     if d.rule == "det/unordered-iter"]
+        assert len(unordered) == 1
+        assert "caller.py:3" in unordered[0].location
+        assert "persist()" in unordered[0].message
+
+    def test_seed_provenance_through_aliased_helper(self, tmp_path):
+        write_module(
+            tmp_path, "repro/util/mkrng.py",
+            "import numpy.random as nr\n"
+            "def fresh():\n"
+            "    return nr.default_rng()\n",
+        )
+        write_module(
+            tmp_path, "repro/core/draws.py",
+            "from repro.util.mkrng import fresh\n"
+            "def draw():\n"
+            "    return fresh().integers(0, 10)\n",
+        )
+        result = analyze(tmp_path, use_cache=False)
+        seeded = [d for d in result.diagnostics
+                  if d.rule == "det/seed-provenance"]
+        assert any("mkrng.py" in d.location for d in seeded)
+        # src/unseeded-rng is folded away for covered modules.
+        assert "src/unseeded-rng" not in rules(result)
+
+    def test_blessed_substream_path_is_silent(self, tmp_path):
+        write_module(
+            tmp_path, "repro/core/draws.py",
+            "from repro.util.rng import substream\n"
+            "def draw(seed):\n"
+            "    return substream(seed, 'draws').integers(0, 10)\n",
+        )
+        result = analyze(tmp_path, use_cache=False)
+        assert "det/seed-provenance" not in rules(result)
+
+    def test_exc_escape_fires_only_on_proven_swallow(self, tmp_path):
+        write_module(
+            tmp_path, "repro/core/deep.py",
+            "def boom():\n"
+            "    raise ValueError('x')\n",
+        )
+        write_module(
+            tmp_path, "repro/core/handlers.py",
+            "from repro.core.deep import boom\n"
+            "def swallow():\n"
+            "    try:\n"
+            "        return boom()\n"
+            "    except Exception:\n"
+            "        return None\n"
+            "def reraise():\n"
+            "    try:\n"
+            "        return boom()\n"
+            "    except Exception:\n"
+            "        raise\n",
+        )
+        result = analyze(tmp_path, use_cache=False)
+        escapes = [d for d in result.diagnostics if d.rule == "exc/escape"]
+        assert len(escapes) == 1
+        assert "swallow" in escapes[0].message
+        assert "ValueError" in escapes[0].message
+        # The folded srclint rule stays out of covered modules.
+        assert "src/error-swallow" not in rules(result)
+
+    def test_srclint_standalone_keeps_folded_rules(self):
+        source = "import random\ndef f():\n    return random.random()\n"
+        diags = list(srclint.lint_source(source, "repro/core/x.py"))
+        assert any(d.rule == "src/unseeded-rng" for d in diags)
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+
+class TestCache:
+    def tree(self, tmp_path):
+        write_module(
+            tmp_path, "repro/core/clock.py",
+            "import time\n"
+            "def helper():\n"
+            "    return time.time()\n",
+        )
+        write_module(
+            tmp_path, "repro/core/writer.py",
+            "import json\n"
+            "from repro.core.clock import helper\n"
+            "def record():\n"
+            "    return json.dumps({'at': helper()})\n",
+        )
+        write_module(
+            tmp_path, "repro/core/standalone.py",
+            "def double(x):\n    return 2 * x\n",
+        )
+
+    def test_warm_run_reanalyzes_nothing(self, tmp_path):
+        self.tree(tmp_path)
+        cold = analyze(tmp_path)
+        assert cold.stats()["cache_hits"] == 0
+        assert cold.stats()["analyzed"] == cold.stats()["modules"] == 3
+        warm = analyze(tmp_path)
+        assert warm.stats()["analyzed"] == 0
+        assert warm.stats()["cache_hits"] == 3
+        assert [d.to_json() for d in warm.diagnostics] == \
+               [d.to_json() for d in cold.diagnostics]
+        assert {m: {q: s.to_json() for q, s in fs.items()}
+                for m, fs in warm.summaries.items()} == \
+               {m: {q: s.to_json() for q, s in fs.items()}
+                for m, fs in cold.summaries.items()}
+
+    def test_edit_invalidates_module_and_importers(self, tmp_path):
+        self.tree(tmp_path)
+        analyze(tmp_path)
+        path = tmp_path / "repro/core/clock.py"
+        path.write_text(path.read_text() + "\ndef extra():\n    return 1\n")
+        warm = analyze(tmp_path)
+        # clock changed; writer depends on it; standalone is untouched.
+        assert warm.analyzed == ["repro.core.clock", "repro.core.writer"]
+        assert warm.cache_hits == ["repro.core.standalone"]
+
+    def test_analyzer_version_change_cold_starts(self, tmp_path, monkeypatch):
+        self.tree(tmp_path)
+        analyze(tmp_path)
+        import repro.util.fingerprint as fp
+
+        monkeypatch.setattr(fp, "analysis_code_version", lambda: "different")
+        warm = analyze(tmp_path)
+        assert warm.stats()["analyzed"] == 3
+        assert warm.stats()["cache_hits"] == 0
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        self.tree(tmp_path)
+        cache = tmp_path / ".cache"
+        analyze(tmp_path, use_cache=False)
+        assert not cache.exists()
+
+    def test_corrupt_entry_falls_back_to_analysis(self, tmp_path):
+        self.tree(tmp_path)
+        analyze(tmp_path)
+        cache = tmp_path / ".cache"
+        for entry in cache.glob("*.json"):
+            entry.write_text("{not json")
+        warm = analyze(tmp_path)
+        assert warm.stats()["analyzed"] == 3
+        # And the rewritten entries hit again.
+        assert analyze(tmp_path).stats()["cache_hits"] == 3
+
+    def test_syntax_error_module_reports_like_standalone(self, tmp_path):
+        write_module(tmp_path, "repro/core/broken.py", "def f(:\n")
+        result = analyze(tmp_path, use_cache=False)
+        assert "src/syntax-error" in rules(result) or any(
+            "syntax" in d.rule for d in result.diagnostics
+        )
+
+
+# ----------------------------------------------------------------------
+# Whole-repo acceptance
+# ----------------------------------------------------------------------
+
+class TestRepoAcceptance:
+    def test_repo_summaries_cover_all_modules(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        result = interproc.analyze_paths([root], use_cache=False)
+        assert result.stats()["modules"] > 50
+        assert set(result.summaries) == set(result.modules)
+        # The blessed RNG module itself is exempt from seed-provenance.
+        assert not any(
+            d.rule == "det/seed-provenance" and "util/rng.py" in d.location
+            for d in result.diagnostics
+        )

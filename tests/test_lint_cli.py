@@ -51,11 +51,15 @@ class TestExitCodes:
         assert main([str(path), "--no-baseline"]) == 2
         assert "det/wall-clock" in capsys.readouterr().out
 
-    def test_srclint_error_exits_two(self, tmp_path, capsys):
+    def test_seed_provenance_error_exits_two(self, tmp_path, capsys):
+        # Stdlib random use: srclint's src/unseeded-rng is superseded by
+        # the interprocedural det/seed-provenance rule for covered modules.
         path = tmp_path / "bad.py"
         path.write_text("import random\nrandom.seed(1)\n")
         assert main([str(path), "--no-baseline"]) == 2
-        assert "src/unseeded-rng" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "det/seed-provenance" in out
+        assert "src/unseeded-rng" not in out
 
     def test_warning_only_exits_one(self, tmp_path):
         # Inside the repro/ prefix the unordered-capture rule warns.
@@ -137,12 +141,13 @@ class TestBaselineRatchet:
         baseline = Baseline([
             Allowance("det/wall-clock", "repro/core/mod.py", 1, "known"),
         ])
-        report, source_diags, result = run_lint(
-            [tmp_path / "repro"], baseline
+        report, source_diags, result, analysis = run_lint(
+            [tmp_path / "repro"], baseline, use_cache=False
         )
         assert report.diagnostics == []
         assert [d.rule for d in source_diags] == ["det/wall-clock"]
         assert result.suppressed == 1
+        assert analysis.stats()["modules"] == 1
 
     def test_canonical_path_strips_line_and_prefix(self):
         loc = "/tmp/x/repro/core/mod.py:17"
