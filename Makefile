@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint lint-changed lint-baseline test chaos obs-check bench \
-        bench-lint clean-cache
+        bench-lint bench-sim clean-cache
 
 check: lint test
 
@@ -48,6 +48,12 @@ bench:
 # against a throwaway cache and record BENCH_7.json.
 bench-lint:
 	$(PYTHON) -m repro.analysis.bench
+
+# Simulation perf trajectory: replay the fixed seeded bench corpus
+# through every engine scalar vs vectorized, record BENCH_8.json, and
+# fail if the vectorized path regresses >10% behind scalar anywhere.
+bench-sim:
+	$(PYTHON) -m repro.bench --out BENCH_8.json --check
 
 clean-cache:
 	rm -rf .cache

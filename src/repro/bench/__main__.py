@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — run the simulation engine benchmark."""
+
+from repro.bench.sim import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

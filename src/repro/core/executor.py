@@ -71,6 +71,7 @@ from repro.core.resilience import (
     step_engines,
 )
 from repro.machines.presets import get_machine
+from repro.sim import modes
 from repro.trace.trace import TraceSet
 from repro.util.budget import Budget
 from repro.util.faults import maybe_inject
@@ -373,6 +374,7 @@ def _measure_built_trace(
             ladder_step=options.get("ladder_step", 0),
             degraded_from=options.get("degraded_from", ""),
             attempt=attempt,
+            sim_vectorized=options.get("sim_vectorized"),
         )
     if cache is not None:
         cache.put(key, record)
@@ -924,6 +926,7 @@ def execute_study(
     retry: Optional[RetryPolicy] = None,
     quarantine_root: Optional[Union[str, Path]] = None,
     collect_metrics: Optional[bool] = None,
+    sim_vectorized: Optional[bool] = None,
 ) -> StudyRun:
     """Measure every :class:`~repro.workloads.suite.TraceSpec` in ``specs``.
 
@@ -953,6 +956,15 @@ def execute_study(
     run (default: on iff a registry is already enabled); the merged
     snapshot lands in ``manifest.metrics`` — identical for serial and
     parallel runs on all non-walltime series.
+
+    ``sim_vectorized`` picks the engines' scalar or vectorized paths
+    (``None``: this process's :mod:`repro.sim.modes` default).  The
+    choice is resolved *here* and shipped to workers as an explicit
+    bool, so a pool worker never re-reads the environment; it is not
+    part of the record cache key because canonical records are
+    byte-identical across modes.  Pool workers are long-lived: each one
+    keeps its process (imports, numpy buffers, engine event pools) warm
+    across all the records it measures.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -967,6 +979,7 @@ def execute_study(
         "record_timeout": record_timeout,
         "event_budget": event_budget,
         "metrics": collect,
+        "sim_vectorized": modes.resolve(sim_vectorized),
     }
     manifest = RunManifest(
         seed=seed,
@@ -1014,13 +1027,14 @@ def execute_traces(
     retry: Optional[RetryPolicy] = None,
     quarantine_root: Optional[Union[str, Path]] = None,
     collect_metrics: Optional[bool] = None,
+    sim_vectorized: Optional[bool] = None,
 ) -> StudyRun:
     """Measure already-serialized trace files (``.dmp`` ASCII or ``.bin``).
 
     Same parallelism, caching, isolation, budget/retry/ladder/quarantine,
-    metrics-collection and manifest semantics as :func:`execute_study`,
-    but the work items are file paths — the CLI entry point
-    ``python -m repro.trace.cli measure``.
+    metrics-collection, manifest and ``sim_vectorized`` semantics as
+    :func:`execute_study`, but the work items are file paths — the CLI
+    entry point ``python -m repro.trace.cli measure``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -1034,6 +1048,7 @@ def execute_traces(
         "record_timeout": record_timeout,
         "event_budget": event_budget,
         "metrics": collect,
+        "sim_vectorized": modes.resolve(sim_vectorized),
     }
     manifest = RunManifest(
         jobs=jobs,

@@ -29,7 +29,8 @@ from repro.core.difftotal import DIFF_THRESHOLD, diff_total
 from repro.core.resilience import LADDER, band_for_step
 from repro.machines.presets import get_machine
 from repro.mfact.logical_clock import model_trace
-from repro.sim.mpi_replay import simulate_trace
+from repro.sim import modes
+from repro.sim.mpi_replay import ReplayShared, simulate_trace
 from repro.sim.network import UnsupportedTraceError
 from repro.trace.features import extract_features
 from repro.trace.trace import TraceSet
@@ -129,6 +130,7 @@ def measure_trace(
     ladder_step: int = 0,
     degraded_from: str = "",
     attempt: int = 0,
+    sim_vectorized: Optional[bool] = None,
 ) -> StudyRecord:
     """Run all four tools and feature extraction on one stamped trace.
 
@@ -148,6 +150,14 @@ def measure_trace(
     ``attempt`` is forwarded to the chaos harness
     (:func:`repro.util.faults.maybe_inject`) so fault plans can scope
     faults per attempt.
+
+    ``sim_vectorized`` selects the simulation engines' scalar or
+    vectorized paths (``None``: the :mod:`repro.sim.modes` process
+    default).  Canonical record content is identical either way — the
+    differential equivalence suite enforces it — so the choice never
+    enters the record cache key.  In vectorized mode the collective
+    expansion, fabric and compiled op streams are built once per record
+    and shared across all engines instead of once per engine.
     """
     if lint_gate:
         report = lint_trace(trace)
@@ -183,7 +193,10 @@ def measure_trace(
         wall_deadline = time.perf_counter() + budget.wall_seconds
     step = ladder_step
     degraded = degraded_from
-    for model in (m for m in SIM_MODELS if m in engines):
+    vectorized = modes.resolve(sim_vectorized)
+    active_engines = [m for m in SIM_MODELS if m in engines]
+    shared = ReplayShared(trace, machine) if vectorized and active_engines else None
+    for model in active_engines:
         remaining = None
         if wall_deadline is not None:
             remaining = wall_deadline - time.perf_counter()
@@ -213,6 +226,8 @@ def measure_trace(
                     wall_seconds=remaining,
                     events=budget.events if budget is not None else None,
                 ),
+                vectorized=vectorized,
+                shared=shared,
             )
             record.sims[model] = ToolRun(
                 completed=True,
@@ -264,6 +279,7 @@ def run_study(
     record_timeout: Optional[float] = None,
     event_budget: Optional[int] = None,
     retry=None,
+    sim_vectorized: Optional[bool] = None,
 ) -> List[StudyRecord]:
     """Build the corpus and measure every trace with all four tools.
 
@@ -301,6 +317,7 @@ def run_study(
         record_timeout=record_timeout,
         event_budget=event_budget,
         retry=retry,
+        sim_vectorized=sim_vectorized,
     )
     return run.records
 

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Type
 
 from repro import obs
 from repro.collectives.algorithms import schedule_collective
 from repro.machines.config import MachineConfig
+from repro.sim import modes
 from repro.sim.engine import DEFAULT_MAX_EVENTS, EventEngine
 from repro.util.budget import Budget
 from repro.sim.flow import FlowModel
@@ -31,7 +33,22 @@ from repro.sim.results import SimResult
 from repro.trace.events import Op, OpKind
 from repro.trace.trace import TraceSet
 
-__all__ = ["expand_collectives", "SimReplay", "simulate_trace", "MODEL_CLASSES"]
+__all__ = [
+    "expand_collectives",
+    "compile_streams",
+    "ReplayShared",
+    "SimReplay",
+    "simulate_trace",
+    "MODEL_CLASSES",
+]
+
+# Integer OpKind values for the compiled-stream dispatch below.
+_K_COMPUTE = int(OpKind.COMPUTE)
+_K_SEND = int(OpKind.SEND)
+_K_ISEND = int(OpKind.ISEND)
+_K_RECV = int(OpKind.RECV)
+_K_IRECV = int(OpKind.IRECV)
+_K_WAIT = int(OpKind.WAIT)
 
 #: Tag space reserved for expanded collective traffic.
 COLLECTIVE_TAG_BASE = 1 << 20
@@ -108,6 +125,73 @@ def expand_collectives(trace: TraceSet) -> TraceSet:
     )
 
 
+def compile_streams(trace: TraceSet, machine: MachineConfig) -> List[List[Tuple]]:
+    """Flatten an (expanded) trace into per-rank tuple streams.
+
+    Each op becomes a per-kind tuple holding exactly the fields the
+    replay dispatch reads for that kind — the hot loop indexes two or
+    three slots instead of unpacking six attribute loads on an
+    ``__slots__`` object:
+
+    - COMPUTE: ``(kind, work)``
+    - SEND/ISEND: ``(kind, peer, nbytes, tag, req, inject)``
+    - RECV: ``(kind, peer, tag)``
+    - IRECV: ``(kind, peer, tag, req)``
+    - WAIT: ``(kind, req)``
+
+    The machine-dependent floats are pre-baked: the scaled work
+    ``duration * compute_scale`` for COMPUTE and the eager injection
+    time ``nbytes / injection_rate`` for SEND (both single deterministic
+    products, so pre-baking cannot shift a bit).  Worth building only
+    when the streams are reused (every engine of a record replays the
+    same expansion), which is why :class:`ReplayShared` owns the
+    compilation.
+    """
+    scale = machine.compute_scale
+    inj = machine.effective_injection_bandwidth
+    out: List[List[Tuple]] = []
+    for stream in trace.ranks:
+        compiled = []
+        for op in stream:
+            kind = int(op.kind)
+            if kind == _K_COMPUTE:
+                entry = (kind, op.duration * scale)
+            elif kind == _K_SEND:
+                entry = (kind, op.peer, op.nbytes, op.tag, op.req, op.nbytes / inj)
+            elif kind == _K_ISEND:
+                entry = (kind, op.peer, op.nbytes, op.tag, op.req, 0.0)
+            elif kind == _K_RECV:
+                entry = (kind, op.peer, op.tag)
+            elif kind == _K_IRECV:
+                entry = (kind, op.peer, op.tag, op.req)
+            else:
+                entry = (kind, op.req)
+            compiled.append(entry)
+        out.append(compiled)
+    return out
+
+
+class ReplayShared:
+    """Per-(trace, machine) precomputation shared across engines.
+
+    The vectorized measurement path builds one of these per record and
+    hands it to every :class:`SimReplay`: collective expansion, the
+    fabric (topology + routing, read-only during replay) and the
+    compiled op streams are all identical across the packet, flow and
+    packet-flow replays of one trace, so the scalar path's
+    once-per-engine cost collapses to once per record.
+    """
+
+    __slots__ = ("trace", "machine", "expanded", "fabric", "compiled")
+
+    def __init__(self, trace: TraceSet, machine: MachineConfig):
+        self.trace = trace
+        self.machine = machine
+        self.expanded = expand_collectives(trace)
+        self.fabric = Fabric(trace, machine)
+        self.compiled = compile_streams(self.expanded, machine)
+
+
 class _SimChannel:
     __slots__ = ("deliveries", "slots")
 
@@ -125,6 +209,8 @@ class SimReplay:
         machine: MachineConfig,
         model: str = "packet-flow",
         fabric: Optional[Fabric] = None,
+        vectorized: Optional[bool] = None,
+        shared: Optional[ReplayShared] = None,
         **model_kwargs,
     ):
         try:
@@ -134,11 +220,17 @@ class SimReplay:
             raise ValueError(f"unknown model {model!r} (known: {known})") from None
         self.original = trace
         self.machine = machine
-        self.engine = EventEngine()
+        self.vectorized = modes.resolve(vectorized)
+        self.engine = EventEngine(vectorized=self.vectorized)
+        if shared is not None and fabric is None:
+            fabric = shared.fabric
         self.fabric = fabric if fabric is not None else Fabric(trace, machine)
         self.model = model_cls(self.fabric, self.engine, **model_kwargs)
         self.model.check_trace(trace)
-        self.trace = expand_collectives(trace)
+        # ``shared`` must have been built from this same (trace, machine)
+        # pair; it saves re-expanding and re-compiling per engine.
+        self.trace = shared.expanded if shared is not None else expand_collectives(trace)
+        self._compiled = shared.compiled if shared is not None else None
         n = trace.nranks
         self.clk = [0.0] * n
         self.comm_time = [0.0] * n
@@ -158,6 +250,10 @@ class SimReplay:
         self._kind_obs: Optional[Dict[OpKind, List[float]]] = (
             {} if obs.enabled() else None
         )
+        if self._compiled is not None and self._kind_obs is None:
+            # Bind the dispatch once: every _deliver-triggered advance
+            # skips the mode test and wrapper frame.
+            self._advance = self._advance_fast
 
     def _tally_op(self, kind: OpKind, t0: float) -> None:
         ent = self._kind_obs.get(kind)
@@ -176,13 +272,27 @@ class SimReplay:
         return chan
 
     def _deliver(self, src: int, dst: int, tag: int, when: float) -> None:
-        chan = self._channel(src, dst, tag)
-        if chan.slots:
-            kind, ident = chan.slots.popleft()
+        # Hot path shared by both engine modes: the channel lookup is
+        # inlined (no _channel call) and the ``max`` builtins are spelled
+        # as branches — ``clk[dst] if clk[dst] >= when else when`` picks
+        # the same value ``max`` would, and the waited-time clamp skips
+        # zero adds (``waited`` is ``+0.0`` when the rank never waited,
+        # and ``x + 0.0 == x`` bitwise for the non-negative tallies).
+        key = (src, dst, tag)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = _SimChannel()
+        slots = chan.slots
+        if slots:
+            kind, ident = slots.popleft()
+            clk = self.clk
+            c = clk[dst]
+            arrived = c if c >= when else when
             if kind == "recv":
-                waited = max(self.clk[dst], when) - self._blocked_at[dst]
-                self.comm_time[dst] += max(0.0, waited)
-                self.clk[dst] = max(self.clk[dst], when)
+                waited = arrived - self._blocked_at[dst]
+                if waited > 0.0:
+                    self.comm_time[dst] += waited
+                clk[dst] = arrived
                 self._blocked[dst] = None
                 self._ip[dst] += 1
                 self._advance(dst)
@@ -190,9 +300,10 @@ class SimReplay:
                 self._requests[dst][ident] = ("irecv", when)
                 blocked = self._blocked[dst]
                 if blocked is not None and blocked[0] == "wait" and blocked[1] == ident:
-                    waited = max(self.clk[dst], when) - self._blocked_at[dst]
-                    self.comm_time[dst] += max(0.0, waited)
-                    self.clk[dst] = max(self.clk[dst], when)
+                    waited = arrived - self._blocked_at[dst]
+                    if waited > 0.0:
+                        self.comm_time[dst] += waited
+                    clk[dst] = arrived
                     del self._requests[dst][ident]
                     self._blocked[dst] = None
                     self._ip[dst] += 1
@@ -203,7 +314,137 @@ class SimReplay:
     # -- op execution --------------------------------------------------------
 
     def _advance(self, rank: int) -> None:
-        """Run ``rank`` forward until it blocks, defers to an event, or ends."""
+        """Run ``rank`` forward until it blocks, defers to an event, or ends.
+
+        Dispatches to the compiled-stream fast loop when shared
+        precomputation is attached and per-op tallies are off (the
+        fast case is bound directly over this method in ``__init__``);
+        the reference loop below is the behavioral specification both
+        must match (enforced by the differential equivalence suite).
+        """
+        self._advance_ref(rank)
+
+    def _advance_fast(self, rank: int) -> None:
+        """Compiled-stream twin of :meth:`_advance_ref`.
+
+        Identical arithmetic and branch structure, operating on the
+        per-kind tuples from :func:`compile_streams` (each branch
+        indexes only the fields its kind carries; the pre-baked floats
+        replace the per-op multiply/divide) with the instruction
+        pointer kept in a local (flushed on every exit so
+        :meth:`_deliver`'s ``_ip`` bump composes exactly as before).
+        """
+        ops = self._compiled[rank]
+        n_ops = len(ops)
+        o = self._overhead
+        clk = self.clk
+        comm_time = self.comm_time
+        requests = self._requests[rank]
+        transfer = self.model.transfer
+        deliver = self._deliver
+        channels = self._channels
+        ip = self._ip[rank]
+        # The rank's clock and time tallies live in unboxed locals for
+        # the whole dispatch loop — nothing else mutates them while this
+        # rank advances (``transfer`` only schedules future events) —
+        # and are flushed at every exit, in the same order the subscript
+        # writes would have landed.
+        c = clk[rank]
+        ct = comm_time[rank]
+        pt = self.compute_time[rank]
+        while ip < n_ops:
+            op = ops[ip]
+            kind = op[0]
+            if kind == _K_COMPUTE:
+                work = op[1]
+                c += work
+                pt += work
+            elif kind == _K_SEND or kind == _K_ISEND:
+                peer = op[1]
+                start = c + o
+                ct += o
+                if kind == _K_SEND:
+                    # Eager: sender is busy for the injection (pre-baked).
+                    inject = op[5]
+                    c = start + inject
+                    ct += inject
+                else:
+                    c = start
+                    requests[op[4]] = ("isend", None)
+                transfer(rank, peer, op[2], start, partial(deliver, rank, peer, op[3]))
+            elif kind == _K_RECV:
+                ct += o
+                c += o
+                key = (op[1], rank, op[2])
+                chan = channels.get(key)
+                if chan is None:
+                    chan = channels[key] = _SimChannel()
+                if chan.deliveries:
+                    when = chan.deliveries.popleft()
+                    if when > c:
+                        ct += when - c
+                        c = when
+                else:
+                    clk[rank] = c
+                    comm_time[rank] = ct
+                    self.compute_time[rank] = pt
+                    chan.slots.append(("recv", rank))
+                    self._blocked[rank] = ("recv",)
+                    self._blocked_at[rank] = c
+                    self._ip[rank] = ip
+                    return
+            elif kind == _K_IRECV:
+                ct += o
+                c += o
+                key = (op[1], rank, op[2])
+                chan = channels.get(key)
+                if chan is None:
+                    chan = channels[key] = _SimChannel()
+                req = op[3]
+                if chan.deliveries:
+                    requests[req] = ("irecv", chan.deliveries.popleft())
+                else:
+                    chan.slots.append(("irecv", req))
+                    requests[req] = ("irecv", None)
+            elif kind == _K_WAIT:
+                req = op[1]
+                entry = requests.get(req)
+                if entry is None:
+                    clk[rank] = c
+                    comm_time[rank] = ct
+                    self.compute_time[rank] = pt
+                    raise RuntimeError(
+                        f"rank {rank} waits on unknown request {req} in {self.trace.name}"
+                    )
+                state, when = entry
+                ct += o
+                c += o
+                if state == "isend":
+                    del requests[req]
+                elif when is not None:
+                    if when > c:
+                        ct += when - c
+                        c = when
+                    del requests[req]
+                else:
+                    clk[rank] = c
+                    comm_time[rank] = ct
+                    self.compute_time[rank] = pt
+                    self._blocked[rank] = ("wait", req)
+                    self._blocked_at[rank] = c
+                    self._ip[rank] = ip
+                    return
+            else:  # pragma: no cover - collectives were expanded away
+                raise RuntimeError(f"unexpanded collective {kind!r} reached the simulator")
+            ip += 1
+        clk[rank] = c
+        comm_time[rank] = ct
+        self.compute_time[rank] = pt
+        self._ip[rank] = ip
+        self._done[rank] = True
+
+    def _advance_ref(self, rank: int) -> None:
+        """Reference dispatch loop over :class:`Op` objects."""
         ops = self.trace.ranks[rank]
         n_ops = len(ops)
         o = self._overhead
@@ -361,11 +602,18 @@ def simulate_trace(
     machine: MachineConfig,
     model: str = "packet-flow",
     budget: Optional[Budget] = None,
+    vectorized: Optional[bool] = None,
+    shared: Optional[ReplayShared] = None,
     **model_kwargs,
 ) -> SimResult:
     """Convenience wrapper: simulate ``trace`` on ``machine`` with ``model``.
 
     ``budget`` (wall seconds / event cap) bounds the attempt; see
-    :meth:`SimReplay.run`.
+    :meth:`SimReplay.run`.  ``vectorized`` picks the scalar or
+    vectorized simulation paths (``None``: process default, see
+    :mod:`repro.sim.modes`); ``shared`` reuses a
+    :class:`ReplayShared` built for this same (trace, machine) pair.
     """
-    return SimReplay(trace, machine, model, **model_kwargs).run(budget=budget)
+    return SimReplay(
+        trace, machine, model, vectorized=vectorized, shared=shared, **model_kwargs
+    ).run(budget=budget)

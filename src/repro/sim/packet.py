@@ -14,6 +14,8 @@ next-free time by its full serialization delay.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.sim.network import Fabric, NetworkModel, UnsupportedTraceError
@@ -52,6 +54,19 @@ class PacketModel(NetworkModel):
         self._endpoint_latency = machine.latency
         self._local_rate = LOCAL_BANDWIDTH_FACTOR * machine.effective_injection_bandwidth
         self.packets_sent = 0
+        self._vectorized = bool(getattr(engine, "vectorized", False))
+        #: Vectorized-mode route memo: (src, dst) -> route tuple.  The
+        #: per-packet walk itself stays sequential (each packet reads and
+        #: advances the shared next-free times), so route lookup is the
+        #: only per-message cost the fast path can hoist here.
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def _route_of(self, src_rank: int, dst_rank: int):
+        key = (src_rank, dst_rank)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._route_cache[key] = self.fabric.route(src_rank, dst_rank)
+        return route
 
     def check_trace(self, trace: TraceSet) -> None:
         """SST/Macro 3.0's packet engine cannot replay multi-threaded traces."""
@@ -63,7 +78,10 @@ class PacketModel(NetworkModel):
     def transfer(self, src_rank, dst_rank, nbytes, start, deliver):
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        route = self.fabric.route(src_rank, dst_rank)
+        if self._vectorized:
+            route = self._route_of(src_rank, dst_rank)
+        else:
+            route = self.fabric.route(src_rank, dst_rank)
         if not route:
             done = start + self.fabric.machine.software_overhead + nbytes / self._local_rate
             self.engine.schedule(done, lambda: deliver(done))

@@ -1,0 +1,160 @@
+"""Property tests for the batched event queue (PR 8 tentpole).
+
+The batched drain (:meth:`EventEngine._drain_batched`) must process
+callbacks in the *identical total order* as the scalar one-``heappop``
+-per-event reference loop — (time, scheduling sequence) order — under
+every adversarial schedule Hypothesis can construct: duplicate
+timestamps, ties broken only by scheduling order, and events scheduled
+from *inside* a batch dispatch at the batch's own timestamp (the
+fast path that appends to the live pool and skips the heap entirely).
+
+The plans generated here are two-level trees: top-level events at
+times drawn from a small pool (forcing heavy timestamp collisions),
+each optionally scheduling children at non-negative offsets when it
+runs — offset ``0.0`` lands exactly on the live batch.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventEngine
+
+#: Small time pools force duplicate timestamps in nearly every example.
+TIMES = st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5, 2.5, 3.0])
+OFFSETS = st.sampled_from([0.0, 0.0, 0.0, 0.5, 1.0, 2.0])
+
+#: A child schedules grandchildren at these offsets when it runs.
+GRANDCHILDREN = st.lists(OFFSETS, max_size=2)
+CHILDREN = st.lists(st.tuples(OFFSETS, GRANDCHILDREN), max_size=3)
+PLANS = st.lists(st.tuples(TIMES, CHILDREN), min_size=1, max_size=10)
+
+relaxed = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def execute_plan(plan, vectorized):
+    """Run ``plan`` on a fresh engine; return (labels-in-order, engine).
+
+    Labels record both execution order and the virtual time each
+    callback observed, so a reordering *or* a clock glitch fails the
+    comparison.
+    """
+    engine = EventEngine(vectorized=vectorized)
+    order = []
+    counter = [0]
+
+    def spawn(children):
+        label = counter[0]
+        counter[0] += 1
+
+        def callback():
+            order.append((label, engine.now))
+            for offset, grandchildren in children:
+                engine.schedule(
+                    engine.now + offset,
+                    spawn([(g, []) for g in grandchildren]),
+                )
+        return callback
+
+    for when, children in plan:
+        engine.schedule(when, spawn(children))
+    engine.run()
+    return order, engine
+
+
+class TestBatchedOrderMatchesScalar:
+    @given(plan=PLANS)
+    @relaxed
+    def test_same_total_order_as_heapq_reference(self, plan):
+        """The core contract: batched == scalar on every schedule,
+        including events scheduled from inside a batch dispatch."""
+        scalar_order, scalar_engine = execute_plan(plan, vectorized=False)
+        batched_order, batched_engine = execute_plan(plan, vectorized=True)
+        assert batched_order == scalar_order
+        assert batched_engine.events_processed == scalar_engine.events_processed
+        assert batched_engine.now == scalar_engine.now
+
+    @given(
+        times=st.lists(TIMES, min_size=2, max_size=12),
+    )
+    @relaxed
+    def test_duplicate_timestamps_run_in_scheduling_order(self, times):
+        """Ties are broken by scheduling sequence alone, in both modes."""
+        for vectorized in (False, True):
+            engine = EventEngine(vectorized=vectorized)
+            order = []
+            for label, when in enumerate(times):
+                engine.schedule(when, lambda label=label: order.append(label))
+            engine.run()
+            expected = [label for _, label in sorted(
+                (when, label) for label, when in enumerate(times)
+            )]
+            assert order == expected, f"vectorized={vectorized}"
+
+    @given(plan=PLANS)
+    @relaxed
+    def test_virtual_time_is_monotonic(self, plan):
+        for vectorized in (False, True):
+            order, _ = execute_plan(plan, vectorized)
+            observed = [now for _, now in order]
+            assert observed == sorted(observed), f"vectorized={vectorized}"
+
+
+class TestInBatchScheduling:
+    """Regression tests for the stale-local hazard: an event scheduled
+    at the live batch's own timestamp must run in the *same* drain
+    (the dispatch loop re-reads the pool length; a cached bound would
+    strand it until a later — or never — sweep)."""
+
+    def test_same_timestamp_event_from_callback_runs_in_same_run(self):
+        engine = EventEngine(vectorized=True)
+        order = []
+
+        def parent():
+            order.append("parent")
+            engine.schedule(engine.now, lambda: order.append("child"))
+
+        engine.schedule(1.0, parent)
+        engine.run()
+        assert order == ["parent", "child"]
+        assert engine.events_processed == 2
+
+    def test_chained_same_timestamp_events_all_run(self):
+        """A chain of N same-timestamp events scheduled link-by-link
+        from inside the batch is fully drained in one run."""
+        engine = EventEngine(vectorized=True)
+        order = []
+
+        def link(n):
+            def callback():
+                order.append(n)
+                if n < 50:
+                    engine.schedule(engine.now, link(n + 1))
+            return callback
+
+        engine.schedule(2.0, link(0))
+        engine.run()
+        assert order == list(range(51))
+
+    def test_in_batch_event_keeps_position_relative_to_later_times(self):
+        """A same-timestamp child runs before any later-time event that
+        was already in the heap."""
+        engine = EventEngine(vectorized=True)
+        order = []
+        engine.schedule(2.0, lambda: order.append("later"))
+
+        def parent():
+            order.append("parent")
+            engine.schedule(1.0, lambda: order.append("child"))
+
+        engine.schedule(1.0, parent)
+        engine.run()
+        assert order == ["parent", "child", "later"]
+
+    def test_events_processed_counts_in_batch_events(self):
+        """events_processed is exact in both modes for the same plan."""
+        plan = [(0.0, [(0.0, [0.0, 0.5]), (1.0, [])]), (0.0, []), (1.0, [(0.0, [])])]
+        _, scalar = execute_plan(plan, vectorized=False)
+        _, batched = execute_plan(plan, vectorized=True)
+        assert batched.events_processed == scalar.events_processed == 8

@@ -1,0 +1,75 @@
+"""Golden-trace regression tests.
+
+Three seeded mini-corpus specs — one per machine preset, spanning a
+communication-light (CG), communication-heavy (IS) and DOE (CR)
+workload — are pinned down to the SHA-256 of their canonical
+:class:`~repro.core.pipeline.StudyRecord` JSON and the trace
+fingerprint of the stamped trace.  Any change to trace synthesis,
+calibration, feature extraction, MFACT, or *any* simulation engine
+(scalar or vectorized — canonical records are byte-identical across
+modes) shows up here as a hash flip.
+
+If a hash changes because the model intentionally changed, re-pin it
+in the same commit and say why in the commit message; a flip in an
+optimization-only PR means the fast path diverged from the reference
+and is a bug, full stop.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.pipeline import measure_trace
+from repro.util.fingerprint import trace_fingerprint
+from repro.workloads.suite import build_trace, mini_corpus_specs
+
+#: spec index -> (trace fingerprint, canonical-record sha256).
+GOLDEN = {
+    0: (  # cg.8.cielito.i000
+        "e8a16e420235b915a48f21c643a3ee0e9b4c63dbd468bd8dc1b0cbc1cfd028cc",
+        "084abf7dfd2c8c19cac410308e18df99aef530613e6125656c5b89fb1ff662c9",
+    ),
+    5: (  # cr.8.hopper.i005
+        "03c807a632347e8ef87bee492a89879788291c99a416ba90805aff22a8ae3cb6",
+        "bbdd0281efa5cf79267f5e2c249d224f44cf7c8bd50b23ad00f39b3d568c44f3",
+    ),
+    10: (  # is.8.edison.i010
+        "22fc7f6531aafaec696eafde449e4c9949a6a8392ecd847ef6d7a73927a1846d",
+        "87565cc0db95c0f9d9e87212a4af03eda95cb4ac5a5e67e5679232b1e1972527",
+    ),
+}
+
+
+def record_digest(record) -> str:
+    payload = json.dumps(record.to_json(canonical=True), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("index", sorted(GOLDEN))
+def test_golden_trace_and_record_fingerprints(index):
+    spec = mini_corpus_specs()[index]
+    trace = build_trace(spec)
+    expected_trace, expected_record = GOLDEN[index]
+    assert trace_fingerprint(trace) == expected_trace, (
+        f"{spec.name}: trace synthesis changed — the stamped trace no longer "
+        "matches its pinned fingerprint"
+    )
+    record = measure_trace(trace, spec_index=spec.index)
+    assert record_digest(record) == expected_record, (
+        f"{spec.name}: canonical StudyRecord changed — a model, feature or "
+        "engine now produces different numbers for a pinned golden trace"
+    )
+
+
+@pytest.mark.parametrize("index", sorted(GOLDEN))
+def test_golden_records_identical_in_both_sim_modes(index):
+    """The pinned hash is mode-independent: scalar and vectorized
+    measurement of a golden trace produce the same canonical bytes."""
+    spec = mini_corpus_specs()[index]
+    trace = build_trace(spec)
+    for mode in (False, True):
+        record = measure_trace(trace, spec_index=spec.index, sim_vectorized=mode)
+        assert record_digest(record) == GOLDEN[index][1], (
+            f"{spec.name}: sim_vectorized={mode} diverged from the golden hash"
+        )

@@ -20,7 +20,11 @@ def _flow_model(nranks=8):
     trace = TraceSet("t", "T", [[] for _ in range(nranks)], machine="cielito",
                      ranks_per_node=1)
     fabric = Fabric(trace, CIELITO)
-    return FlowModel(fabric, EventEngine()), fabric
+    # Scalar engine: these tests drive the reference water-fill through
+    # the scalar-side flow list (`_flows`); the vectorized path keeps
+    # its own flow state and is held equivalent by
+    # tests/test_vectorized_equivalence.py.
+    return FlowModel(fabric, EventEngine(vectorized=False)), fabric
 
 
 class TestWaterfillProperties:
