@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint lint-changed lint-baseline test chaos obs-check bench \
-        bench-lint bench-sim clean-cache
+.PHONY: check lint lint-changed lint-baseline test chaos chaos-serve \
+        obs-check bench bench-lint bench-sim clean-cache
 
 check: lint test
 
@@ -34,6 +34,15 @@ test:
 # records, cache corruption, quarantine, serial==parallel equivalence.
 chaos:
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_executor_faults.py -q
+
+# Distributed chaos suite: a real coordinator + two worker processes
+# (repro-serve CLI) under seeded network/process fault plans — worker
+# SIGKILL, dropped result connections, partitions, slow sockets and a
+# coordinator SIGKILL + journal-replay restart.  Every scenario must
+# produce canonical records byte-identical to a -j 1 serial run with
+# each spec completed exactly once.
+chaos-serve:
+	$(PYTHON) -m pytest tests/test_serve_chaos.py -q
 
 # Telemetry gate: measure a seeded mini-corpus through the real CLI at
 # -j 1 and -j 4 with --metrics-out, validate the Prometheus output and

@@ -508,6 +508,33 @@ def corpus_cases(seed: int = DEFAULT_SEED) -> List[CorpusCase]:
              "name-based srclint rule; provenance tracking does not",
     ))
 
+    # -- conc/socket-no-timeout: blocking socket in repro.serve -------
+    rng = rng_for("socket-no-timeout")
+    fn, sockname = _names(rng, _FN_POOL, _VAR_POOL)
+    cases.append(CorpusCase(
+        kind="socket-no-timeout",
+        rule="conc/socket-no-timeout",
+        rel="src/repro/serve/corpus_sock.py",
+        bad=(
+            "import socket\n\n\n"
+            f"def {fn}(host, port):\n"
+            f"    {sockname} = socket.create_connection((host, port))\n"
+            f"    {sockname}.sendall(b\"ping\")\n"
+            f"    return {sockname}.recv(4)\n"
+        ),
+        clean=(
+            "import socket\n\n\n"
+            f"def {fn}(host, port):\n"
+            f"    {sockname} = socket.create_connection((host, port))\n"
+            f"    {sockname}.settimeout(10.0)\n"
+            f"    {sockname}.sendall(b\"ping\")\n"
+            f"    return {sockname}.recv(4)\n"
+        ),
+        note="a peer that dies between connect and reply blocks recv() "
+             "forever; the serve package requires a deadline on every "
+             "socket",
+    ))
+
     return cases
 
 

@@ -49,6 +49,12 @@ Rules (all intraprocedural; see DESIGN.md for scope and limits):
 ``res/open-no-close``
     ERROR when ``open()`` is assigned outside a ``with`` block and some
     path to the function exit neither closes nor hands off the handle.
+``conc/socket-no-timeout``
+    ERROR when code under ``repro/serve/`` creates a socket —
+    ``socket.socket(...)``, a ``create_connection(...)`` without a
+    ``timeout`` argument, or an ``accept()`` result — and never calls
+    ``settimeout`` on it in the same function: a blocking socket with
+    no deadline turns a lost peer into a hung service.
 
 Run standalone with ``python -m repro.analysis.detlint [path ...]`` or
 through the unified ``repro-lint`` CLI (:mod:`repro.analysis.cli`).
@@ -81,6 +87,7 @@ DETLINT_RULES = {
     "conc/global-mutation": "worker-dispatched function writes module-level state",
     "conc/unpicklable-payload": "unpicklable value crosses the worker pipe",
     "conc/fork-shared-state": "module-level RNG/file handle reused across fork",
+    "conc/socket-no-timeout": "socket created without a timeout in repro.serve",
     "res/open-no-close": "open() without with/close on every path",
 }
 
@@ -168,6 +175,10 @@ def _propagate(tags: FrozenSet[str]) -> FrozenSet[str]:
 #: Packages where capturing an unordered iteration is warned about even
 #: before it reaches a sink (measurement-critical code).
 _WARN_SCOPE = re.compile(r"(^|/)repro/(core|sim|trace|util|mfact)/")
+
+#: The distributed service package, where every socket must carry a
+#: timeout (conc/socket-no-timeout).
+_SERVE_SCOPE = re.compile(r"(^|/)repro/serve/")
 
 _WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
@@ -279,6 +290,7 @@ class _FunctionAnalyzer:
         resolver=None,
         class_prefix: str = "",
         rng_exempt: bool = False,
+        serve_scope: bool = False,
     ) -> None:
         self.body = list(body)
         self.qualname = qualname
@@ -286,6 +298,7 @@ class _FunctionAnalyzer:
         self.initial = dict(initial)
         self.is_worker = is_worker
         self.warn_scope = warn_scope
+        self.serve_scope = serve_scope
         self.params = list(params)
         self.imap = imap if imap is not None else {}
         self.resolver = resolver
@@ -329,6 +342,8 @@ class _FunctionAnalyzer:
         if findings is None:
             return
         self._open_close(cfg, findings)
+        if self.serve_scope:
+            self._socket_timeouts(findings)
         if self.is_worker:
             self._worker_checks(findings)
 
@@ -912,6 +927,69 @@ class _FunctionAnalyzer:
         name = df.dotted_name(node.func)
         return name == "open" or (name is not None and name.endswith(".open"))
 
+    # -- socket timeout discipline (repro.serve only) ------------------
+
+    def _socket_timeouts(self, findings: _Findings) -> None:
+        """conc/socket-no-timeout: every socket born in this function
+        must get ``settimeout`` here (a ``create_connection`` call that
+        already passes ``timeout=`` counts as configured)."""
+        sites: Dict[str, int] = {}
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                value = node.value
+                if isinstance(target, ast.Name) and self._makes_socket(value):
+                    sites.setdefault(target.id, node.lineno)
+                elif (isinstance(target, ast.Tuple) and target.elts
+                        and isinstance(target.elts[0], ast.Name)
+                        and self._is_accept_call(value)):
+                    # conn, addr = sock.accept()
+                    sites.setdefault(target.elts[0].id, node.lineno)
+        if not sites:
+            return
+        configured: Set[str] = set()
+        for stmt in self.body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "settimeout"
+                        and isinstance(node.func.value, ast.Name)):
+                    configured.add(node.func.value.id)
+        for name in sorted(sites):
+            if name not in configured:
+                findings.emit(
+                    "conc/socket-no-timeout", Severity.ERROR,
+                    f"socket {name!r} is created without a timeout; a lost "
+                    "peer blocks this call forever",
+                    sites[name],
+                    "call settimeout() on the socket (or pass timeout= to "
+                    "create_connection) before using it",
+                )
+
+    @staticmethod
+    def _makes_socket(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = df.dotted_name(node.func)
+        if name is None:
+            return False
+        if name == "socket.socket" or name.endswith(".socket.socket"):
+            return True
+        if name == "create_connection" or name.endswith(".create_connection"):
+            has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
+            has_timeout = has_timeout or len(node.args) >= 2
+            return not has_timeout
+        return False
+
+    @staticmethod
+    def _is_accept_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "accept"
+                and not node.args and not node.keywords)
+
     def _escaped_names(self) -> Set[str]:
         """Handle vars whose ownership leaves the function (no close here)."""
         out: Set[str] = set()
@@ -1121,6 +1199,7 @@ def lint_source(
     workers = df.worker_functions(tree)
     module_sets = _module_set_bindings(tree)
     warn_scope = bool(_WARN_SCOPE.search(rel))
+    serve_scope = bool(_SERVE_SCOPE.search(rel))
     rng_exempt = rel.endswith("util/rng.py")
     findings = _Findings(rel)
     for qualname, fn, class_prefix in _functions(tree):
@@ -1136,11 +1215,13 @@ def lint_source(
             resolver=resolver,
             class_prefix=class_prefix,
             rng_exempt=rng_exempt,
+            serve_scope=serve_scope,
         ).run(findings)
     _FunctionAnalyzer(
         tree.body, "<module>", bindings, {},
         is_worker=False, warn_scope=warn_scope,
         imap=imap, resolver=resolver, rng_exempt=rng_exempt,
+        serve_scope=serve_scope,
     ).run(findings)
     # exc/escape: summary-proven swallows in measurement-critical code.
     if _SWALLOW_SCOPE.search(rel):

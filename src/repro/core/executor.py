@@ -91,9 +91,11 @@ __all__ = [
     "RecordCache",
     "RecordOutcome",
     "StudyRun",
+    "drive_spec",
     "execute_study",
     "execute_traces",
     "spec_cache_key",
+    "study_options",
     "trace_cache_key",
 ]
 
@@ -117,7 +119,18 @@ _sleep = time.sleep
 
 
 def _watchdog_deadline(record_timeout: Optional[float]) -> Optional[float]:
-    """Parent-side kill deadline for one attempt (None = no watchdog)."""
+    """Parent-side kill deadline for one attempt (None = no watchdog).
+
+    Deadlines measure *attempt compute time only*: the cooperative
+    budget is armed inside :func:`~repro.core.pipeline.measure_trace`
+    and the watchdog clock starts at dispatch
+    (:meth:`~repro.core.resilience.WorkerPool.dispatch` stamps
+    ``seat.started``), so retry-backoff sleeps and queueing — which
+    happen in the parent between attempts — never eat into a record's
+    ``record_timeout``.  The factor/slack headroom covers worker-side
+    setup (trace build, MFACT modeling) that runs before the
+    cooperative budget is armed.
+    """
     if record_timeout is None:
         return None
     return record_timeout * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
@@ -448,7 +461,13 @@ def _run_spec_task_impl(task: Tuple[int, object, dict]) -> RecordOutcome:
     cache_root = options.get("cache_root")
     clean = not options.get("defects", {}).get(spec.index)
     try:
-        maybe_inject("record", index=spec.index, attempt=attempt, engines=engines)
+        maybe_inject(
+            "record",
+            index=spec.index,
+            attempt=attempt,
+            engines=engines,
+            lease=options.get("lease", 0),
+        )
         corrupt = False
         if cache_root and clean:
             cache = RecordCache(cache_root)
@@ -508,6 +527,7 @@ def _run_path_task_impl(task: Tuple[int, object, dict]) -> RecordOutcome:
             index=index,
             attempt=options.get("attempt", 0),
             engines=tuple(options.get("engines", SIM_MODELS)),
+            lease=options.get("lease", 0),
         )
         trace = read_trace_binary(path) if path.endswith(".bin") else read_trace(path)
         return _measure_built_trace(
@@ -617,7 +637,17 @@ class _Driver:
         state.total_attempts += 1
         state.walltime += outcome.walltime
         if not outcome.cache_hit:
-            state.compute_walltime += outcome.walltime
+            contribution = outcome.walltime
+            if outcome.failure_kind == "timeout":
+                # A watchdog kill reports the parent-side elapsed time,
+                # which includes the factor/slack headroom past the
+                # compute budget; cap the *compute* accounting at the
+                # budget itself so deadline kills don't inflate
+                # compute_walltime with watchdog slack.
+                limit = self.options.get("record_timeout")
+                if limit is not None:
+                    contribution = min(contribution, float(limit))
+            state.compute_walltime += contribution
         state.cache_corrupt = state.cache_corrupt or outcome.cache_corrupt
         state.last_worker = outcome.worker
         m = self.metrics
@@ -911,6 +941,109 @@ def _quarantine_registry(
     return None
 
 
+def _open_quarantine(
+    quarantine_root: Optional[Union[str, Path]],
+    cache_root: Optional[Union[str, Path]],
+    manifest: RunManifest,
+) -> Optional[QuarantineRegistry]:
+    """Open the quarantine registry and prune stale entries.
+
+    Quarantine keys embed the measurement code version, so entries
+    written under a different version can never match again; dropping
+    them at open keeps the registry from accumulating dead files, and
+    the count lands on the manifest (``quarantine_pruned``).
+    """
+    registry = _quarantine_registry(quarantine_root, cache_root)
+    if registry is not None:
+        manifest.quarantine_pruned = registry.prune_stale(code_version())
+    return registry
+
+
+def study_options(
+    cache_root: Optional[Union[str, Path]] = None,
+    lint_gate: bool = False,
+    engines: Sequence[str] = SIM_MODELS,
+    defects: Optional[Dict[int, str]] = None,
+    record_timeout: Optional[float] = None,
+    event_budget: Optional[int] = None,
+    metrics: bool = False,
+    sim_vectorized: Optional[bool] = None,
+) -> dict:
+    """The picklable options dict shipped to every measurement task.
+
+    Single construction point shared by :func:`execute_study`,
+    :func:`execute_traces` and the :mod:`repro.serve` worker agent, so
+    a distributed attempt sees exactly the knobs a local attempt would
+    — which is what keeps distributed canonical records byte-identical
+    to serial ones.  ``sim_vectorized`` is resolved here (never re-read
+    from the environment inside a worker).
+    """
+    return {
+        "cache_root": str(cache_root) if cache_root is not None else None,
+        "lint_gate": lint_gate,
+        "engines": tuple(engines),
+        "defects": dict(defects or {}),
+        "record_timeout": record_timeout,
+        "event_budget": event_budget,
+        "metrics": metrics,
+        "sim_vectorized": modes.resolve(sim_vectorized),
+    }
+
+
+def drive_spec(
+    spec,
+    options: dict,
+    seed: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine: Optional[QuarantineRegistry] = None,
+    lease: int = 0,
+) -> Tuple[ManifestEntry, Optional[StudyRecord], Optional[dict]]:
+    """Drive one corpus spec through the full resilience state machine.
+
+    This is the unit of work a :mod:`repro.serve` worker executes per
+    assignment: the same retry/degrade/quarantine ``_Driver`` loop the
+    local executor runs, in-process, for a single spec.  ``lease`` is
+    the serve lease generation (forwarded to fault hooks and stamped on
+    the entry).  Returns ``(manifest entry, record or None, task
+    metrics snapshot or None)``; because backoff delays, ladder steps
+    and cache keys depend only on (spec, attempt, seed), the entry and
+    record match what a serial :func:`execute_study` would produce.
+    """
+    policy = retry if retry is not None else DEFAULT_RETRY_POLICY
+    run_metrics = obs.MetricsRegistry() if options.get("metrics") else None
+    manifest = RunManifest(
+        seed=seed,
+        jobs=1,
+        engines=list(options.get("engines", SIM_MODELS)),
+        code_version=code_version(),
+        retry_policy=policy.to_json(),
+        record_timeout=options.get("record_timeout"),
+        event_budget=options.get("event_budget"),
+    )
+    task_options = dict(options)
+    task_options["lease"] = lease
+    state = _TaskState(
+        index=spec.index,
+        name=spec.name,
+        payload=spec,
+        quarantine_key=spec_cache_key(spec, tuple(options.get("engines", SIM_MODELS))),
+    )
+    driver = _Driver(
+        _run_spec_task, task_options, manifest, policy, quarantine, None, run_metrics
+    )
+    _drive_serial(driver, [state])
+    entry = manifest.entries[0]
+    entry.lease = lease
+    outcome = driver.outcomes.get(spec.index)
+    record = outcome.record if outcome is not None else None
+    snapshot = None
+    if run_metrics is not None:
+        snap = run_metrics.snapshot()
+        if not snap.is_empty():
+            snapshot = snap.to_json()
+    return entry, record, snapshot
+
+
 def execute_study(
     specs: Sequence,
     jobs: int = 1,
@@ -971,16 +1104,16 @@ def execute_study(
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     collect = obs.enabled() if collect_metrics is None else bool(collect_metrics)
     run_metrics = obs.MetricsRegistry() if collect else None
-    options = {
-        "cache_root": str(cache_root) if cache_root is not None else None,
-        "lint_gate": lint_gate,
-        "engines": tuple(engines),
-        "defects": dict(defects or {}),
-        "record_timeout": record_timeout,
-        "event_budget": event_budget,
-        "metrics": collect,
-        "sim_vectorized": modes.resolve(sim_vectorized),
-    }
+    options = study_options(
+        cache_root=cache_root,
+        lint_gate=lint_gate,
+        engines=engines,
+        defects=defects,
+        record_timeout=record_timeout,
+        event_budget=event_budget,
+        metrics=collect,
+        sim_vectorized=sim_vectorized,
+    )
     manifest = RunManifest(
         seed=seed,
         jobs=jobs,
@@ -990,7 +1123,7 @@ def execute_study(
         record_timeout=record_timeout,
         event_budget=event_budget,
     )
-    quarantine = _quarantine_registry(quarantine_root, cache_root)
+    quarantine = _open_quarantine(quarantine_root, cache_root, manifest)
     states = [
         _TaskState(
             index=spec.index,
@@ -1041,15 +1174,15 @@ def execute_traces(
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     collect = obs.enabled() if collect_metrics is None else bool(collect_metrics)
     run_metrics = obs.MetricsRegistry() if collect else None
-    options = {
-        "cache_root": str(cache_root) if cache_root is not None else None,
-        "lint_gate": lint_gate,
-        "engines": tuple(engines),
-        "record_timeout": record_timeout,
-        "event_budget": event_budget,
-        "metrics": collect,
-        "sim_vectorized": modes.resolve(sim_vectorized),
-    }
+    options = study_options(
+        cache_root=cache_root,
+        lint_gate=lint_gate,
+        engines=engines,
+        record_timeout=record_timeout,
+        event_budget=event_budget,
+        metrics=collect,
+        sim_vectorized=sim_vectorized,
+    )
     manifest = RunManifest(
         jobs=jobs,
         engines=list(engines),
@@ -1058,7 +1191,7 @@ def execute_traces(
         record_timeout=record_timeout,
         event_budget=event_budget,
     )
-    quarantine = _quarantine_registry(quarantine_root, cache_root)
+    quarantine = _open_quarantine(quarantine_root, cache_root, manifest)
     states = []
     for i, p in enumerate(paths):
         digest = hashlib.sha256(str(Path(p).resolve()).encode("utf-8"))

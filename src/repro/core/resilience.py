@@ -36,6 +36,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from dataclasses import fields as _dc_fields
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -201,7 +202,14 @@ DEFAULT_QUARANTINE = Path(".cache") / "quarantine"
 
 @dataclass
 class QuarantineEntry:
-    """Why one trace is excluded from further study runs."""
+    """Why one trace is excluded from further study runs.
+
+    ``code_version`` stamps the measurement-code fingerprint the entry
+    was written under.  Because quarantine keys embed the code version,
+    an entry written by older code can never match a lookup again — it
+    is pure accumulation — so :meth:`QuarantineRegistry.prune_stale`
+    deletes entries whose stamp no longer matches at registry open.
+    """
 
     key: str
     name: str
@@ -209,6 +217,7 @@ class QuarantineEntry:
     attempts: int = 0
     ladder_step: int = 0
     error: str = ""
+    code_version: str = ""
 
     def to_json(self) -> dict:
         return {
@@ -218,11 +227,13 @@ class QuarantineEntry:
             "attempts": self.attempts,
             "ladder_step": self.ladder_step,
             "error": self.error,
+            "code_version": self.code_version,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "QuarantineEntry":
-        return cls(**data)
+        known = {f.name for f in _dc_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class QuarantineRegistry:
@@ -252,12 +263,40 @@ class QuarantineRegistry:
         return self.get(key) is not None
 
     def add(self, entry: QuarantineEntry) -> None:
-        """Atomically persist ``entry``."""
+        """Atomically persist ``entry`` (stamping the code version)."""
+        if not entry.code_version:
+            from repro.util.fingerprint import code_version
+
+            entry.code_version = code_version()
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(entry.key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry.to_json(), indent=2, sort_keys=True))
         os.replace(tmp, path)
+
+    def prune_stale(self, current: Optional[str] = None) -> int:
+        """Drop entries whose code-version stamp no longer matches.
+
+        Quarantine keys embed the measurement code version, so entries
+        written under a different version (or by pre-stamp code, whose
+        version is unknowable) can never match a lookup again — they
+        only accumulate.  Called once at registry open by the executor
+        and the serve coordinator; returns how many entries were
+        deleted so the run manifest can report it.
+        """
+        if current is None:
+            from repro.util.fingerprint import code_version
+
+            current = code_version()
+        pruned = 0
+        if not self.root.is_dir():
+            return pruned
+        for path in sorted(self.root.glob("*.json")):
+            entry = self.get(path.stem)
+            if entry is not None and entry.code_version != current:
+                path.unlink(missing_ok=True)
+                pruned += 1
+        return pruned
 
     def discard(self, key: str) -> None:
         self.path(key).unlink(missing_ok=True)

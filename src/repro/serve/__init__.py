@@ -1,0 +1,45 @@
+"""Fault-tolerant distributed study service.
+
+The local executor (:mod:`repro.core.executor`) already fans a study
+over a process pool with a content-addressed record cache, retries,
+an engine-degradation ladder and quarantine.  This package promotes
+that machinery to a multi-host service:
+
+* :class:`~repro.serve.coordinator.Coordinator` — accepts studies over
+  a length-prefixed JSON socket protocol, shards specs by cache key
+  across registered workers under **leases** (a spec leased to a dead
+  worker is reclaimed after its heartbeats stop and reassigned at the
+  next lease generation), journals every completion for
+  crash-consistent restart, and falls back to pure-local execution
+  when no workers register.
+* :class:`~repro.serve.worker.WorkerAgent` — connects with
+  deterministic seeded-jitter backoff
+  (:class:`~repro.core.resilience.RetryPolicy`), drives each assigned
+  spec through the executor's retry/degrade/quarantine state machine
+  (:func:`~repro.core.executor.drive_spec`) and streams manifest
+  entries and records back, resending unacknowledged results after a
+  reconnect.
+* :class:`~repro.serve.client.ServeClient` — async ``submit`` /
+  ``poll`` / ``result`` API, surfaced as the ``repro-serve`` CLI.
+
+Because every record is idempotent by cache key and canonical
+:class:`~repro.core.pipeline.StudyRecord` JSON is byte-identical
+regardless of which process measured it, replays after worker loss,
+connection drops, partitions or a coordinator restart are free — the
+chaos suite (``tests/test_serve_chaos.py``) proves distributed runs
+equal ``-j 1`` serial execution byte-for-byte under every fault plan
+in :mod:`repro.util.faults`.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coordinator import Coordinator
+from repro.serve.protocol import ProtocolError
+from repro.serve.worker import WorkerAgent
+
+__all__ = [
+    "Coordinator",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "WorkerAgent",
+]

@@ -1,0 +1,224 @@
+"""``repro-serve`` — CLI surface of the distributed study service.
+
+Subcommands:
+
+* ``serve``  — run a coordinator (binds, prints/records its endpoint,
+  serves until drained or interrupted).
+* ``worker`` — run a worker agent against a coordinator.  Marks the
+  process with ``REPRO_SERVE_WORKER=1`` so ``kill-worker`` fault plans
+  can SIGKILL it (the chaos suite's crash lever).
+* ``submit`` — submit a mini-corpus study, optionally wait for it and
+  print the records/manifest as JSON.
+* ``status`` — global coordinator status.
+* ``drain``  — wind the service down once in-flight studies finish.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.serve import protocol
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Fault-tolerant distributed study service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a coordinator")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--cache-root", default=None)
+    serve.add_argument("--journal", default=None, help="journal JSONL path")
+    serve.add_argument("--lease-timeout", type=float, default=10.0)
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=2.0,
+        help="seconds without live workers before local fallback",
+    )
+    serve.add_argument(
+        "--endpoint-file",
+        default=None,
+        help="write the bound host:port here once listening",
+    )
+    serve.add_argument("--metrics", action="store_true")
+
+    worker = sub.add_parser("worker", help="run a worker agent")
+    worker.add_argument("--connect", required=True, help="coordinator host:port")
+    worker.add_argument("--id", dest="worker_id", required=True)
+    worker.add_argument(
+        "--index",
+        type=int,
+        default=-1,
+        help="fault-plan target index for this worker",
+    )
+    worker.add_argument("--cache-root", default=None)
+    worker.add_argument("--seed", type=int, default=None)
+    worker.add_argument("--reconnect-attempts", type=int, default=8)
+
+    submit = sub.add_parser("submit", help="submit a mini-corpus study")
+    submit.add_argument("--connect", required=True)
+    submit.add_argument("--mini", type=int, default=4, help="corpus size")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--nranks", type=int, default=8)
+    submit.add_argument("--engines", nargs="+", default=None)
+    submit.add_argument("--record-timeout", type=float, default=None)
+    submit.add_argument("--event-budget", type=int, default=None)
+    submit.add_argument("--wait", type=float, default=None, metavar="SECONDS")
+    submit.add_argument(
+        "--json", action="store_true", help="print records + manifest as JSON"
+    )
+
+    status = sub.add_parser("status", help="coordinator status")
+    status.add_argument("--connect", required=True)
+
+    drain = sub.add_parser("drain", help="drain the coordinator")
+    drain.add_argument("--connect", required=True)
+
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.coordinator import Coordinator
+
+    coordinator = Coordinator(
+        args.host,
+        args.port,
+        cache_root=args.cache_root,
+        journal_path=args.journal,
+        lease_timeout=args.lease_timeout,
+        fallback_grace=args.grace,
+        collect_metrics=args.metrics,
+    )
+    address = coordinator.start()
+    endpoint = protocol.format_address(address)
+    if args.endpoint_file:
+        path = Path(args.endpoint_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(endpoint + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    print(f"repro-serve coordinator listening on {endpoint}", flush=True)
+    try:
+        while not coordinator.drained.wait(timeout=0.2):
+            pass
+        print("repro-serve coordinator drained", flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.core.resilience import RetryPolicy
+    from repro.serve.worker import WorkerAgent
+
+    # Mark this process as a serve worker so kill-worker fault plans
+    # (and only they) may SIGKILL it.
+    os.environ["REPRO_SERVE_WORKER"] = "1"
+    agent = WorkerAgent(
+        protocol.parse_address(args.connect),
+        args.worker_id,
+        worker_index=args.index,
+        cache_root=args.cache_root,
+        reconnect=RetryPolicy(
+            max_attempts=max(1, args.reconnect_attempts),
+            base_delay=0.05,
+            max_delay=2.0,
+        ),
+        seed=args.seed,
+    )
+    done = agent.run()
+    print(
+        f"worker {args.worker_id}: {done} specs completed, "
+        f"{agent.duplicates} duplicate acks",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient
+    from repro.workloads.suite import mini_corpus_specs
+    from repro.util.rng import DEFAULT_SEED
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    specs = mini_corpus_specs(count=args.mini, seed=seed, nranks=args.nranks)
+    client = ServeClient(protocol.parse_address(args.connect))
+    study_id = client.submit(
+        specs,
+        seed=seed,
+        engines=args.engines,
+        record_timeout=args.record_timeout,
+        event_budget=args.event_budget,
+    )
+    if args.wait is None:
+        print(study_id)
+        return 0
+    client.wait(study_id, timeout=args.wait)
+    result = client.result(study_id)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "study_id": study_id,
+                    "records": [r.to_json(canonical=True) for r in result.records],
+                    "manifest": result.manifest.to_json(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        summary = result.manifest.to_json()["summary"]
+        print(
+            f"study {study_id}: {len(result.records)} records, "
+            f"workers={summary.get('workers', [])}, "
+            f"leases_reclaimed={summary.get('leases_reclaimed', 0)}"
+        )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.serve.client import ServeClient
+
+    report = ServeClient(protocol.parse_address(args.connect)).status()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    from repro.serve.client import ServeClient
+
+    reply = ServeClient(protocol.parse_address(args.connect)).drain()
+    print(json.dumps(reply, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "drain": _cmd_drain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Client API for the distributed study service.
+
+:class:`ServeClient` speaks the same framed protocol as the workers
+but opens a fresh connection per call — submit/poll/fetch are cheap,
+stateless request/response exchanges, and a per-call connection means
+a coordinator restart between calls is invisible to the caller.
+:meth:`ServeClient.wait` additionally retries through
+:class:`ConnectionError` while polling, so a study survives its
+coordinator being SIGKILLed and restarted from the journal mid-wait.
+
+Submission is idempotent: the coordinator derives the study id from
+the study's content, so resubmitting after an ambiguous failure joins
+the existing study instead of duplicating work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import StudyRecord
+from repro.serve import protocol
+from repro.util.manifest import RunManifest
+
+__all__ = ["ServeClient", "ServeError", "StudyResult"]
+
+
+class ServeError(RuntimeError):
+    """The coordinator rejected a request (its ``error`` reply)."""
+
+
+class StudyResult:
+    """Fetched study output: records plus the distributed manifest."""
+
+    def __init__(self, records: List[StudyRecord], manifest: RunManifest):
+        self.records = records
+        self.manifest = manifest
+
+
+class ServeClient:
+    """Submit/poll/fetch client for a :class:`Coordinator`."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = protocol.DEFAULT_TIMEOUT,
+    ):
+        self.address = address
+        self.timeout = float(timeout)
+
+    def _rpc(self, message: dict) -> dict:
+        sock = protocol.connect(*self.address, timeout=self.timeout)
+        try:
+            protocol.send_frame(sock, message)
+            reply = protocol.recv_frame(sock)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if reply is None:
+            raise protocol.ProtocolError("coordinator closed the connection")
+        if reply.get("type") == "error":
+            raise ServeError(str(reply.get("error", "unknown error")))
+        return reply
+
+    # -- study lifecycle ---------------------------------------------------
+
+    def submit(
+        self,
+        specs: Sequence,
+        *,
+        seed: Optional[int] = None,
+        engines: Optional[Sequence[str]] = None,
+        record_timeout: Optional[float] = None,
+        event_budget: Optional[int] = None,
+        lint_gate: bool = False,
+        retry: Optional[dict] = None,
+    ) -> str:
+        """Submit a study; returns its (content-derived) study id."""
+        reply = self._rpc(
+            {
+                "type": "submit",
+                "specs": [dataclasses.asdict(s) for s in specs],
+                "seed": seed,
+                "engines": list(engines) if engines is not None else None,
+                "record_timeout": record_timeout,
+                "event_budget": event_budget,
+                "lint_gate": lint_gate,
+                "retry": retry,
+            }
+        )
+        return str(reply["study_id"])
+
+    def poll(self, study_id: str) -> dict:
+        """Study progress: ``{"state", "done", "total", "failed", ...}``."""
+        return self._rpc({"type": "poll", "study_id": study_id})
+
+    def wait(
+        self,
+        study_id: str,
+        timeout: float = 120.0,
+        interval: float = 0.1,
+    ) -> dict:
+        """Poll until the study completes (retrying through coordinator
+        restarts) or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        last: Optional[dict] = None
+        while time.monotonic() < deadline:
+            try:
+                last = self.poll(study_id)
+            except (ConnectionError, TimeoutError, OSError):
+                time.sleep(interval)
+                continue
+            if last.get("state") == "done":
+                return last
+            time.sleep(interval)
+        raise TimeoutError(
+            f"study {study_id} not done after {timeout}s (last: {last})"
+        )
+
+    def result(self, study_id: str) -> StudyResult:
+        """The study's records (sorted by index) and its manifest."""
+        reply = self._rpc({"type": "fetch", "study_id": study_id})
+        records = [
+            StudyRecord.from_json(r)
+            for r in reply.get("records", [])
+            if r is not None
+        ]
+        manifest = RunManifest.from_json(reply["manifest"])
+        return StudyResult(records, manifest)
+
+    # -- service control ---------------------------------------------------
+
+    def status(self) -> dict:
+        """Global coordinator status (workers, studies, draining)."""
+        return self._rpc({"type": "status"})
+
+    def drain(self) -> dict:
+        """Ask the coordinator to wind down once current studies finish."""
+        return self._rpc({"type": "drain"})

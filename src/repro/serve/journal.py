@@ -1,0 +1,77 @@
+"""Crash-consistent coordinator journal.
+
+An append-only JSONL file: one event object per line, flushed and
+fsync'd before the coordinator acts on the completion it records.
+Replay is torn-tail tolerant — a coordinator SIGKILLed mid-append
+leaves at most one partial line, which :meth:`Journal.replay` skips —
+so a restarted coordinator resumes every study from its journaled
+entries instead of re-measuring finished specs (the record cache makes
+even a lost entry cheap, but the journal is what preserves *manifest*
+history: worker ids, lease generations, attempt counts).
+
+Events are plain deterministic data (specs, options, manifest-entry
+images); no event embeds a raw clock reading taken at append time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """Append-only JSONL event log with durable appends."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    def append(self, event: dict) -> None:
+        """Durably append one event (flush + fsync before returning)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def replay(self) -> List[dict]:
+        """Every complete event in append order (missing file: empty).
+
+        Garbled or truncated lines — the torn tail a crash can leave —
+        are skipped rather than aborting the replay.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        events: List[dict] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a mid-append crash
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -1,0 +1,118 @@
+"""Length-prefixed JSON framing for the serve wire protocol.
+
+Every message is one frame: a 4-byte big-endian payload length followed
+by that many bytes of UTF-8 JSON encoding a single object.  Frames are
+self-delimiting, so a reader can always tell a cleanly closed
+connection (EOF at a frame boundary, :func:`recv_frame` returns None)
+from a torn one (EOF mid-frame raises :class:`ProtocolError`) — the
+distinction the worker agent's resend logic depends on.
+
+Messages must be deterministic data: walltime fields ride in manifest
+entries, but no message may embed a raw clock reading taken on the
+sending side (lease deadlines, heartbeat ages and reconnect timers are
+in-memory state, never serialized).
+
+Every socket this module creates carries a timeout — a blocking socket
+with no deadline turns a lost peer into a hung service, which is
+exactly the failure mode the coordinator exists to survive (enforced
+by the ``conc/socket-no-timeout`` detlint rule over this package).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "MAX_FRAME",
+    "ProtocolError",
+    "connect",
+    "format_address",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Default socket timeout (seconds) for connects, sends and receives.
+DEFAULT_TIMEOUT = 10.0
+
+#: Upper bound on one frame's payload — a corrupted length prefix must
+#: not make the reader try to allocate gigabytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """A frame could not be read or written (torn, oversized, not JSON)."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and send it as one frame."""
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; None on clean EOF at a frame boundary.
+
+    A connection that closes mid-frame, an oversized length prefix or
+    a payload that is not a JSON object raises :class:`ProtocolError`;
+    an idle socket raises its configured :class:`TimeoutError`.
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    payload = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int, eof_ok: bool) -> Optional[bytes]:
+    buf = bytearray()
+    while len(buf) < count:
+        chunk = sock.recv(count - len(buf))
+        if not chunk:
+            if eof_ok and not buf:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(buf)}/{count} bytes)"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def connect(
+    host: str, port: int, timeout: float = DEFAULT_TIMEOUT
+) -> socket.socket:
+    """TCP connection to ``(host, port)`` with ``timeout`` on every op."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"address must look like host:port, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"

@@ -1,0 +1,254 @@
+"""Worker agent: pulls leased specs, drives them, streams results back.
+
+A :class:`WorkerAgent` is a thin network shell around
+:func:`repro.core.executor.drive_spec` — every assigned spec goes
+through exactly the retry/degrade/quarantine state machine a local run
+would use, against a (usually worker-local) record cache.  The shell's
+job is surviving the network:
+
+* **Deterministic reconnect backoff.**  Connection attempts and
+  mid-session drops feed one consecutive-failure counter that drives
+  :meth:`RetryPolicy.delay` with the agent's seed and worker id — the
+  same seeded-jitter substream the executor uses for record retries,
+  so a chaos run's reconnect schedule is reproducible bit-for-bit.
+* **At-least-once result delivery.**  A finished result is appended to
+  an in-memory outbox before the send; it leaves the outbox only on
+  the coordinator's ``ack``.  After a reconnect the outbox is resent
+  first — the coordinator deduplicates by slot, so a drop between send
+  and ack costs one counted duplicate, never a lost spec.
+* **Heartbeats.**  A daemon thread sends fire-and-forget heartbeats at
+  the coordinator-suggested interval (sharing the send lock with the
+  main loop); the coordinator uses them to extend this worker's leases
+  and to declare it dead when they stop.
+
+Fault injection: sends pass through ``maybe_inject(stage="net")`` and
+connects through ``maybe_inject(stage="net-connect")`` with the
+worker's index, so :class:`~repro.util.faults.FaultPlan` can target
+one worker with connection drops, partitions or slow sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.executor import drive_spec
+from repro.core.resilience import QuarantineRegistry, RetryPolicy
+from repro.serve import protocol
+from repro.serve.coordinator import spec_from_json
+from repro.util.faults import maybe_inject
+from repro.util.rng import DEFAULT_SEED
+
+__all__ = ["WorkerAgent"]
+
+#: Default reconnect policy: a handful of attempts with seeded jitter.
+DEFAULT_RECONNECT = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=2.0)
+
+
+class WorkerAgent:
+    """Pull-based study worker speaking the serve protocol."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: str,
+        *,
+        worker_index: int = -1,
+        cache_root=None,
+        quarantine_root=None,
+        reconnect: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
+        timeout: float = protocol.DEFAULT_TIMEOUT,
+    ):
+        self.address = address
+        self.worker_id = worker_id
+        #: Index used by fault plans to target this worker.
+        self.worker_index = worker_index
+        self.cache_root = cache_root
+        self.reconnect = reconnect if reconnect is not None else DEFAULT_RECONNECT
+        self.seed = seed if seed is not None else DEFAULT_SEED
+        self.timeout = float(timeout)
+        self.quarantine: Optional[QuarantineRegistry] = None
+        if quarantine_root is not None:
+            self.quarantine = QuarantineRegistry(quarantine_root)
+
+        self._send_lock = threading.Lock()
+        self._outbox: List[dict] = []  # unacked result messages, FIFO
+        self._generation = 0  # connection generation (bumps per reconnect)
+        self._connects = 0  # total connect attempts, never reset
+        self._stop = threading.Event()
+        self.specs_done = 0
+        self.duplicates = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> int:
+        """Serve until drained, stopped, or reconnect attempts exhausted.
+
+        Returns the number of specs this agent completed (acked or
+        counted as duplicates by the coordinator).
+        """
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                sock = self._connect()
+            except (OSError, TimeoutError):
+                failures += 1
+                if failures >= self.reconnect.max_attempts:
+                    break
+                self._sleep(
+                    self.reconnect.delay(self.seed, self.worker_id, failures - 1)
+                )
+                continue
+            try:
+                drained = self._session(sock)
+                failures = 0
+                if drained:
+                    break
+            except (OSError, TimeoutError, protocol.ProtocolError):
+                self._generation += 1
+                failures += 1
+                if failures >= self.reconnect.max_attempts:
+                    break
+                self._sleep(
+                    self.reconnect.delay(self.seed, self.worker_id, failures - 1)
+                )
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        return self.specs_done
+
+    # Stub point for tests (mirrors the executor's ``_sleep``).
+    _sleep = staticmethod(time.sleep)
+
+    # -- connection & session ----------------------------------------------
+
+    def _connect(self):
+        self._connects += 1
+        maybe_inject(
+            "net-connect", index=self.worker_index, attempt=self._connects
+        )
+        return protocol.connect(*self.address, timeout=self.timeout)
+
+    def _send(self, sock, message: dict) -> None:
+        with self._send_lock:
+            maybe_inject(
+                "net",
+                index=self.worker_index,
+                attempt=self._generation,
+                engine=str(message.get("type", "")),
+            )
+            protocol.send_frame(sock, message)
+
+    def _request(self, sock, message: dict) -> dict:
+        self._send(sock, message)
+        reply = protocol.recv_frame(sock)
+        if reply is None:
+            raise protocol.ProtocolError("coordinator closed the connection")
+        return reply
+
+    def _session(self, sock) -> bool:
+        """One connected session; True when the coordinator drained us."""
+        welcome = self._request(
+            sock, {"type": "hello", "worker_id": self.worker_id}
+        )
+        if welcome.get("type") != "welcome":
+            raise protocol.ProtocolError(f"expected welcome, got {welcome!r}")
+        interval = float(welcome.get("heartbeat_interval", 1.0))
+        beat_stop = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(sock, interval, beat_stop),
+            name=f"repro-serve-heartbeat-{self.worker_id}",
+            daemon=True,
+        )
+        beater.start()
+        try:
+            self._flush_outbox(sock)
+            while not self._stop.is_set():
+                reply = self._request(
+                    sock, {"type": "ready", "worker_id": self.worker_id}
+                )
+                kind = reply.get("type")
+                if kind == "assign":
+                    self._execute(sock, reply)
+                elif kind == "wait":
+                    self._sleep(float(reply.get("backoff", 0.1)))
+                elif kind == "drain":
+                    self._request(
+                        sock, {"type": "goodbye", "worker_id": self.worker_id}
+                    )
+                    return True
+                else:
+                    raise protocol.ProtocolError(
+                        f"unexpected reply to ready: {reply!r}"
+                    )
+            return False
+        finally:
+            beat_stop.set()
+
+    def _heartbeat_loop(self, sock, interval: float, stop) -> None:
+        while not stop.wait(interval):
+            try:
+                self._send(
+                    sock, {"type": "heartbeat", "worker_id": self.worker_id}
+                )
+            except (OSError, TimeoutError, protocol.ProtocolError):
+                # Wake the main loop's recv by killing the socket; the
+                # session-level handler owns the reconnect.
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, sock, assignment: dict) -> None:
+        spec = spec_from_json(assignment["spec"])
+        options = dict(assignment["options"])
+        if self.cache_root is not None:
+            options["cache_root"] = str(self.cache_root)
+        retry_json = assignment.get("retry") or {}
+        entry, record, snap = drive_spec(
+            spec,
+            options,
+            seed=assignment.get("seed"),
+            retry=RetryPolicy.from_json(retry_json) if retry_json else None,
+            quarantine=self.quarantine,
+            lease=int(assignment.get("lease", 0)),
+        )
+        entry.worker_id = self.worker_id
+        result = {
+            "type": "result",
+            "worker_id": self.worker_id,
+            "study_id": assignment["study_id"],
+            "index": int(assignment["index"]),
+            "lease": int(assignment.get("lease", 0)),
+            "entry": dataclasses.asdict(entry),
+            "record": record.to_json() if record is not None else None,
+            "metrics": snap,
+        }
+        # Outbox before send: a drop between send and ack means a
+        # resend (deduplicated coordinator-side), never a lost spec.
+        self._outbox.append(result)
+        self._flush_outbox(sock)
+
+    def _flush_outbox(self, sock) -> None:
+        while self._outbox:
+            message = self._outbox[0]
+            ack = self._request(sock, message)
+            if ack.get("type") != "ack":
+                raise protocol.ProtocolError(f"expected ack, got {ack!r}")
+            self._outbox.pop(0)
+            if ack.get("duplicate"):
+                self.duplicates += 1
+            if not ack.get("unknown"):
+                self.specs_done += 1

@@ -36,6 +36,38 @@ Fault kinds
     Scribbles garbage over the record's cache file (if present) before
     the cache read, exercising corruption detection and recompute.
 
+Network fault kinds (the :mod:`repro.serve` chaos surface)
+----------------------------------------------------------
+
+For the kinds below, ``index`` selects a *worker*, not a record: the
+serve worker agent calls the ``"net"`` hook before every frame it
+sends (``attempt`` = its connection generation, ``engine`` = the
+message type) and the ``"net-connect"`` hook before every connection
+attempt (``attempt`` = its connect counter).
+
+``conn-drop``
+    Severs the worker's established connection (raises
+    :class:`ConnectionResetError` at the send) while
+    ``attempt < fail_attempts``.  Scope with ``engine`` (a message
+    type such as ``"result"``) to drop at a precise protocol point —
+    e.g. after computing a record but before delivering it, which
+    exercises the reconnect-and-resend outbox path.
+``partition``
+    The coordinator is unreachable: connection attempts raise
+    :class:`ConnectionRefusedError` while ``attempt < fail_attempts``,
+    forcing the agent through its seeded reconnect backoff.
+``slow-socket``
+    Sleeps ``delay`` seconds before each send while armed (latency,
+    not failure — heartbeats and results still arrive, late).
+``kill-worker``
+    SIGKILLs the serve worker process at the ``"record"`` hook while
+    ``lease < fail_attempts`` — the worker dies mid-record without
+    unwinding, its heartbeats stop, and the coordinator must reclaim
+    the lease and reassign the spec.  Keyed by record ``index``; only
+    fires inside a serve worker process (``REPRO_SERVE_WORKER=1``),
+    so the reassigned attempt (a later lease generation) and any
+    local-fallback execution survive.
+
 Activation: point the ``REPRO_FAULT_PLAN`` environment variable at a
 plan JSON file (worker processes inherit it), or use the
 :func:`fault_plan_env` context manager in tests.
@@ -45,6 +77,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -68,7 +101,18 @@ __all__ = [
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: Recognized fault kinds.
-FAULT_KINDS = ("crash", "flaky", "slow", "hang", "engine-hang", "corrupt-cache")
+FAULT_KINDS = (
+    "crash",
+    "flaky",
+    "slow",
+    "hang",
+    "engine-hang",
+    "corrupt-cache",
+    "conn-drop",
+    "partition",
+    "slow-socket",
+    "kill-worker",
+)
 
 #: Hard cap on how long a ``hang`` fault sleeps before giving up and
 #: raising, so a missing watchdog cannot deadlock a test run.
@@ -170,6 +214,10 @@ def _in_worker_process() -> bool:
     return os.environ.get("REPRO_IN_WORKER") == "1"
 
 
+def _in_serve_worker() -> bool:
+    return os.environ.get("REPRO_SERVE_WORKER") == "1"
+
+
 def maybe_inject(
     stage: str,
     index: int,
@@ -178,19 +226,23 @@ def maybe_inject(
     engines: Sequence[str] = (),
     wall_remaining: Optional[float] = None,
     cache_path: Optional[Union[str, Path]] = None,
+    lease: int = 0,
 ) -> None:
     """Fire any planned fault matching this hook point.
 
     ``stage`` is ``"record"`` (worker entry, with the attempt's engine
-    set), ``"engine"`` (inside the measurement loop, per engine) or
-    ``"cache"`` (just before a cache read, with the file path).  Does
-    nothing when no plan is active.
+    set), ``"engine"`` (inside the measurement loop, per engine),
+    ``"cache"`` (just before a cache read, with the file path),
+    ``"net"`` (serve worker, before sending a frame; ``engine`` is the
+    message type) or ``"net-connect"`` (serve worker, before a connect
+    attempt).  ``lease`` is the serve lease generation the attempt runs
+    under (0 for local runs).  Does nothing when no plan is active.
     """
     plan = active_plan()
     if plan is None:
         return
     for fault in plan.for_index(index):
-        _fire(fault, stage, attempt, engine, engines, wall_remaining, cache_path)
+        _fire(fault, stage, attempt, engine, engines, wall_remaining, cache_path, lease)
 
 
 def _fire(
@@ -201,9 +253,15 @@ def _fire(
     engines: Sequence[str],
     wall_remaining: Optional[float],
     cache_path: Optional[Union[str, Path]],
+    lease: int = 0,
 ) -> None:
     armed = attempt < fault.fail_attempts
     if stage == "record":
+        if fault.kind == "kill-worker":
+            # SIGKILL: no unwinding, no goodbye — heartbeats just stop.
+            if lease < fault.fail_attempts and _in_serve_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            return
         if fault.engine and fault.engine not in engines:
             return  # the ladder degraded past this fault's engine
         if fault.kind == "crash" and armed:
@@ -233,6 +291,20 @@ def _fire(
                 time.sleep(0.01)
             raise WallClockExceeded(
                 elapsed=max(budget, 0.0), budget=max(budget, 0.0), sim_time_reached=0.0
+            )
+    elif stage == "net":
+        if fault.engine and fault.engine != engine:
+            return  # scoped to a different message type
+        if fault.kind == "conn-drop" and armed:
+            raise ConnectionResetError(
+                f"injected connection drop (generation {attempt})"
+            )
+        if fault.kind == "slow-socket" and armed:
+            time.sleep(fault.delay)
+    elif stage == "net-connect":
+        if fault.kind == "partition" and armed:
+            raise ConnectionRefusedError(
+                f"injected partition (connect attempt {attempt})"
             )
     elif stage == "cache":
         if fault.kind == "corrupt-cache" and armed and cache_path is not None:

@@ -22,26 +22,42 @@ collected metrics) and per-entry ``compute_walltime`` — wall seconds
 spent actually measuring, cache-hit attempts excluded — alongside the
 all-attempts ``walltime`` total.
 
-Older manifests still load: any v1/v2 field absent from the file gets
-its dataclass default, unknown (newer) entry fields are ignored, and a
-truncated or garbled file raises the typed :class:`ManifestError`
-rather than leaking a raw :class:`json.JSONDecodeError`.
+Schema v4 adds the distributed-service surface: per-entry ``worker_id``
+(the logical id of the :mod:`repro.serve` worker that produced the
+record; empty for local runs) and ``lease`` (the lease generation under
+which the record completed — 0 on the first assignment, higher when a
+dead worker's lease had to be reclaimed and reassigned), plus the
+run-level ``quarantine_pruned`` count of stale quarantine entries
+dropped when the registry was opened.
+
+Older manifests still load: any field absent from the file gets its
+dataclass default, unknown (newer) fields are ignored with a
+:class:`ManifestFieldWarning` naming them, and a truncated or garbled
+file raises the typed :class:`ManifestError` rather than leaking a raw
+:class:`json.JSONDecodeError`.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
-__all__ = ["MANIFEST_VERSION", "ManifestError", "ManifestEntry", "RunManifest"]
+__all__ = [
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "ManifestFieldWarning",
+    "ManifestEntry",
+    "RunManifest",
+]
 
 #: Schema version stamped into every manifest file.
-MANIFEST_VERSION = 3
+MANIFEST_VERSION = 4
 
 #: Versions :meth:`RunManifest.from_json` accepts (older fields default).
-_READABLE_VERSIONS = (1, 2, 3)
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 #: Allowed per-record statuses.
 _STATUSES = ("ok", "failed", "quarantined")
@@ -53,6 +69,15 @@ class ManifestError(ValueError):
     Raised for unreadable files, truncated/garbled JSON, unsupported
     schema versions and structurally invalid documents — one typed
     error for callers to catch, whatever the underlying cause.
+    """
+
+
+class ManifestFieldWarning(UserWarning):
+    """A readable manifest carried fields this code version doesn't know.
+
+    Emitted (once per load, naming the fields) instead of crashing, so
+    an older deployment can still read manifests written by a newer
+    coordinator — the forward-compatibility contract of the schema.
     """
 
 
@@ -77,6 +102,10 @@ class ManifestEntry:
     path); ``walltime`` sums all attempts, while ``compute_walltime``
     sums only non-cache-hit attempts — the number warm-vs-cold speedup
     comparisons must use (v1/v2 manifests default it to 0).
+    ``worker_id`` is the logical :mod:`repro.serve` worker that produced
+    the record (empty for local runs) and ``lease`` the lease generation
+    it completed under (> 0 means at least one dead worker's lease was
+    reclaimed for this spec); both default for pre-v4 manifests.
     """
 
     name: str
@@ -95,22 +124,37 @@ class ManifestEntry:
     cache_corrupt: bool = False
     quarantined: bool = False
     compute_walltime: float = 0.0
+    worker_id: str = ""
+    lease: int = 0
 
     def __post_init__(self):
         if self.status not in _STATUSES:
             raise ValueError(f"status must be one of {_STATUSES}, got {self.status!r}")
 
     @classmethod
-    def from_json(cls, data: dict) -> "ManifestEntry":
+    def from_json(cls, data: dict, unknown: Optional[Dict[str, bool]] = None) -> "ManifestEntry":
         """Build an entry from its JSON image, version-tolerantly.
 
-        Fields a v1/v2 manifest lacks take their defaults; fields a
-        *newer* schema added are dropped instead of crashing the load.
+        Fields an older manifest lacks take their defaults; fields a
+        *newer* schema added are dropped instead of crashing the load —
+        collected into ``unknown`` (a dict used as an ordered set) when
+        the caller passes one (so :meth:`RunManifest.from_json` warns
+        once for the whole file), warned about immediately otherwise.
         Missing required fields raise :class:`ManifestError`.
         """
         if not isinstance(data, dict):
             raise ManifestError(f"manifest entry must be an object, got {type(data).__name__}")
         known = {f.name for f in fields(cls)}
+        extra = sorted(set(data) - known)
+        if extra:
+            if unknown is not None:
+                unknown.update(dict.fromkeys(extra, True))
+            else:
+                warnings.warn(
+                    "ignoring unknown manifest entry field(s): " + ", ".join(extra),
+                    ManifestFieldWarning,
+                    stacklevel=2,
+                )
         try:
             return cls(**{k: v for k, v in data.items() if k in known})
         except (TypeError, ValueError) as exc:
@@ -133,6 +177,9 @@ class RunManifest:
     #: Merged :class:`~repro.obs.MetricsSnapshot` JSON image when the
     #: run collected metrics; None otherwise (and for v1/v2 files).
     metrics: Optional[dict] = None
+    #: Stale quarantine entries (written by an older code version)
+    #: dropped when the registry was opened for this run (v4).
+    quarantine_pruned: int = 0
 
     # -- aggregates --------------------------------------------------------
 
@@ -202,6 +249,8 @@ class RunManifest:
             "retries": self.retries,
             "total_walltime": self.total_walltime,
             "compute_walltime": self.compute_walltime,
+            "workers": sorted({e.worker_id for e in self.entries if e.worker_id}),
+            "leases_reclaimed": sum(e.lease for e in self.entries),
         }
         return out
 
@@ -218,7 +267,9 @@ class RunManifest:
         metrics = data.get("metrics")
         if metrics is not None and not isinstance(metrics, dict):
             raise ManifestError("manifest 'metrics' must be an object or null")
-        return cls(
+        known = {f.name for f in fields(cls)} | {"version", "summary"}
+        unknown: Dict[str, bool] = dict.fromkeys(sorted(set(data) - known), True)
+        loaded = cls(
             seed=data.get("seed"),
             jobs=data.get("jobs", 1),
             engines=list(data.get("engines", [])),
@@ -227,9 +278,18 @@ class RunManifest:
             retry_policy=data.get("retry_policy"),
             record_timeout=data.get("record_timeout"),
             event_budget=data.get("event_budget"),
-            entries=[ManifestEntry.from_json(e) for e in entries],
+            entries=[ManifestEntry.from_json(e, unknown=unknown) for e in entries],
             metrics=metrics,
+            quarantine_pruned=int(data.get("quarantine_pruned", 0)),
         )
+        if unknown:
+            warnings.warn(
+                f"manifest (version {version}) carries unknown field(s) this "
+                "code version ignores: " + ", ".join(sorted(unknown)),
+                ManifestFieldWarning,
+                stacklevel=2,
+            )
+        return loaded
 
     def write(self, path: Union[str, Path]) -> Path:
         """Write the manifest as JSON; returns the path."""

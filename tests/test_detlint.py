@@ -460,6 +460,83 @@ class TestOpenNoClose:
         assert rules(src) == []
 
 
+class TestSocketNoTimeout:
+    SERVE = "src/repro/serve/mod.py"
+
+    def test_bare_socket_in_serve_is_error(self):
+        src = """
+            import socket
+
+            def f(host, port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.connect((host, port))
+                return sock.recv(4)
+            """
+        diags = lint(src, self.SERVE)
+        assert [d.rule for d in diags] == ["conc/socket-no-timeout"]
+        assert diags[0].severity == Severity.ERROR
+
+    def test_settimeout_in_same_function_is_clean(self):
+        src = """
+            import socket
+
+            def f(host, port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.settimeout(5.0)
+                sock.connect((host, port))
+                return sock.recv(4)
+            """
+        assert rules(src, self.SERVE) == []
+
+    def test_create_connection_without_timeout_is_error(self):
+        src = """
+            import socket
+
+            def f(host, port):
+                sock = socket.create_connection((host, port))
+                return sock.recv(4)
+            """
+        assert rules(src, self.SERVE) == ["conc/socket-no-timeout"]
+
+    def test_create_connection_with_timeout_kwarg_is_clean(self):
+        src = """
+            import socket
+
+            def f(host, port):
+                sock = socket.create_connection((host, port), timeout=3.0)
+                return sock.recv(4)
+            """
+        assert rules(src, self.SERVE) == []
+
+    def test_accept_result_needs_timeout(self):
+        src = """
+            def f(listener):
+                conn, addr = listener.accept()
+                return conn.recv(4)
+            """
+        assert rules(src, self.SERVE) == ["conc/socket-no-timeout"]
+
+    def test_accept_result_with_settimeout_is_clean(self):
+        src = """
+            def f(listener, deadline):
+                conn, addr = listener.accept()
+                conn.settimeout(deadline)
+                return conn.recv(4)
+            """
+        assert rules(src, self.SERVE) == []
+
+    def test_rule_is_scoped_to_serve_package(self):
+        src = """
+            import socket
+
+            def f(host, port):
+                sock = socket.create_connection((host, port))
+                return sock.recv(4)
+            """
+        assert rules(src, "src/repro/core/mod.py") == []
+        assert rules(src, "m.py") == []
+
+
 class TestDriverAndMeta:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "m.py")

@@ -169,3 +169,122 @@ class TestQuarantinePersistence:
         registry.clear()
         third = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
         assert len(third.records) == N and not third.failures
+
+
+class TestQuarantinePruning:
+    def test_stale_entries_pruned_at_open_and_counted(self, specs, tmp_path):
+        """Quarantine keys embed the measurement code version, so an
+        entry written under another version can never match again —
+        opening the registry drops it and the manifest counts it."""
+        from repro.core.resilience import QuarantineEntry
+        from repro.util.fingerprint import code_version
+
+        root = tmp_path / "records"
+        registry = QuarantineRegistry(tmp_path / "quarantine")
+        registry.add(QuarantineEntry(
+            key="stale-key", name="old-trace", reason="older build",
+            code_version="deadbeef",
+        ))
+        registry.add(QuarantineEntry(
+            key="fresh-key", name="new-trace", reason="current build",
+            code_version=code_version(),
+        ))
+        run = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        assert run.manifest.quarantine_pruned == 1
+        assert registry.get("stale-key") is None
+        assert registry.get("fresh-key") is not None
+        # The prune count survives the manifest round-trip.
+        reread = RunManifest.read(root / MANIFEST_NAME)
+        assert reread.quarantine_pruned == 1
+
+    def test_live_quarantine_entries_still_block(self, specs, tmp_path):
+        """Pruning only touches other-version entries: a quarantine
+        written by this code version keeps skipping its record."""
+        root = tmp_path / "records"
+        policy = RetryPolicy(max_attempts=1, base_delay=0.001, max_delay=0.002)
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=2, kind="flaky", fail_attempts=999),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            execute_study(specs, jobs=1, cache_root=root, seed=SEED, retry=policy)
+        second = execute_study(specs, jobs=1, cache_root=root, seed=SEED)
+        assert second.manifest.quarantine_pruned == 0
+        skipped = [e for e in second.manifest.entries if e.status == "quarantined"]
+        assert [e.spec_index for e in skipped] == [2]
+
+
+class TestDeadlineAccounting:
+    """Record deadlines measure attempt compute only (the structural
+    invariant: per-attempt budgets are armed inside the measurement,
+    after any retry backoff sleep has already finished)."""
+
+    def _policy(self):
+        # Backoffs 0.6s + 1.2s = 1.8s — more than the whole record
+        # budget.  If sleeps counted against the deadline, attempt 3
+        # could never start.
+        return RetryPolicy(
+            max_attempts=4, base_delay=0.6, max_delay=2.0,
+            multiplier=2.0, jitter=0.0,
+        )
+
+    def _assert_survived(self, run, record_timeout):
+        entry = {e.spec_index: e for e in run.manifest.entries}[1]
+        assert entry.status == "ok"
+        assert entry.attempts == 3
+        assert len(entry.backoffs) == 2
+        assert sum(entry.backoffs) > record_timeout
+        assert entry.ladder_step == 0, "no engine degradation either"
+        assert entry.compute_walltime < record_timeout
+        # walltime totals all attempts but still excludes the sleeps.
+        assert entry.walltime < record_timeout
+
+    def test_two_backoffs_exceeding_budget_still_complete_serial(
+        self, specs, tmp_path
+    ):
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=1, kind="flaky", fail_attempts=2),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            run = execute_study(
+                specs, jobs=1, cache_root=tmp_path / "records", seed=SEED,
+                record_timeout=1.0, retry=self._policy(),
+            )
+        assert not run.failures
+        self._assert_survived(run, 1.0)
+
+    def test_two_backoffs_exceeding_budget_still_complete_parallel(
+        self, specs, tmp_path
+    ):
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=1, kind="flaky", fail_attempts=2),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            run = execute_study(
+                specs, jobs=2, cache_root=tmp_path / "records", seed=SEED,
+                record_timeout=1.0, retry=self._policy(),
+            )
+        assert not run.failures
+        self._assert_survived(run, 1.0)
+
+    def test_watchdog_kill_contribution_capped_at_record_timeout(
+        self, specs, tmp_path
+    ):
+        """A hung attempt is killed ~1.5x+1s past its budget (watchdog,
+        pool path); the entry charges compute_walltime at most
+        record_timeout per attempt — the watchdog slack is kill
+        latency, not measurement time."""
+        policy = RetryPolicy(max_attempts=1, base_delay=0.001, max_delay=0.002)
+        plan = FaultPlan(
+            seed=SEED, faults=(FaultSpec(index=0, kind="hang", fail_attempts=999),)
+        )
+        with fault_plan_env(plan, tmp_path):
+            run = execute_study(
+                specs, jobs=2, cache_root=tmp_path / "records", seed=SEED,
+                record_timeout=0.3, retry=policy, engines=("analytic",),
+            )
+        entry = {e.spec_index: e for e in run.manifest.entries}[0]
+        assert entry.status == "failed"
+        assert entry.failure_kind == "timeout"
+        assert entry.compute_walltime <= entry.attempts * 0.3 + 1e-6
+        # The raw walltime shows the kill really took longer than that.
+        assert entry.walltime > entry.compute_walltime

@@ -1,0 +1,195 @@
+"""Schema-version tolerance for the run manifest (v1 through v4).
+
+A manifest written by any historical code version must load through the
+current (v4) loader: absent fields take their dataclass defaults, and
+fields from a *future* schema warn (naming them) instead of crashing —
+the forward-compatibility contract an older worker deployment depends
+on when it reads manifests written by a newer coordinator.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.util.manifest import (
+    MANIFEST_VERSION,
+    ManifestEntry,
+    ManifestError,
+    ManifestFieldWarning,
+    RunManifest,
+)
+
+
+def entry_v1(index=0):
+    """The minimal per-record image schema v1 wrote."""
+    return {
+        "name": f"rec-{index}",
+        "spec_index": index,
+        "key": f"k{index:02d}" * 8,
+        "status": "ok",
+        "cache_hit": False,
+        "walltime": 0.25,
+        "worker": 4242,
+        "error": "",
+    }
+
+
+def entry_v2(index=0):
+    """v1 plus the resilience surface."""
+    out = entry_v1(index)
+    out.update(
+        attempts=2,
+        backoffs=[0.05],
+        ladder_step=1,
+        degraded_from="event",
+        failure_kind="transient",
+        cache_corrupt=False,
+        quarantined=False,
+    )
+    return out
+
+
+def entry_v3(index=0):
+    """v2 plus the telemetry surface."""
+    out = entry_v2(index)
+    out["compute_walltime"] = 0.2
+    return out
+
+
+def entry_v4(index=0):
+    """v3 plus the distributed-service surface."""
+    out = entry_v3(index)
+    out.update(worker_id="w1", lease=1)
+    return out
+
+
+def manifest_doc(version, entries):
+    doc = {
+        "version": version,
+        "seed": 11,
+        "jobs": 2,
+        "engines": ["analytic"],
+        "code_version": "abc123",
+        "interrupted": False,
+        "entries": entries,
+    }
+    if version >= 2:
+        doc["retry_policy"] = {"max_attempts": 3}
+        doc["record_timeout"] = 5.0
+        doc["event_budget"] = 1000
+    if version >= 3:
+        doc["metrics"] = None
+    if version >= 4:
+        doc["quarantine_pruned"] = 3
+    return doc
+
+
+VERSION_TABLE = [
+    (1, entry_v1),
+    (2, entry_v2),
+    (3, entry_v3),
+    (4, entry_v4),
+]
+
+
+class TestVersionTolerance:
+    @pytest.mark.parametrize("version,make_entry", VERSION_TABLE)
+    def test_every_readable_version_loads(self, version, make_entry):
+        doc = manifest_doc(version, [make_entry(0), make_entry(1)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning for known schemas
+            loaded = RunManifest.from_json(doc)
+        assert len(loaded.entries) == 2
+        assert loaded.seed == 11
+        assert loaded.entries[0].status == "ok"
+
+    @pytest.mark.parametrize("version,make_entry", VERSION_TABLE)
+    def test_pre_v4_fields_default(self, version, make_entry):
+        loaded = RunManifest.from_json(manifest_doc(version, [make_entry(0)]))
+        entry = loaded.entries[0]
+        if version < 4:
+            assert entry.worker_id == ""
+            assert entry.lease == 0
+            assert loaded.quarantine_pruned == 0
+        else:
+            assert entry.worker_id == "w1"
+            assert entry.lease == 1
+            assert loaded.quarantine_pruned == 3
+        if version < 3:
+            assert entry.compute_walltime == 0.0
+        if version < 2:
+            assert entry.attempts == 1
+            assert entry.backoffs == []
+
+    @pytest.mark.parametrize("version,make_entry", VERSION_TABLE)
+    def test_round_trip_through_write_read(self, version, make_entry, tmp_path):
+        loaded = RunManifest.from_json(manifest_doc(version, [make_entry(0)]))
+        path = loaded.write(tmp_path / "manifest.json")
+        again = RunManifest.read(path)
+        assert again.entries[0] == loaded.entries[0]
+        assert json.loads(path.read_text())["version"] == MANIFEST_VERSION
+
+    def test_unsupported_version_is_typed_error(self):
+        doc = manifest_doc(4, [entry_v4()])
+        doc["version"] = MANIFEST_VERSION + 1
+        with pytest.raises(ManifestError):
+            RunManifest.from_json(doc)
+
+
+class TestUnknownFieldTolerance:
+    def test_future_run_field_warns_not_crashes(self):
+        doc = manifest_doc(4, [entry_v4()])
+        doc["shard_map"] = {"k": "w9"}  # hypothetical v5 field
+        with pytest.warns(ManifestFieldWarning, match="shard_map"):
+            loaded = RunManifest.from_json(doc)
+        assert len(loaded.entries) == 1
+
+    def test_future_entry_field_warns_not_crashes(self):
+        entry = entry_v4()
+        entry["gpu_id"] = 7  # hypothetical v5 entry field
+        doc = manifest_doc(4, [entry])
+        with pytest.warns(ManifestFieldWarning, match="gpu_id"):
+            loaded = RunManifest.from_json(doc)
+        assert loaded.entries[0].worker_id == "w1"
+
+    def test_single_warning_names_all_unknown_fields(self):
+        entry = entry_v4()
+        entry["gpu_id"] = 7
+        doc = manifest_doc(4, [entry])
+        doc["shard_map"] = {}
+        with pytest.warns(ManifestFieldWarning) as caught:
+            RunManifest.from_json(doc)
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "gpu_id" in message and "shard_map" in message
+
+    def test_standalone_entry_load_warns_immediately(self):
+        entry = entry_v4()
+        entry["gpu_id"] = 7
+        with pytest.warns(ManifestFieldWarning, match="gpu_id"):
+            loaded = ManifestEntry.from_json(entry)
+        assert loaded.lease == 1
+
+    def test_entry_collector_suppresses_immediate_warning(self):
+        entry = entry_v4()
+        entry["gpu_id"] = 7
+        unknown = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ManifestEntry.from_json(entry, unknown=unknown)
+        assert list(unknown) == ["gpu_id"]
+
+
+class TestV4Summary:
+    def test_summary_lists_workers_and_reclaims(self):
+        manifest = RunManifest(
+            entries=[
+                ManifestEntry(**{**entry_v4(0), "worker_id": "w1", "lease": 0}),
+                ManifestEntry(**{**entry_v4(1), "worker_id": "w0", "lease": 2}),
+                ManifestEntry(**{**entry_v4(2), "worker_id": "", "lease": 0}),
+            ]
+        )
+        summary = manifest.to_json()["summary"]
+        assert summary["workers"] == ["w0", "w1"]
+        assert summary["leases_reclaimed"] == 2

@@ -41,7 +41,13 @@ from repro.trace.cli import (
 from repro.trace.cli import main as cli_main
 from repro.trace.dumpi import write_trace
 from repro.util.faults import FaultPlan, FaultSpec, fault_plan_env
-from repro.util.manifest import ManifestEntry, ManifestError, RunManifest
+from repro.util.manifest import (
+    MANIFEST_VERSION,
+    ManifestEntry,
+    ManifestError,
+    ManifestFieldWarning,
+    RunManifest,
+)
 from repro.workloads.suite import build_trace, mini_corpus_specs
 
 SEED = 83
@@ -312,13 +318,13 @@ class TestExecutorMetrics:
         assert any(k.startswith("repro_engine_events_per_run") for k in views[1]["histograms"])
         assert views[1]["span_counts"]["record"] == N
 
-    def test_manifest_v3_embeds_snapshot_and_round_trips(self, specs, tmp_path):
+    def test_manifest_embeds_snapshot_and_round_trips(self, specs, tmp_path):
         run = execute_study(
             specs[:1], jobs=1, cache_root=None, seed=SEED, collect_metrics=True
         )
         assert run.manifest.metrics is not None
         doc = run.manifest.to_json()
-        assert doc["version"] == 3
+        assert doc["version"] == MANIFEST_VERSION
         path = run.manifest.write(tmp_path / "manifest.json")
         loaded = RunManifest.read(path)
         assert loaded.metrics == run.manifest.metrics
@@ -380,13 +386,14 @@ class TestManifestVersions:
         assert manifest.metrics is None
         assert manifest.retry_policy is None
 
-    def test_v2_fields_load_and_newer_fields_are_ignored(self):
+    def test_v2_fields_load_and_newer_fields_warn_but_are_ignored(self):
         doc = _v1_doc()
         doc["version"] = 2
         doc["entries"][0].update(
             attempts=3, backoffs=[0.01, 0.02], ladder_step=1, some_future_field=True
         )
-        entry = RunManifest.from_json(doc).entries[0]
+        with pytest.warns(ManifestFieldWarning, match="some_future_field"):
+            entry = RunManifest.from_json(doc).entries[0]
         assert entry.attempts == 3
         assert entry.backoffs == [0.01, 0.02]
         assert not hasattr(entry, "some_future_field")

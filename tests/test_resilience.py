@@ -215,6 +215,47 @@ class TestQuarantineRegistry:
         assert registry.clear() == 3  # the corrupt file is deleted too
         assert registry.entries() == []
 
+    def test_add_stamps_current_code_version(self, tmp_path):
+        from repro.util.fingerprint import code_version
+
+        registry = QuarantineRegistry(tmp_path / "q")
+        registry.add(QuarantineEntry(key="k1", name="t", reason="r"))
+        assert registry.get("k1").code_version == code_version()
+        # An explicit stamp (e.g. a migrated entry) is preserved.
+        registry.add(QuarantineEntry(
+            key="k2", name="t2", reason="r", code_version="cafe42"
+        ))
+        assert registry.get("k2").code_version == "cafe42"
+
+    def test_prune_stale_drops_only_other_versions(self, tmp_path):
+        from repro.util.fingerprint import code_version
+
+        registry = QuarantineRegistry(tmp_path / "q")
+        registry.add(QuarantineEntry(key="old", name="a", reason="r",
+                                     code_version="deadbeef"))
+        registry.add(QuarantineEntry(key="older", name="b", reason="r",
+                                     code_version="feedface"))
+        registry.add(QuarantineEntry(key="live", name="c", reason="r"))
+        assert registry.prune_stale() == 2
+        assert registry.get("live") is not None
+        assert registry.get("old") is None
+        assert registry.get("older") is None
+        # Idempotent, and a missing root prunes nothing.
+        assert registry.prune_stale() == 0
+        assert QuarantineRegistry(tmp_path / "absent").prune_stale() == 0
+        assert registry.prune_stale(current="deadbeef") == 1  # drops "live"
+
+    def test_pre_version_entries_load_and_prune(self, tmp_path):
+        # An entry written before code_version existed (v8-era JSON
+        # without the field) loads with "" and counts as stale.
+        registry = QuarantineRegistry(tmp_path / "q")
+        registry.path("legacy").parent.mkdir(parents=True, exist_ok=True)
+        registry.path("legacy").write_text(
+            '{"key": "legacy", "name": "t", "reason": "r", "attempts": 2}'
+        )
+        assert registry.get("legacy").code_version == ""
+        assert registry.prune_stale() == 1
+
 
 # -- fault plan ---------------------------------------------------------------
 

@@ -1,0 +1,353 @@
+"""In-process integration tests for the distributed study service.
+
+A real :class:`Coordinator` listens on a loopback socket; worker agents
+run as threads of this process (so ``kill-worker`` plans cannot fire —
+process-level chaos lives in ``test_serve_chaos.py``).  The invariants
+under test: distributed canonical records are byte-identical to a
+``jobs=1`` serial run, a dead worker's lease is reclaimed and its spec
+completed elsewhere exactly once, the journal makes a coordinator
+restart resume rather than restart studies, and a coordinator with no
+workers degrades to pure-local execution.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import drive_spec, execute_study, study_options
+from repro.core.resilience import RetryPolicy
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coordinator import Coordinator
+from repro.serve.worker import WorkerAgent
+from repro.workloads.suite import mini_corpus_specs
+
+SEED = 31
+N = 4
+
+
+@pytest.fixture()
+def specs():
+    return mini_corpus_specs(N, seed=SEED, nranks=4)
+
+
+@pytest.fixture()
+def serial_canonical(specs, tmp_path_factory):
+    root = tmp_path_factory.mktemp("serial-cache") / "records"
+    run = execute_study(specs, jobs=1, seed=SEED, cache_root=root)
+    return json.dumps(
+        [r.to_json(canonical=True) for r in run.records], sort_keys=True
+    )
+
+
+def canonical(records):
+    return json.dumps([r.to_json(canonical=True) for r in records], sort_keys=True)
+
+
+def start_coordinator(tmp_path, **kwargs):
+    kwargs.setdefault("cache_root", str(tmp_path / "coord-cache"))
+    kwargs.setdefault("lease_timeout", 5.0)
+    kwargs.setdefault("fallback_grace", 60.0)  # no surprise local fallback
+    coordinator = Coordinator(**kwargs)
+    coordinator.start()
+    return coordinator
+
+
+def start_workers(coordinator, tmp_path, count=2, **kwargs):
+    agents, threads = [], []
+    for i in range(count):
+        agent = WorkerAgent(
+            coordinator.address,
+            f"w{i}",
+            worker_index=i,
+            cache_root=tmp_path / f"worker-cache-{i}",
+            seed=SEED,
+            **kwargs,
+        )
+        thread = threading.Thread(target=agent.run, daemon=True)
+        thread.start()
+        agents.append(agent)
+        threads.append(thread)
+    return agents, threads
+
+
+class TestDistributedEquivalence:
+    def test_two_workers_match_serial_byte_for_byte(
+        self, specs, serial_canonical, tmp_path
+    ):
+        coordinator = start_coordinator(tmp_path, collect_metrics=True)
+        try:
+            agents, threads = start_workers(coordinator, tmp_path)
+            client = ServeClient(coordinator.address)
+            study_id = client.submit(specs, seed=SEED)
+            client.wait(study_id, timeout=90)
+            result = client.result(study_id)
+            assert canonical(result.records) == serial_canonical
+
+            manifest = result.manifest
+            assert len(manifest.entries) == N
+            assert {e.spec_index for e in manifest.entries} == set(range(N))
+            assert all(e.status == "ok" for e in manifest.entries)
+            assert all(e.worker_id in {"w0", "w1"} for e in manifest.entries)
+            # Both workers really participated (4 specs, 2 pullers).
+            assert len({e.worker_id for e in manifest.entries}) == 2
+            assert manifest.to_json()["summary"]["workers"] == ["w0", "w1"]
+
+            client.drain()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert sum(a.specs_done for a in agents) == N
+        finally:
+            coordinator.stop()
+
+    def test_submit_is_idempotent_by_content(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            client = ServeClient(coordinator.address)
+            first = client.submit(specs, seed=SEED)
+            second = client.submit(specs, seed=SEED)
+            assert first == second
+            other_seed = client.submit(specs, seed=SEED + 1)
+            assert other_seed != first
+        finally:
+            coordinator.stop()
+
+    def test_status_reports_workers_and_studies(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            agents, threads = start_workers(coordinator, tmp_path, count=1)
+            client = ServeClient(coordinator.address)
+            study_id = client.submit(specs, seed=SEED)
+            client.wait(study_id, timeout=90)
+            report = client.status()
+            assert report["studies"][study_id]["complete"] is True
+            assert "w0" in report["workers"]
+            client.drain()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            coordinator.stop()
+
+    def test_poll_unknown_study_is_error(self, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            with pytest.raises(ServeError, match="unknown study"):
+                ServeClient(coordinator.address).poll("study-nope")
+        finally:
+            coordinator.stop()
+
+
+class TestLeaseReclaim:
+    def test_abandoned_lease_is_reclaimed_and_completed_once(
+        self, specs, serial_canonical, tmp_path
+    ):
+        coordinator = start_coordinator(
+            tmp_path, lease_timeout=0.4, heartbeat_timeout=0.4
+        )
+        try:
+            client = ServeClient(coordinator.address)
+            study_id = client.submit(specs, seed=SEED)
+
+            # A "worker" that grabs one lease and silently dies: no
+            # result, no goodbye, heartbeats stop with the connection.
+            sock = protocol.connect(*coordinator.address, timeout=5.0)
+            protocol.send_frame(sock, {"type": "hello", "worker_id": "doomed"})
+            assert protocol.recv_frame(sock)["type"] == "welcome"
+            protocol.send_frame(sock, {"type": "ready", "worker_id": "doomed"})
+            grabbed = protocol.recv_frame(sock)
+            assert grabbed["type"] == "assign"
+            sock.close()
+
+            agents, threads = start_workers(coordinator, tmp_path, count=1)
+            client.wait(study_id, timeout=90)
+            result = client.result(study_id)
+            assert canonical(result.records) == serial_canonical
+
+            entries = {e.spec_index: e for e in result.manifest.entries}
+            assert len(entries) == N  # exactly once each, none lost
+            reclaimed = entries[grabbed["index"]]
+            assert reclaimed.worker_id == "w0"
+            assert reclaimed.lease >= 1
+            summary = result.manifest.to_json()["summary"]
+            assert summary["leases_reclaimed"] >= 1
+
+            client.drain()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            coordinator.stop()
+
+    def test_duplicate_result_is_acked_not_double_counted(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            agents, threads = start_workers(coordinator, tmp_path, count=1)
+            client = ServeClient(coordinator.address)
+            study_id = client.submit(specs, seed=SEED)
+            client.wait(study_id, timeout=90)
+
+            entry, record, _ = drive_spec(
+                specs[0],
+                study_options(cache_root=str(tmp_path / "dup-cache")),
+                seed=SEED,
+            )
+            import dataclasses
+
+            ack = coordinator._dispatch(
+                {
+                    "type": "result",
+                    "worker_id": "late",
+                    "study_id": study_id,
+                    "index": specs[0].index,
+                    "lease": 0,
+                    "entry": dataclasses.asdict(entry),
+                    "record": record.to_json() if record else None,
+                }
+            )
+            assert ack == {"type": "ack", "duplicate": True}
+            # The original completion stands: still N entries, and the
+            # duplicate's worker id did not overwrite the winner's.
+            result = client.result(study_id)
+            assert len(result.manifest.entries) == N
+            assert all(e.worker_id == "w0" for e in result.manifest.entries)
+
+            client.drain()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            coordinator.stop()
+
+
+class TestLocalFallback:
+    def test_no_workers_degrades_to_local_execution(
+        self, specs, serial_canonical, tmp_path
+    ):
+        coordinator = start_coordinator(tmp_path, fallback_grace=0.1)
+        try:
+            client = ServeClient(coordinator.address)
+            study_id = client.submit(specs, seed=SEED)
+            client.wait(study_id, timeout=90)
+            result = client.result(study_id)
+            assert canonical(result.records) == serial_canonical
+            assert all(e.worker_id == "local" for e in result.manifest.entries)
+        finally:
+            coordinator.stop()
+
+
+class TestJournalRestart:
+    def test_restart_resumes_completed_study(
+        self, specs, serial_canonical, tmp_path
+    ):
+        journal_path = tmp_path / "journal.jsonl"
+        first = start_coordinator(tmp_path, journal_path=journal_path)
+        agents, threads = start_workers(first, tmp_path)
+        client = ServeClient(first.address)
+        study_id = client.submit(specs, seed=SEED)
+        client.wait(study_id, timeout=90)
+        client.drain()
+        for thread in threads:
+            thread.join(timeout=30)
+        first.stop()
+
+        # Restarted coordinator, same journal: the study is already
+        # done — no workers needed, records byte-identical.
+        second = start_coordinator(tmp_path, journal_path=journal_path)
+        try:
+            client2 = ServeClient(second.address)
+            assert client2.poll(study_id)["state"] == "done"
+            result = client2.result(study_id)
+            assert canonical(result.records) == serial_canonical
+            # Resubmitting the same study joins it, fully done.
+            rejoin = client2.submit(specs, seed=SEED)
+            assert rejoin == study_id
+        finally:
+            second.stop()
+
+    def test_restart_resumes_partial_study(self, specs, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        first = start_coordinator(tmp_path, journal_path=journal_path)
+        client = ServeClient(first.address)
+        study_id = client.submit(specs, seed=SEED)
+
+        # Hand-complete exactly one spec through the protocol, then
+        # kill the coordinator (no drain, no journal close).
+        sock = protocol.connect(*first.address, timeout=5.0)
+        protocol.send_frame(sock, {"type": "hello", "worker_id": "wX"})
+        assert protocol.recv_frame(sock)["type"] == "welcome"
+        protocol.send_frame(sock, {"type": "ready", "worker_id": "wX"})
+        assignment = protocol.recv_frame(sock)
+        assert assignment["type"] == "assign"
+        entry, record, _ = drive_spec(
+            specs[assignment["index"]],
+            study_options(cache_root=str(tmp_path / "wx-cache")),
+            seed=SEED,
+        )
+        import dataclasses
+
+        protocol.send_frame(
+            sock,
+            {
+                "type": "result",
+                "worker_id": "wX",
+                "study_id": study_id,
+                "index": assignment["index"],
+                "lease": assignment["lease"],
+                "entry": dataclasses.asdict(entry),
+                "record": record.to_json() if record else None,
+            },
+        )
+        assert protocol.recv_frame(sock)["type"] == "ack"
+        sock.close()
+        first.stop()
+
+        second = start_coordinator(tmp_path, journal_path=journal_path)
+        try:
+            status = ServeClient(second.address).poll(study_id)
+            assert status["done"] == 1
+            assert status["total"] == N
+            assert status["state"] == "running"
+            # The journaled entry kept its worker attribution.
+            study = second._studies[study_id]
+            done_slots = [s for s in study.slots.values() if s.state == "done"]
+            assert len(done_slots) == 1
+            assert done_slots[0].entry["worker_id"] == "wX"
+        finally:
+            second.stop()
+
+
+class TestDriveSpecLease:
+    def test_lease_generation_lands_on_entry(self, specs, tmp_path):
+        entry, record, _ = drive_spec(
+            specs[0],
+            study_options(cache_root=str(tmp_path / "cache")),
+            seed=SEED,
+            retry=RetryPolicy(max_attempts=2),
+            lease=3,
+        )
+        assert entry.lease == 3
+        assert entry.status == "ok"
+        assert record is not None
+
+
+class TestWorkerReconnectBackoff:
+    def test_backoff_schedule_is_seeded_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=2.0)
+        agent_a = WorkerAgent(("127.0.0.1", 1), "w0", seed=SEED, reconnect=policy)
+        agent_b = WorkerAgent(("127.0.0.1", 1), "w0", seed=SEED, reconnect=policy)
+        schedule_a = [policy.delay(agent_a.seed, agent_a.worker_id, k) for k in range(4)]
+        schedule_b = [policy.delay(agent_b.seed, agent_b.worker_id, k) for k in range(4)]
+        assert schedule_a == schedule_b
+        other = [policy.delay(SEED, "w1", k) for k in range(4)]
+        assert schedule_a != other  # per-worker jitter substreams
+
+    def test_agent_gives_up_after_max_attempts(self):
+        # Nothing listens on this port: run() must return, not hang.
+        policy = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02)
+        agent = WorkerAgent(
+            ("127.0.0.1", 9), "w0", seed=SEED, reconnect=policy, timeout=0.2
+        )
+        sleeps = []
+        agent._sleep = sleeps.append
+        assert agent.run() == 0
+        assert len(sleeps) == 1  # one backoff, then gave up

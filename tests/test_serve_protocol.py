@@ -1,0 +1,188 @@
+"""Wire framing and journal durability for the distributed service."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.journal import Journal
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            message = {"type": "hello", "worker_id": "w0", "n": 3, "ok": True}
+            protocol.send_frame(a, message)
+            assert protocol.recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_sequence(self):
+        a, b = socket_pair()
+        try:
+            for i in range(20):
+                protocol.send_frame(a, {"i": i, "pad": "x" * i * 100})
+            for i in range(20):
+                assert protocol.recv_frame(b)["i"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        try:
+            protocol.send_frame(a, {"last": True})
+            a.close()
+            assert protocol.recv_frame(b) == {"last": True}
+            assert protocol.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = socket_pair()
+        try:
+            payload = json.dumps({"big": "x" * 100}).encode()
+            a.sendall(len(payload).to_bytes(4, "big") + payload[: len(payload) // 2])
+            a.close()
+            with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall((protocol.MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_raises(self):
+        a, b = socket_pair()
+        try:
+            payload = json.dumps([1, 2, 3]).encode()
+            a.sendall(len(payload).to_bytes(4, "big") + payload)
+            with pytest.raises(protocol.ProtocolError, match="JSON object"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall((4).to_bytes(4, "big") + b"\xff\xfe\x00\x01")
+            with pytest.raises(protocol.ProtocolError, match="JSON"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_refused(self):
+        a, b = socket_pair()
+        try:
+            with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+                protocol.send_frame(a, {"blob": "x" * (protocol.MAX_FRAME + 1)})
+        finally:
+            a.close()
+            b.close()
+
+    def test_idle_socket_times_out(self):
+        a, b = socket_pair()
+        b.settimeout(0.05)
+        try:
+            with pytest.raises(TimeoutError):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_connect_sets_timeout(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.settimeout(5.0)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+        accepted = []
+
+        def accept():
+            conn, _ = listener.accept()
+            conn.settimeout(5.0)
+            accepted.append(conn)
+
+        thread = threading.Thread(target=accept)
+        thread.start()
+        sock = protocol.connect(host, port, timeout=2.5)
+        thread.join()
+        try:
+            assert sock.gettimeout() == 2.5
+        finally:
+            sock.close()
+            for conn in accepted:
+                conn.close()
+            listener.close()
+
+
+class TestAddressing:
+    def test_parse_and_format_round_trip(self):
+        assert protocol.parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert protocol.format_address(("10.0.0.5", 80)) == "10.0.0.5:80"
+
+    def test_parse_defaults_host(self):
+        assert protocol.parse_address(":9000") == ("127.0.0.1", 9000)
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", "host:abc", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            protocol.parse_address(bad)
+
+
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append({"event": "study", "study_id": "s1"})
+            journal.append({"event": "entry", "index": 0})
+        assert Journal(path).replay() == [
+            {"event": "study", "study_id": "s1"},
+            {"event": "entry", "index": 0},
+        ]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").replay() == []
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append({"event": "entry", "index": 0})
+        with path.open("a") as fh:
+            fh.write('{"event": "entry", "ind')  # mid-append crash
+        events = Journal(path).replay()
+        assert events == [{"event": "entry", "index": 0}]
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('[1, 2]\n{"event": "entry"}\nnull\n')
+        assert Journal(path).replay() == [{"event": "entry"}]
+
+    def test_append_after_replay_extends(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append({"n": 1})
+        with Journal(path) as journal:
+            assert journal.replay() == [{"n": 1}]
+            journal.append({"n": 2})
+        assert [e["n"] for e in Journal(path).replay()] == [1, 2]
