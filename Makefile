@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint lint-changed lint-baseline test chaos chaos-serve \
-        obs-check bench bench-lint bench-sim clean-cache
+        obs-check bench bench-lint bench-sim bench-sensitivity clean-cache
 
 check: lint test
 
@@ -63,6 +63,13 @@ bench-lint:
 # fail if the vectorized path regresses >10% behind scalar anywhere.
 bench-sim:
 	$(PYTHON) -m repro.bench --out BENCH_8.json --check
+
+# Zero-replay analytics trajectory: price a 100-point network grid per
+# trace off the recorded dependency graph vs per-point replays, record
+# BENCH_10.json, and fail unless the analytic path is >=10x faster
+# everywhere (it must also match every replayed total within 1e-6).
+bench-sensitivity:
+	$(PYTHON) -m repro.bench.sensitivity --out BENCH_10.json --check
 
 clean-cache:
 	rm -rf .cache

@@ -1,0 +1,58 @@
+"""Ablation: the zero-replay sensitivity features (PR 10).
+
+``lat_tolerance``, ``bw_sensitivity`` and ``critical_path_frac`` come
+from one recorded MFACT replay (``repro.sensitivity``), so they are
+essentially free.  The ablation compares the full candidate pool
+against the Table III-only pool and verifies the classifier does not
+get *worse* for having them — stepwise selection is allowed to ignore
+features that do not pay their way.
+"""
+
+import pytest
+
+from repro.experiments.ablations import sweep_sensitivity_features
+from repro.trace.features import SENSITIVITY_FEATURE_NAMES
+
+
+@pytest.fixture(scope="module")
+def rows(labelled):
+    return sweep_sensitivity_features(labelled, runs=25, seed=7)
+
+
+def test_sweep_runs(benchmark, labelled):
+    rows = benchmark.pedantic(
+        sweep_sensitivity_features,
+        args=(labelled,),
+        kwargs={"runs": 25, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2
+
+
+def test_variants_are_well_formed(rows):
+    by_label = {row["variant"]: row for row in rows}
+    assert set(by_label) == {"with_sensitivity", "tableIII_only"}
+    for row in rows:
+        assert 0.0 <= row["success_rate"] <= 1.0
+        assert 0.0 <= row["trimmed_mr"] <= 1.0
+    delta = (
+        by_label["with_sensitivity"]["n_features"]
+        - by_label["tableIII_only"]["n_features"]
+    )
+    assert delta == len(SENSITIVITY_FEATURE_NAMES)
+
+
+def test_sensitivity_features_do_not_hurt(rows):
+    by_label = {row["variant"]: row for row in rows}
+    with_s = by_label["with_sensitivity"]["trimmed_mr"]
+    without = by_label["tableIII_only"]["trimmed_mr"]
+    # Selection may skip the new features entirely, so the full pool
+    # should track the restricted pool to within CV noise.
+    assert with_s <= without + 0.05
+    for row in rows:
+        print(
+            f"\n{row['variant']}: {int(row['n_features'])} candidates, "
+            f"trimmed MR {100 * row['trimmed_mr']:.1f}%, "
+            f"success {100 * row['success_rate']:.0f}%"
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.experiments import table3
-from repro.trace.features import NUMERIC_FEATURE_NAMES
+from repro.trace.features import NUMERIC_FEATURE_NAMES, SENSITIVITY_FEATURE_NAMES
 
 
 def test_table3_summary(study, benchmark):
@@ -13,8 +13,9 @@ def test_table3_summary(study, benchmark):
 
 
 def test_every_record_has_all_features(study):
+    expected = set(NUMERIC_FEATURE_NAMES) | set(SENSITIVITY_FEATURE_NAMES)
     for record in study:
-        assert set(record.features) == set(NUMERIC_FEATURE_NAMES)
+        assert set(record.features) == expected
         assert all(np.isfinite(v) for v in record.features.values())
 
 

@@ -4,11 +4,17 @@ Each PR that claims a performance win checks in a ``BENCH_<pr>.json``
 artifact produced by one of these harnesses, so the trajectory is a
 series of committed, schema-stable measurements rather than numbers in
 commit messages.  ``repro.analysis.bench`` (PR 7) covers the lint
-tooling; :mod:`repro.bench.sim` (PR 8) covers the simulation engines.
+tooling; :mod:`repro.bench.sim` (PR 8) covers the simulation engines;
+:mod:`repro.bench.sensitivity` (PR 10) covers zero-replay design-grid
+pricing off the recorded dependency graph.
 
 Run the simulation bench with ``make bench-sim`` or::
 
     python -m repro.bench --out BENCH_8.json --check
+
+and the sensitivity bench with ``make bench-sensitivity`` or::
+
+    python -m repro.bench.sensitivity --out BENCH_10.json --check
 """
 
 from repro.bench.sim import bench_corpus, main, run_bench

@@ -23,8 +23,13 @@ from repro.mfact.logical_clock import model_trace
 from repro.stats.logistic import LogisticModel
 from repro.stats.mccv import CrossValidationResult, monte_carlo_cv
 from repro.stats.metrics import ConfusionCounts, confusion
+from repro.sensitivity.analysis import analyze_trace
 from repro.stats.stepwise import MAX_VARIABLES, stepwise_forward
-from repro.trace.features import NUMERIC_FEATURE_NAMES, extract_features
+from repro.trace.features import (
+    NUMERIC_FEATURE_NAMES,
+    SENSITIVITY_FEATURE_NAMES,
+    extract_features,
+)
 from repro.trace.trace import TraceSet
 
 __all__ = [
@@ -35,18 +40,25 @@ __all__ = [
     "naive_heuristic_success",
 ]
 
-#: Design-matrix column names: Table III numerics plus the CL indicator.
-CANDIDATE_NAMES: List[str] = NUMERIC_FEATURE_NAMES + ["CL{ncs}"]
+#: Design-matrix column names: Table III numerics, the zero-replay
+#: sensitivity features, and the CL indicator (kept last).
+CANDIDATE_NAMES: List[str] = (
+    NUMERIC_FEATURE_NAMES + SENSITIVITY_FEATURE_NAMES + ["CL{ncs}"]
+)
 
 
 def _row(features: Dict[str, float], cs: bool) -> List[float]:
     row = [float(features[name]) for name in NUMERIC_FEATURE_NAMES]
+    # Sensitivity features are attached by the pipeline; records
+    # measured before they existed (or hand-built fixtures) may lack
+    # them, in which case the column is a harmless constant 0.
+    row.extend(float(features.get(name, 0.0)) for name in SENSITIVITY_FEATURE_NAMES)
     row.append(0.0 if cs else 1.0)  # CL{ncs} indicator
     return row
 
 
 def design_matrix(records: Sequence[StudyRecord]) -> np.ndarray:
-    """(n, 35) candidate-feature matrix for study records."""
+    """(n, 38) candidate-feature matrix for study records."""
     return np.array([_row(r.features, r.mfact_cs) for r in records], dtype=float)
 
 
@@ -132,7 +144,8 @@ class EnhancedMFACT:
         whether the expensive simulation is worth running.
         """
         report = model_trace(trace, machine)
-        features = extract_features(trace)
+        features = dict(extract_features(trace))
+        features.update(analyze_trace(trace, machine).features())
         return bool(
             self.model.predict(self._vector(features, report.communication_sensitive))[0]
         )

@@ -29,6 +29,7 @@ from repro.core.difftotal import DIFF_THRESHOLD, diff_total
 from repro.core.resilience import LADDER, band_for_step
 from repro.machines.presets import get_machine
 from repro.mfact.logical_clock import model_trace
+from repro.sensitivity.analysis import analyze_graph, record_graph
 from repro.sim import modes
 from repro.sim.mpi_replay import ReplayShared, simulate_trace
 from repro.sim.network import UnsupportedTraceError
@@ -188,6 +189,16 @@ def measure_trace(
     )
     record.mfact_class = report.classification.value
     record.mfact_cs = bool(report.communication_sensitive)
+    # Zero-replay sensitivity features: one recorded single-config
+    # replay (kept separate so ``record.mfact.walltime`` stays the pure
+    # tool cost the paper's Table II ranking is about), then lean tape
+    # analytics.  Curves are skipped; the features need only the
+    # baseline/half-bandwidth/cap probes and the Newton threshold, and
+    # are bitwise-identical to a full analyze_trace().
+    graph, _ = record_graph(trace, machine)
+    record.features.update(
+        analyze_graph(graph, machine, lat_factors=(), bw_factors=()).features()
+    )
     wall_deadline = None
     if budget is not None and budget.wall_seconds is not None:
         wall_deadline = time.perf_counter() + budget.wall_seconds

@@ -11,7 +11,10 @@ modules, the CLI and notebooks can share one implementation:
 * :func:`sweep_diff_threshold` — the 2% DIFFtotal label threshold vs
   positive share and model success;
 * :func:`sweep_vectorization` — MFACT multi-config replay vs one replay
-  per configuration.
+  per configuration;
+* :func:`sweep_sensitivity_features` — the need-for-simulation model
+  with vs without the zero-replay sensitivity features
+  (``lat_tolerance``, ``bw_sensitivity``, ``critical_path_frac``).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.mfact.hockney import ConfigGrid
 from repro.mfact.logical_clock import LogicalClockReplay
 from repro.sim.mpi_replay import SimReplay
 from repro.stats.mccv import monte_carlo_cv
+from repro.trace.features import SENSITIVITY_FEATURE_NAMES
 from repro.trace.trace import TraceSet
 from repro.util.units import KIB
 
@@ -37,6 +41,7 @@ __all__ = [
     "sweep_stepwise_cap",
     "sweep_diff_threshold",
     "sweep_vectorization",
+    "sweep_sensitivity_features",
 ]
 
 
@@ -145,3 +150,40 @@ def sweep_vectorization(
         "speedup": t_scalar / max(t_vector, 1e-9),
         "max_prediction_gap": float(np.max(np.abs(vector - np.array(scalar)))),
     }
+
+
+def sweep_sensitivity_features(
+    records: Sequence[StudyRecord],
+    runs: int = 25,
+    seed: int = 7,
+) -> List[Dict[str, float]]:
+    """Ablate the zero-replay sensitivity features from the predictor.
+
+    Cross-validates the need-for-simulation model twice on the same
+    records and partitions (same seed): once over the full candidate
+    set and once with the :data:`SENSITIVITY_FEATURE_NAMES` columns
+    removed, so the rows isolate what the recorded dependency graph
+    buys on top of the Table III features.
+    """
+    X = design_matrix(records)
+    y = np.array([int(r.requires_simulation()) for r in records])
+    keep = [i for i, n in enumerate(CANDIDATE_NAMES)
+            if n not in SENSITIVITY_FEATURE_NAMES]
+    variants = [
+        ("with_sensitivity", X, list(CANDIDATE_NAMES)),
+        ("tableIII_only", X[:, keep], [CANDIDATE_NAMES[i] for i in keep]),
+    ]
+    rows = []
+    for label, Xv, names in variants:
+        cv = monte_carlo_cv(Xv, y, names, runs=runs, seed=seed)
+        rows.append(
+            {
+                "variant": label,
+                "n_features": float(len(names)),
+                "success_rate": cv.success_rate,
+                "trimmed_mr": cv.trimmed_mr,
+                "trimmed_fn": cv.trimmed_fn,
+                "trimmed_fp": cv.trimmed_fp,
+            }
+        )
+    return rows

@@ -23,6 +23,12 @@ Semantics
 
 Matching follows MPI ordering: per (source, destination, tag) channel,
 sends match posted receives FIFO.
+
+An optional ``recorder`` (duck-typed; see
+:class:`repro.sensitivity.graph.GraphRecorder`) observes every clock
+update through ``on_*`` hooks, turning one replay into a reusable
+max-plus dependency graph for zero-replay sensitivity analytics.  With
+``recorder=None`` (the default) the hooks cost one predicate per op.
 """
 
 from __future__ import annotations
@@ -72,10 +78,17 @@ class _Channel:
 class LogicalClockReplay:
     """One MFACT replay of a trace on a machine over a configuration grid."""
 
-    def __init__(self, trace: TraceSet, machine: MachineConfig, grid: Optional[ConfigGrid] = None):
+    def __init__(
+        self,
+        trace: TraceSet,
+        machine: MachineConfig,
+        grid: Optional[ConfigGrid] = None,
+        recorder=None,
+    ):
         self.trace = trace
         self.machine = machine
         self.grid = grid if grid is not None else ConfigGrid.sweep(machine)
+        self._rec = recorder
         n = trace.nranks
         k = len(self.grid)
         self._lat = self.grid.latency.copy()
@@ -155,15 +168,21 @@ class LogicalClockReplay:
             if kind == "recv":
                 # dst is parked in a blocking recv on this channel.
                 self._complete_recv(dst, avail, nbytes, posted=False)
+                if self._rec is not None:
+                    self._rec.on_recv_complete(dst, src, tag, nbytes)
                 self._blocked[dst] = None
                 self._ip[dst] += 1
                 self._wake(dst)
             else:  # bound an irecv request
                 nbytes = self._requests[dst][ident][2]
                 self._requests[dst][ident] = ("irecv", avail, nbytes)
+                if self._rec is not None:
+                    self._rec.on_irecv_bind(dst, src, tag, ident)
                 blocked = self._blocked[dst]
                 if blocked is not None and blocked[0] == "wait" and blocked[1] == ident:
                     self._complete_recv(dst, avail, nbytes, posted=True)
+                    if self._rec is not None:
+                        self._rec.on_wait_complete(dst, ident, nbytes)
                     del self._requests[dst][ident]
                     self._blocked[dst] = None
                     self._ip[dst] += 1
@@ -202,6 +221,10 @@ class LogicalClockReplay:
         total = lat_share + bw_share
         c = self.counters
         self._coll_messages += 1
+        if self._rec is not None:
+            self._rec.on_collective(
+                op.kind, members, op.peer, op.nbytes, cost.alpha_count, cost.bytes_on_wire
+            )
         if op.kind in _SYNC_COLLECTIVES:
             peak = None
             for clk in arrived.values():
@@ -252,6 +275,45 @@ class LogicalClockReplay:
                 c.bandwidth[r] += op.nbytes * self._inv_bw
             self.clk[r] = done
 
+    # -- diagnostics ---------------------------------------------------------
+
+    def _deadlock_message(self, stuck: List[int]) -> str:
+        """Actionable deadlock diagnostic: why each stuck rank is parked,
+        plus the oldest unmatched ``(src, dst, tag)`` channel.
+
+        Channels are reported in first-use order (``self._channels`` is
+        insertion-ordered), so "oldest" is the channel that entered the
+        matching state machine earliest — usually the root mismatch.
+        """
+        reasons = []
+        for r in stuck[:8]:
+            why = self._blocked[r]
+            if why is None:
+                reasons.append(f"rank {r} runnable but unfinished")
+            elif why[0] == "recv":
+                src, dst, tag = why[1]
+                reasons.append(
+                    f"rank {r} in blocking recv on channel (src={src}, dst={dst}, tag={tag})"
+                )
+            elif why[0] == "wait":
+                reasons.append(f"rank {r} waiting on request {why[1]}")
+            else:  # collective rendezvous
+                reasons.append(f"rank {r} at collective rendezvous on comm {why[1][0]}")
+        oldest = ""
+        for (src, dst, tag), chan in self._channels.items():
+            if chan.messages or chan.slots:
+                oldest = (
+                    f"; oldest unmatched channel (src={src}, dst={dst}, tag={tag}): "
+                    f"{len(chan.messages)} queued send(s), "
+                    f"{len(chan.slots)} posted receive(s)"
+                )
+                break
+        return (
+            f"replay of {self.trace.name} deadlocked with ranks {stuck[:8]} blocked: "
+            + "; ".join(reasons)
+            + oldest
+        )
+
     # -- main loop -----------------------------------------------------------
 
     def _step(self, rank: int) -> bool:
@@ -264,6 +326,8 @@ class LogicalClockReplay:
             work = op.duration * self._scale
             self.clk[rank] += work
             self.counters.compute[rank] += work
+            if self._rec is not None:
+                self._rec.on_compute(rank, op.duration)
         elif kind == OpKind.SEND:
             # The rank's NIC serializes its outgoing messages; a blocking
             # send returns once the payload is fully injected.
@@ -275,6 +339,8 @@ class LogicalClockReplay:
             self.counters.bandwidth[rank] += bw_term
             self.counters.wait[rank] += inj_start - start
             self.clk[rank] = inj_done.copy()
+            if self._rec is not None:
+                self._rec.on_send(rank, op.peer, op.tag, op.nbytes, blocking=True)
             # Header reaches the receiver one wire latency after injection
             # starts; the receiver pays the bandwidth term while draining.
             self._deliver(rank, op.peer, op.tag, inj_start + self._lat, op.nbytes)
@@ -285,22 +351,30 @@ class LogicalClockReplay:
             self._inj[rank] = inj_start + bw_term
             self.clk[rank] += o
             self._requests[rank][op.req] = ("isend", None, 0)
+            if self._rec is not None:
+                self._rec.on_send(rank, op.peer, op.tag, op.nbytes, blocking=False)
             self._deliver(rank, op.peer, op.tag, inj_start + self._lat, op.nbytes)
         elif kind == OpKind.RECV:
             chan = self._channel(op.peer, rank, op.tag)
             if chan.messages:
                 avail = chan.messages.popleft()
                 self._complete_recv(rank, avail, op.nbytes, posted=False)
+                if self._rec is not None:
+                    self._rec.on_recv_complete(rank, op.peer, op.tag, op.nbytes)
             else:
                 chan.slots.append(("recv", rank))
                 self._blocked[rank] = ("recv", (op.peer, rank, op.tag))
                 return False
         elif kind == OpKind.IRECV:
             self.clk[rank] += o
+            if self._rec is not None:
+                self._rec.on_overhead(rank)
             chan = self._channel(op.peer, rank, op.tag)
             if chan.messages:
                 avail = chan.messages.popleft()
                 self._requests[rank][op.req] = ("irecv", avail, op.nbytes)
+                if self._rec is not None:
+                    self._rec.on_irecv_bind(rank, op.peer, op.tag, op.req)
             else:
                 chan.slots.append(("irecv", op.req))
                 self._requests[rank][op.req] = ("irecv", None, op.nbytes)
@@ -313,9 +387,13 @@ class LogicalClockReplay:
             state, avail, nbytes = entry
             if state == "isend":
                 self.clk[rank] += o
+                if self._rec is not None:
+                    self._rec.on_overhead(rank)
                 del self._requests[rank][op.req]
             elif avail is not None:
                 self._complete_recv(rank, avail, nbytes, posted=True)
+                if self._rec is not None:
+                    self._rec.on_wait_complete(rank, op.req, nbytes)
                 del self._requests[rank][op.req]
             else:
                 self._blocked[rank] = ("wait", op.req)
@@ -353,10 +431,7 @@ class LogicalClockReplay:
                         remaining -= 1
                 if remaining:
                     stuck = [r for r in range(n) if not done[r]]
-                    raise ReplayDeadlockError(
-                        f"replay of {self.trace.name} deadlocked with ranks "
-                        f"{stuck[:8]} blocked"
-                    )
+                    raise ReplayDeadlockError(self._deadlock_message(stuck))
             if obs.enabled():
                 obs.counter("repro_mfact_steps_total").inc(steps)
                 obs.counter("repro_mfact_replays_total").inc()
@@ -366,7 +441,15 @@ class LogicalClockReplay:
 
 
 def model_trace(
-    trace: TraceSet, machine: MachineConfig, grid: Optional[ConfigGrid] = None
+    trace: TraceSet,
+    machine: MachineConfig,
+    grid: Optional[ConfigGrid] = None,
+    recorder=None,
 ) -> MFACTReport:
-    """Convenience wrapper: replay ``trace`` on ``machine`` and report."""
-    return LogicalClockReplay(trace, machine, grid).run()
+    """Convenience wrapper: replay ``trace`` on ``machine`` and report.
+
+    ``recorder`` (duck-typed, see :class:`LogicalClockReplay`) rides the
+    same replay — the hooks are structural (ranks, tags, bytes,
+    durations), so the recorded tape is independent of ``grid``.
+    """
+    return LogicalClockReplay(trace, machine, grid, recorder=recorder).run()

@@ -7,6 +7,13 @@ wraps MFACT's multi-configuration replay in a small design-space API:
 declare axes (bandwidth, latency, compute speed), explore the whole
 grid in one replay per compute point, and query speedups, bottleneck
 shifts and the cheapest configuration meeting a target.
+
+``explore_design_space(analytic=True)`` drops the replays entirely:
+one *recorded* replay builds the max-plus dependency graph
+(:mod:`repro.sensitivity`), and every grid point is priced by tape
+evaluation — zero replays per design point, agreeing with the replayed
+path within the package's documented ``1e-6`` relative band (the
+differential suite asserts ``1e-9`` on the mini-corpus).
 """
 
 from __future__ import annotations
@@ -62,26 +69,33 @@ class DesignSpaceResult:
         idx = int(np.argmin(self.total_time))
         return self.points[idx], self.baseline_time / float(self.total_time[idx])
 
-    def cheapest_meeting(self, target_speedup: float) -> Optional[DesignPoint]:
+    def cheapest_meeting(
+        self, target_speedup: float, rel_tol: float = 1e-9
+    ) -> Optional[DesignPoint]:
         """The least aggressive upgrade achieving ``target_speedup``.
 
         "Least aggressive" minimizes the product of the three factors —
         a rough proxy for cost.  Returns None if no grid point reaches
         the target.
+
+        Boundary behavior is deterministic: a point qualifies when its
+        speedup reaches the target within ``rel_tol`` relative slack
+        (so a speedup equal to the target except for float rounding —
+        e.g. ``1.9999999999999998`` vs ``2.0`` — is not dropped), and a
+        candidate replaces the incumbent only when its cost is smaller
+        by more than the same relative slack — cost ties, exact or
+        float-noise, keep the *first* qualifying point in grid order.
         """
         best_point = None
         best_cost = None
+        threshold = target_speedup * (1.0 - rel_tol)
         for point, total in zip(self.points, self.total_time):
-            if self.baseline_time / float(total) >= target_speedup:
-                cost = (
-                    point.bandwidth_factor
-                    * point.compute_factor
-                    / point.latency_factor ** 0  # latency upgrades priced into bw
-                )
-                cost = point.bandwidth_factor * point.compute_factor * point.latency_factor
-                if best_cost is None or cost < best_cost:
-                    best_cost = cost
-                    best_point = point
+            if self.baseline_time / float(total) < threshold:
+                continue
+            cost = point.bandwidth_factor * point.compute_factor * point.latency_factor
+            if best_cost is None or cost < best_cost * (1.0 - rel_tol):
+                best_cost = cost
+                best_point = point
         return best_point
 
     def amdahl_table(self) -> List[Tuple[str, float]]:
@@ -99,12 +113,17 @@ def explore_design_space(
     bandwidth_factors: Sequence[float] = (1.0, 2.0, 10.0),
     latency_factors: Sequence[float] = (1.0, 2.0, 10.0),
     compute_factors: Sequence[float] = (1.0, 10.0, 100.0),
+    analytic: bool = False,
 ) -> DesignSpaceResult:
     """Price a trace on every (bw, lat, compute) combination.
 
     Bandwidth and latency axes ride MFACT's vectorized grid, so the cost
     is one replay *per compute factor* regardless of how many network
-    points are explored.
+    points are explored.  With ``analytic=True`` a single *recorded*
+    replay prices the whole grid — including the compute axis — by
+    evaluating the max-plus dependency graph (:mod:`repro.sensitivity`);
+    point ordering, the baseline requirement and the result shape are
+    identical to the replayed path.
     """
     if not all(f > 0 for f in bandwidth_factors):
         raise ValueError("bandwidth factors must be positive")
@@ -112,6 +131,10 @@ def explore_design_space(
         raise ValueError("latency factors must be positive")
     if not all(f > 0 for f in compute_factors):
         raise ValueError("compute factors must be positive")
+    if analytic:
+        return _explore_analytic(
+            trace, machine, bandwidth_factors, latency_factors, compute_factors
+        )
     points: List[DesignPoint] = []
     totals: List[float] = []
     baseline_index = None
@@ -141,5 +164,45 @@ def explore_design_space(
         machine=machine,
         points=points,
         total_time=np.asarray(totals),
+        baseline_index=baseline_index,
+    )
+
+
+def _explore_analytic(
+    trace: TraceSet,
+    machine: MachineConfig,
+    bandwidth_factors: Sequence[float],
+    latency_factors: Sequence[float],
+    compute_factors: Sequence[float],
+) -> DesignSpaceResult:
+    """Zero-replay grid pricing: record once, tape-evaluate every point."""
+    # Imported here: whatif is a mfact module and repro.sensitivity
+    # builds on mfact's replay, so a top-level import would be cyclic.
+    from repro.sensitivity.analysis import record_graph
+
+    graph, _ = record_graph(trace, machine)
+    points: List[DesignPoint] = []
+    lats: List[float] = []
+    bws: List[float] = []
+    scales: List[float] = []
+    baseline_index = None
+    for cf in compute_factors:
+        for lf in latency_factors:
+            for bf in bandwidth_factors:
+                points.append(DesignPoint(bf, lf, cf))
+                lats.append(machine.latency / lf)
+                bws.append(machine.bandwidth * bf)
+                scales.append(machine.compute_scale / cf)
+                if bf == 1.0 and lf == 1.0 and cf == 1.0:
+                    baseline_index = len(points) - 1
+    if baseline_index is None:
+        raise ValueError(
+            "the design grid must contain the baseline point (all factors 1.0)"
+        )
+    totals = graph.evaluate(np.asarray(lats), np.asarray(bws), np.asarray(scales))
+    return DesignSpaceResult(
+        machine=machine,
+        points=points,
+        total_time=totals,
         baseline_index=baseline_index,
     )

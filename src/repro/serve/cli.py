@@ -9,6 +9,8 @@ Subcommands:
   can SIGKILL it (the chaos suite's crash lever).
 * ``submit`` — submit a mini-corpus study, optionally wait for it and
   print the records/manifest as JSON.
+* ``query``  — cheap zero-replay sensitivity query for one mini-corpus
+  spec, answered inline by the coordinator (no study, no workers).
 * ``status`` — global coordinator status.
 * ``drain``  — wind the service down once in-flight studies finish.
 """
@@ -78,6 +80,17 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--json", action="store_true", help="print records + manifest as JSON"
     )
+
+    query = sub.add_parser(
+        "query", help="zero-replay sensitivity query for one spec"
+    )
+    query.add_argument("--connect", required=True)
+    query.add_argument("--mini", type=int, default=4, help="corpus size")
+    query.add_argument(
+        "--index", type=int, default=0, help="which mini-corpus spec to query"
+    )
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument("--nranks", type=int, default=8)
 
     status = sub.add_parser("status", help="coordinator status")
     status.add_argument("--connect", required=True)
@@ -190,6 +203,25 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    from repro.serve.client import ServeClient
+    from repro.util.rng import DEFAULT_SEED
+    from repro.workloads.suite import mini_corpus_specs
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    specs = mini_corpus_specs(count=args.mini, seed=seed, nranks=args.nranks)
+    if not 0 <= args.index < len(specs):
+        print(
+            f"error: --index {args.index} outside the {len(specs)}-spec corpus",
+            file=sys.stderr,
+        )
+        return 1
+    client = ServeClient(protocol.parse_address(args.connect))
+    reply = client.query_sensitivity(specs[args.index])
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_status(args) -> int:
     from repro.serve.client import ServeClient
 
@@ -210,6 +242,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "worker": _cmd_worker,
     "submit": _cmd_submit,
+    "query": _cmd_query,
     "status": _cmd_status,
     "drain": _cmd_drain,
 }

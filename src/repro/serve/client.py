@@ -131,6 +131,25 @@ class ServeClient:
         manifest = RunManifest.from_json(reply["manifest"])
         return StudyResult(records, manifest)
 
+    # -- cheap queries -----------------------------------------------------
+
+    def query_sensitivity(self, spec) -> dict:
+        """Zero-replay sensitivity analytics for one trace spec.
+
+        Unlike :meth:`submit`, this is answered inline by the
+        coordinator (no study, no workers): it builds the spec's trace,
+        records the max-plus dependency graph once and returns the
+        :class:`repro.sensitivity.SensitivityReport` JSON under
+        ``"report"``, with ``"cached"`` flagging a memoized answer.
+        """
+        return self._rpc(
+            {
+                "type": "query",
+                "kind": "sensitivity",
+                "spec": dataclasses.asdict(spec),
+            }
+        )
+
     # -- service control ---------------------------------------------------
 
     def status(self) -> dict:

@@ -67,6 +67,9 @@ _WAIT_BACKOFF = 0.1
 #: expiry and the local-fallback check.
 _ACCEPT_TICK = 0.05
 
+#: Cap on memoized cheap-query replies (each is a small JSON dict).
+_QUERY_CACHE_MAX = 128
+
 
 def spec_to_json(spec) -> dict:
     """A :class:`~repro.workloads.suite.TraceSpec` as a wire object."""
@@ -158,6 +161,9 @@ class Coordinator:
         self._lock = threading.RLock()
         self._studies: Dict[str, _Study] = {}
         self._workers: Dict[str, _WorkerSeat] = {}
+        # Memoized cheap-query replies keyed by spec cache key
+        # (insertion-ordered; oldest entry evicted past the cap).
+        self._query_cache: Dict[str, dict] = {}
         self._draining = False
         self._running = False
         self._sock: Optional[socket.socket] = None
@@ -318,6 +324,8 @@ class Coordinator:
             return self._on_fetch(message)
         if kind == "status":
             return self._on_status(message)
+        if kind == "query":
+            return self._on_query(message)
         if kind == "drain":
             with self._lock:
                 self._draining = True
@@ -726,6 +734,50 @@ class Coordinator:
                 "draining": self._draining,
                 "quarantine_pruned": self.quarantine_pruned,
             }
+
+    def _on_query(self, message: dict) -> dict:
+        """Answer a zero-replay analytics query without scheduling work.
+
+        ``{"type": "query", "kind": "sensitivity", "spec": {...}}``
+        builds the spec's trace in-process, records the max-plus
+        dependency graph once (:mod:`repro.sensitivity`) and replies
+        with the full sensitivity report.  No study, no lease, no
+        worker round-trip — the whole answer costs one modeling replay,
+        and repeat queries for the same spec (dashboards, polling
+        clients) are memoized by spec cache key.
+        """
+        what = message.get("kind", "sensitivity")
+        if what != "sensitivity":
+            return {"type": "error", "error": f"unknown query kind {what!r}"}
+        try:
+            spec = spec_from_json(dict(message.get("spec") or {}))
+            key = spec_cache_key(spec)  # resolves the machine: bad names raise
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"type": "error", "error": f"bad spec: {exc}"}
+        with self._lock:
+            report = self._query_cache.get(key)
+        if report is not None:
+            if obs.enabled():
+                obs.counter("repro_serve_query_cache_hits_total").inc()
+            return {"type": "sensitivity-report", "cached": True, "report": report}
+        # Imported here: the sensitivity stack rides on mfact's replay
+        # and is only needed by this one message type.
+        from repro.machines.presets import get_machine
+        from repro.sensitivity.analysis import analyze_trace
+        from repro.workloads.suite import build_trace
+
+        try:
+            trace = build_trace(spec)
+            report = analyze_trace(trace, get_machine(spec.machine)).to_json()
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"type": "error", "error": f"query failed: {exc}"}
+        with self._lock:
+            while len(self._query_cache) >= _QUERY_CACHE_MAX:
+                self._query_cache.pop(next(iter(self._query_cache)))
+            self._query_cache[key] = report
+        if obs.enabled():
+            obs.counter("repro_serve_queries_total", kind=what).inc()
+        return {"type": "sensitivity-report", "cached": False, "report": report}
 
     # -- tick: expiry + local fallback --------------------------------------
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro.trace.cli validate trace.dmp
     python -m repro.trace.cli lint trace.dmp [--json]
     python -m repro.trace.cli features trace.dmp
+    python -m repro.trace.cli sensitivity trace.dmp [--json] [--tolerance 0.05]
     python -m repro.trace.cli compress-stats trace.dmp
     python -m repro.trace.cli convert trace.dmp trace.bin   # ascii <-> binary
     python -m repro.trace.cli measure a.dmp b.bin -j 4      # replay with all tools
@@ -27,6 +28,15 @@ snapshot (Prometheus text to ``FILE`` plus a JSON image to
 flag turns metrics collection on for the run.  ``stats`` renders a
 previously written snapshot (or a manifest that embeds one) as a
 human-readable report.
+
+``sensitivity`` runs the zero-replay analytics layer
+(:mod:`repro.sensitivity`): one recorded MFACT replay builds the
+max-plus dependency graph, from which the latency-tolerance threshold,
+latency/bandwidth degradation curves and the critical-path cost
+decomposition are computed analytically — no simulation, no design-grid
+replays.  ``--tolerance`` sets the slowdown budget defining the latency
+tolerance (default 5%); ``--json`` emits the full report including both
+curves.
 
 Every subcommand returns a conventional exit code: ``0`` on success,
 ``1`` on a warning-level or usage failure, ``2`` on an error-level
@@ -111,6 +121,55 @@ def _cmd_features(trace, args) -> int:
     width = max(len(name) for name in features)
     for name, value in features.items():
         print(f"{name:<{width}s}  {value:.6g}")
+    return EXIT_OK
+
+
+def _cmd_sensitivity(trace, args) -> int:
+    import math
+
+    from repro.machines.presets import get_machine
+    from repro.mfact.logical_clock import ReplayDeadlockError
+    from repro.sensitivity.analysis import analyze_trace
+
+    try:
+        machine = get_machine(trace.machine)
+    except KeyError as exc:
+        print(f"unknown machine for sensitivity analysis: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        report = analyze_trace(trace, machine, tolerance=args.tolerance)
+    except ReplayDeadlockError as exc:
+        print(f"cannot analyze: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return EXIT_OK
+    cp = report.critical_path
+    total = cp.total if cp.total > 0 else 1.0
+    print(f"trace              {report.trace_name}")
+    print(f"machine            {report.machine}")
+    print(f"graph              {report.n_nodes} nodes, {report.n_edges} edges")
+    print(f"predicted total    {format_time(report.baseline_total)}")
+    if math.isinf(report.lat_tolerance):
+        print(f"latency tolerance  unbounded (insensitive within "
+              f"{100 * report.tolerance:.0f}% up to x1e6)")
+    else:
+        print(f"latency tolerance  x{report.lat_tolerance:.3g} "
+              f"(largest multiplier within {100 * report.tolerance:.0f}% slowdown)")
+    print(f"bw sensitivity     {100 * report.bw_sensitivity:.2f}% slowdown at half bandwidth")
+    print(f"critical path      {cp.n_edges} edges: "
+          f"compute {100 * cp.compute_time / total:.1f}%, "
+          f"latency {100 * cp.latency_time / total:.1f}%, "
+          f"bandwidth {100 * cp.bandwidth_time / total:.1f}%, "
+          f"overhead {100 * cp.overhead_time / total:.1f}%")
+    print(f"comm on path       {100 * report.critical_path_frac:.1f}%")
+    base = report.baseline_total if report.baseline_total > 0 else 1.0
+    print("latency curve      multiplier -> predicted total (slowdown)")
+    for factor, t in report.lat_curve:
+        print(f"  x{factor:<10g} {format_time(t):>12s}  ({100 * (t / base - 1.0):+7.2f}%)")
+    print("bandwidth curve    multiplier -> predicted total (slowdown)")
+    for factor, t in report.bw_curve:
+        print(f"  x{factor:<10g} {format_time(t):>12s}  ({100 * (t / base - 1.0):+7.2f}%)")
     return EXIT_OK
 
 
@@ -234,6 +293,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "lint": _cmd_lint,
     "features": _cmd_features,
+    "sensitivity": _cmd_sensitivity,
     "compress-stats": _cmd_compress_stats,
     "convert": _cmd_convert,
 }
@@ -248,6 +308,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "stats takes a metrics JSON or manifest file")
     parser.add_argument("--max-block", type=int, default=128,
                         help="compression search window (compress-stats)")
+    parser.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
+                        help="slowdown budget defining the latency tolerance "
+                             "(sensitivity; default 0.05)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit machine-readable output (lint, measure)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",

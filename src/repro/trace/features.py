@@ -17,7 +17,13 @@ from typing import Dict, List
 from repro.trace.events import OpKind
 from repro.trace.trace import TraceSet
 
-__all__ = ["FEATURE_NAMES", "NUMERIC_FEATURE_NAMES", "extract_features", "FEATURE_DESCRIPTIONS"]
+__all__ = [
+    "FEATURE_NAMES",
+    "NUMERIC_FEATURE_NAMES",
+    "SENSITIVITY_FEATURE_NAMES",
+    "extract_features",
+    "FEATURE_DESCRIPTIONS",
+]
 
 #: All numeric feature names, in Table III order.
 NUMERIC_FEATURE_NAMES: List[str] = [
@@ -37,6 +43,18 @@ NUMERIC_FEATURE_NAMES: List[str] = [
 
 #: Full candidate list including the MFACT classification feature.
 FEATURE_NAMES: List[str] = NUMERIC_FEATURE_NAMES + ["CL"]
+
+#: Zero-replay sensitivity features.  Unlike the Table III numerics
+#: they are not computable from the measured trace alone — they come
+#: from the dependency graph recorded during MFACT's modeling replay
+#: (:mod:`repro.sensitivity`) and are attached to ``record.features``
+#: by the study pipeline, never by :func:`extract_features`.  All three
+#: are guaranteed finite, including on pure-compute traces.
+SENSITIVITY_FEATURE_NAMES: List[str] = [
+    "lat_tolerance",
+    "bw_sensitivity",
+    "critical_path_frac",
+]
 
 FEATURE_DESCRIPTIONS: Dict[str, str] = {
     "R": "Number of ranks",
@@ -74,6 +92,9 @@ FEATURE_DESCRIPTIONS: Dict[str, str] = {
     "NoB": "Number of barriers",
     "NoC": "Number of collectives",
     "CL": "Sensitivity to communication (cs / ncs)",
+    "lat_tolerance": "log10 of the latency multiplier tolerated within a 5% slowdown",
+    "bw_sensitivity": "Relative slowdown when bandwidth halves",
+    "critical_path_frac": "Non-compute fraction of the critical path",
 }
 
 _SYNC_KINDS = (OpKind.SEND, OpKind.RECV)

@@ -53,6 +53,7 @@ MEASUREMENT_STACK = (
     "collectives",
     "machines",
     "mfact",
+    "sensitivity",
     "sim",
     "topology",
     "trace/events.py",

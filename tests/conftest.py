@@ -5,7 +5,7 @@ import pytest
 from typing import List
 
 from repro.core.pipeline import StudyRecord, ToolRun
-from repro.trace.features import NUMERIC_FEATURE_NAMES
+from repro.trace.features import NUMERIC_FEATURE_NAMES, SENSITIVITY_FEATURE_NAMES
 from repro.util.rng import substream
 
 
@@ -22,6 +22,16 @@ def fabricate_records(n=60, seed=0):
         diff = float(rng.uniform(0.03, 0.2)) if cs else float(rng.uniform(0, 0.015))
         features = {name: float(rng.normal()) for name in NUMERIC_FEATURE_NAMES}
         features["R"] = [64, 128, 256, 512, 1024, 1728][i % 6]
+        # Zero-replay sensitivity features, shaped like the real ones
+        # (finite, in-range) and weakly correlated with cs.
+        features["lat_tolerance"] = float(
+            rng.uniform(0.0, 2.5) if cs else rng.uniform(2.0, 6.0)
+        )
+        features["bw_sensitivity"] = float(
+            rng.uniform(0.05, 0.6) if cs else rng.uniform(0.0, 0.1)
+        )
+        features["critical_path_frac"] = float(rng.uniform(0.0, 1.0))
+        assert set(SENSITIVITY_FEATURE_NAMES) <= set(features)
         record = StudyRecord(
             name=f"{app.lower()}.{i}",
             app=app,

@@ -15,7 +15,7 @@ from repro.core import (
 from repro.core.enhanced_mfact import CANDIDATE_NAMES, design_matrix, labels
 from repro.core.pipeline import ToolRun
 from repro.machines import CIELITO
-from repro.trace.features import NUMERIC_FEATURE_NAMES
+from repro.trace.features import NUMERIC_FEATURE_NAMES, SENSITIVITY_FEATURE_NAMES
 from repro.util.rng import substream
 from repro.workloads import generate_npb, synthesize_ground_truth
 
@@ -212,7 +212,13 @@ class TestMeasureTrace:
         assert set(record.sims) == {"packet", "flow", "packet-flow"}
         assert all(run.completed for run in record.sims.values())
         assert record.diff_total() is not None
-        assert len(record.features) == len(NUMERIC_FEATURE_NAMES)
+        # Table III numerics plus the zero-replay sensitivity features.
+        assert set(record.features) == set(
+            NUMERIC_FEATURE_NAMES + SENSITIVITY_FEATURE_NAMES
+        )
+        assert all(
+            np.isfinite(record.features[n]) for n in SENSITIVITY_FEATURE_NAMES
+        )
 
     def test_engine_failures_recorded(self):
         trace = generate_npb(

@@ -272,3 +272,19 @@ class TestTraceCLI:
     def test_compress_stats(self, trace_file, capsys):
         assert trace_cli(["compress-stats", trace_file]) == 0
         assert "ratio" in capsys.readouterr().out
+
+    def test_sensitivity(self, trace_file, capsys):
+        assert trace_cli(["sensitivity", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "latency tolerance" in out
+        assert "critical path" in out
+
+    def test_sensitivity_json(self, trace_file, capsys):
+        import json
+
+        assert trace_cli(["sensitivity", trace_file, "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert set(blob["features"]) == {
+            "lat_tolerance", "bw_sensitivity", "critical_path_frac"
+        }
+        assert blob["graph"]["nodes"] > 0

@@ -25,18 +25,20 @@ from repro.util.fingerprint import trace_fingerprint
 from repro.workloads.suite import build_trace, mini_corpus_specs
 
 #: spec index -> (trace fingerprint, canonical-record sha256).
+#: Record digests re-pinned in PR 10: records gained the three
+#: zero-replay sensitivity features (trace fingerprints unchanged).
 GOLDEN = {
     0: (  # cg.8.cielito.i000
         "e8a16e420235b915a48f21c643a3ee0e9b4c63dbd468bd8dc1b0cbc1cfd028cc",
-        "084abf7dfd2c8c19cac410308e18df99aef530613e6125656c5b89fb1ff662c9",
+        "5bf86488d02a91794c4dbc375a753e405f268001aed0af49e0351abcdc0f0a51",
     ),
     5: (  # cr.8.hopper.i005
         "03c807a632347e8ef87bee492a89879788291c99a416ba90805aff22a8ae3cb6",
-        "bbdd0281efa5cf79267f5e2c249d224f44cf7c8bd50b23ad00f39b3d568c44f3",
+        "ca9f99efd68f7503fa945b880b787f188fc5977c96bf4d89660098ca3b8cc474",
     ),
     10: (  # is.8.edison.i010
         "22fc7f6531aafaec696eafde449e4c9949a6a8392ecd847ef6d7a73927a1846d",
-        "87565cc0db95c0f9d9e87212a4af03eda95cb4ac5a5e67e5679232b1e1972527",
+        "21cd3876330b8f885874ddec9dad50515f2bdea283210f94874e881921310b9c",
     ),
 }
 

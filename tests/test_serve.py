@@ -351,3 +351,70 @@ class TestWorkerReconnectBackoff:
         agent._sleep = sleeps.append
         assert agent.run() == 0
         assert len(sleeps) == 1  # one backoff, then gave up
+
+
+class TestCheapQuery:
+    """The ``query`` message: zero-replay sensitivity analytics served
+    inline by the coordinator — no study, no lease, no worker."""
+
+    def test_query_answers_without_workers(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            client = ServeClient(coordinator.address)
+            reply = client.query_sensitivity(specs[0])
+            assert reply["type"] == "sensitivity-report"
+            assert reply["cached"] is False
+            report = reply["report"]
+            assert report["trace"] == specs[0].name
+            assert set(report["features"]) == {
+                "lat_tolerance", "bw_sensitivity", "critical_path_frac"
+            }
+            assert report["graph"]["nodes"] > 0
+            # No study was created as a side effect.
+            assert coordinator._studies == {}
+        finally:
+            coordinator.stop()
+
+    def test_repeat_query_is_memoized(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            client = ServeClient(coordinator.address)
+            first = client.query_sensitivity(specs[1])
+            second = client.query_sensitivity(specs[1])
+            assert first["cached"] is False
+            assert second["cached"] is True
+            assert second["report"] == first["report"]
+        finally:
+            coordinator.stop()
+
+    def test_unknown_query_kind_rejected(self, specs, tmp_path):
+        coordinator = start_coordinator(tmp_path)
+        try:
+            sock = protocol.connect(*coordinator.address, timeout=5.0)
+            try:
+                protocol.send_frame(
+                    sock, {"type": "query", "kind": "horoscope", "spec": {}}
+                )
+                reply = protocol.recv_frame(sock)
+            finally:
+                sock.close()
+            assert reply["type"] == "error"
+            assert "horoscope" in reply["error"]
+        finally:
+            coordinator.stop()
+
+    def test_bad_spec_is_an_error_not_a_crash(self, specs, tmp_path):
+        import dataclasses
+
+        coordinator = start_coordinator(tmp_path)
+        try:
+            client = ServeClient(coordinator.address)
+            with pytest.raises(ServeError):
+                client.query_sensitivity(
+                    dataclasses.replace(specs[0], machine="not-a-machine")
+                )
+            # The coordinator survives and still answers good queries.
+            good = client.query_sensitivity(specs[0])
+            assert good["type"] == "sensitivity-report"
+        finally:
+            coordinator.stop()
